@@ -1,0 +1,68 @@
+//! Microbenchmarks for the field substrate: `F_p` arithmetic,
+//! polynomial evaluation, Lagrange interpolation and batch inversion.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use yoso_field::{lagrange, F61, Poly, PrimeField};
+
+fn rng() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(1)
+}
+
+fn bench_field_ops(c: &mut Criterion) {
+    let mut r = rng();
+    let a = F61::random(&mut r);
+    let b = F61::random(&mut r);
+    c.bench_function("f61/mul", |bench| bench.iter(|| black_box(a) * black_box(b)));
+    c.bench_function("f61/add", |bench| bench.iter(|| black_box(a) + black_box(b)));
+    c.bench_function("f61/inv", |bench| bench.iter(|| black_box(a).inv().unwrap()));
+    c.bench_function("f61/pow", |bench| bench.iter(|| black_box(a).pow(black_box(0x1234_5678))));
+}
+
+fn bench_poly(c: &mut Criterion) {
+    let mut r = rng();
+    let mut group = c.benchmark_group("poly/eval");
+    for degree in [15usize, 63, 255] {
+        let p = Poly::<F61>::random(&mut r, degree);
+        let x = F61::random(&mut r);
+        group.bench_with_input(BenchmarkId::from_parameter(degree), &p, |bench, p| {
+            bench.iter(|| p.eval(black_box(x)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lagrange(c: &mut Criterion) {
+    let mut r = rng();
+    let mut group = c.benchmark_group("lagrange");
+    for m in [16usize, 64, 256] {
+        let xs: Vec<F61> = (1..=m as u64).map(F61::from_u64).collect();
+        let ys: Vec<F61> = (0..m).map(|_| F61::random(&mut r)).collect();
+        group.bench_with_input(BenchmarkId::new("interpolate", m), &m, |bench, _| {
+            bench.iter(|| lagrange::interpolate(black_box(&xs), black_box(&ys)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("basis_at", m), &m, |bench, _| {
+            bench.iter(|| lagrange::basis_at(black_box(&xs), F61::ZERO).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_invert(c: &mut Criterion) {
+    let mut r = rng();
+    let vals: Vec<F61> = (0..256).map(|_| F61::random(&mut r)).collect();
+    c.bench_function("lagrange/batch_invert/256", |bench| {
+        bench.iter(|| lagrange::batch_invert(black_box(&vals)).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+        .without_plots();
+    targets = bench_field_ops, bench_poly, bench_lagrange, bench_batch_invert
+}
+criterion_main!(benches);

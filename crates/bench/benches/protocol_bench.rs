@@ -1,0 +1,80 @@
+//! End-to-end protocol benchmarks: wall-clock per-phase throughput of
+//! the packed protocol and the CDN baseline on the standard workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use yoso_bench::{gap_params, random_inputs, rng, workload};
+use yoso_core::baseline::BaselineEngine;
+use yoso_core::{Engine, ExecutionConfig, ProtocolParams};
+use yoso_runtime::Adversary;
+
+fn bench_full_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol/full_run");
+    group.sample_size(10);
+    for n in [8usize, 16, 32] {
+        let params = gap_params(n, 0.25);
+        let circuit = workload(params.k, 2, 2);
+        let mut r = rng(9);
+        let inputs = random_inputs(&mut r, &circuit);
+        group.throughput(Throughput::Elements(circuit.mul_count() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let engine = Engine::new(params, ExecutionConfig::sweep());
+            b.iter(|| {
+                let mut r = rng(10);
+                engine.run(&mut r, &circuit, &inputs, &Adversary::none()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_protocol_with_proofs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol/full_run_with_nizks");
+    group.sample_size(10);
+    for n in [8usize, 16] {
+        let params = gap_params(n, 0.25);
+        let circuit = workload(params.k, 2, 1);
+        let mut r = rng(11);
+        let inputs = random_inputs(&mut r, &circuit);
+        group.throughput(Throughput::Elements(circuit.mul_count() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let engine = Engine::new(params, ExecutionConfig::default());
+            b.iter(|| {
+                let mut r = rng(12);
+                engine.run(&mut r, &circuit, &inputs, &Adversary::none()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol/baseline_run");
+    group.sample_size(10);
+    for n in [8usize, 16, 32] {
+        let gap = gap_params(n, 0.25);
+        let params = ProtocolParams::new(n, gap.t, 1).unwrap();
+        let circuit = workload(gap.k, 2, 2);
+        let mut r = rng(13);
+        let inputs = random_inputs(&mut r, &circuit);
+        group.throughput(Throughput::Elements(circuit.mul_count() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let engine = BaselineEngine::new(params, ExecutionConfig::sweep());
+            b.iter(|| {
+                let mut r = rng(14);
+                engine.run(&mut r, &circuit, &inputs, &Adversary::none()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3))
+        .sample_size(10)
+        .without_plots();
+    targets = bench_full_protocol, bench_full_protocol_with_proofs, bench_baseline
+}
+criterion_main!(benches);

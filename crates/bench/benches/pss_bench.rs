@@ -1,0 +1,74 @@
+//! Microbenchmarks for packed Shamir sharing: dealing, reconstruction
+//! and the multiplication-friendly public product, across committee
+//! sizes and packing factors.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::SeedableRng;
+use yoso_field::{F61, PrimeField};
+use yoso_pss_sharing::PackedSharing;
+
+fn rng() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(2)
+}
+
+/// (n, k) pairs following the paper's regime k ≈ n·ε with ε = 0.25.
+const CONFIGS: [(usize, usize); 4] = [(16, 4), (64, 16), (128, 32), (256, 64)];
+
+fn bench_share(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pss/share");
+    for (n, k) in CONFIGS {
+        let mut r = rng();
+        let scheme = PackedSharing::<F61>::new(n, k).unwrap();
+        let secrets: Vec<F61> = (0..k).map(|_| F61::random(&mut r)).collect();
+        let degree = n / 2 + k - 1;
+        group.throughput(Throughput::Elements(k as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}k{k}")), &n, |b, _| {
+            b.iter(|| scheme.share(&mut r, black_box(&secrets), degree).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_reconstruct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pss/reconstruct");
+    for (n, k) in CONFIGS {
+        let mut r = rng();
+        let scheme = PackedSharing::<F61>::new(n, k).unwrap();
+        let secrets: Vec<F61> = (0..k).map(|_| F61::random(&mut r)).collect();
+        let degree = n / 2 + k - 1;
+        let shares = scheme.share(&mut r, &secrets, degree).unwrap();
+        let subset: Vec<usize> = (0..=degree).collect();
+        let selected = shares.select(&subset);
+        group.throughput(Throughput::Elements(k as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}k{k}")), &n, |b, _| {
+            b.iter(|| scheme.reconstruct(black_box(&selected), degree).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_mul_public(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pss/mul_public");
+    for (n, k) in CONFIGS {
+        let mut r = rng();
+        let scheme = PackedSharing::<F61>::new(n, k).unwrap();
+        let secrets: Vec<F61> = (0..k).map(|_| F61::random(&mut r)).collect();
+        let public: Vec<F61> = (0..k).map(|_| F61::random(&mut r)).collect();
+        let shares = scheme.share(&mut r, &secrets, n - k).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}k{k}")), &n, |b, _| {
+            b.iter(|| scheme.mul_public(black_box(&public), black_box(&shares)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+        .without_plots();
+    targets = bench_share, bench_reconstruct, bench_mul_public
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Microbenchmarks for the two threshold-encryption instantiations:
+//! the mock field scheme (simulation engine) and threshold Paillier
+//! (faithful cryptography), plus the NIZK layer.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use yoso_bignum::Nat;
+use yoso_field::{F61, PrimeField};
+use yoso_the::mock::MockTe;
+use yoso_the::nizk;
+use yoso_the::paillier::{self, ThresholdPaillier};
+
+fn rng() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(3)
+}
+
+fn bench_mock(c: &mut Criterion) {
+    let mut r = rng();
+    let (pk, shares) = MockTe::<F61>::keygen(&mut r, 16, 7).unwrap();
+    let m = F61::random(&mut r);
+    let (ct, enc_r) = MockTe::encrypt(&mut r, &pk, m);
+    c.bench_function("mock/encrypt", |b| {
+        b.iter(|| MockTe::encrypt(&mut r, &pk, black_box(m)))
+    });
+    c.bench_function("mock/partial_decrypt", |b| {
+        b.iter(|| MockTe::partial_decrypt(black_box(&shares[0]), black_box(&ct)))
+    });
+    let partials: Vec<_> = shares[..8].iter().map(|s| MockTe::partial_decrypt(s, &ct)).collect();
+    c.bench_function("mock/combine_t8", |b| {
+        b.iter(|| MockTe::combine(&pk, &ct, black_box(&partials)).unwrap())
+    });
+    let cts: Vec<_> = (0..64).map(|_| MockTe::encrypt(&mut r, &pk, m).0).collect();
+    let coeffs: Vec<F61> = (0..64).map(|_| F61::random(&mut r)).collect();
+    c.bench_function("mock/eval_64", |b| {
+        b.iter(|| MockTe::eval(black_box(&cts), black_box(&coeffs)).unwrap())
+    });
+    c.bench_function("mock/nizk_enc_prove", |b| {
+        b.iter(|| nizk::enc_proof(&mut r, &pk, &ct, m, enc_r))
+    });
+    let proof = nizk::enc_proof(&mut r, &pk, &ct, m, enc_r);
+    c.bench_function("mock/nizk_enc_verify", |b| {
+        b.iter(|| nizk::verify_enc_proof(&pk, &ct, black_box(&proof)))
+    });
+    c.bench_function("mock/reshare", |b| b.iter(|| MockTe::reshare(&mut r, &pk, &shares[0])));
+}
+
+fn bench_paillier(c: &mut Criterion) {
+    let mut r = rng();
+    // 256-bit modulus: fast enough to bench, same algebra as 2048-bit.
+    let (pk, shares) = ThresholdPaillier::keygen(&mut r, 128, 4, 1).unwrap();
+    let m = Nat::from(123_456_789u64);
+    let (ct, _) = ThresholdPaillier::encrypt(&mut r, &pk, &m);
+    c.bench_function("paillier256/encrypt", |b| {
+        b.iter(|| ThresholdPaillier::encrypt(&mut r, &pk, black_box(&m)))
+    });
+    c.bench_function("paillier256/partial_decrypt", |b| {
+        b.iter(|| ThresholdPaillier::partial_decrypt(&pk, black_box(&shares[0]), &ct))
+    });
+    let partials: Vec<_> =
+        shares[..2].iter().map(|s| ThresholdPaillier::partial_decrypt(&pk, s, &ct)).collect();
+    c.bench_function("paillier256/combine", |b| {
+        b.iter(|| ThresholdPaillier::combine(&pk, black_box(&partials), &Nat::one()).unwrap())
+    });
+    let pd = ThresholdPaillier::partial_decrypt(&pk, &shares[0], &ct);
+    c.bench_function("paillier256/pdec_prove", |b| {
+        b.iter(|| paillier::nizk::prove_pdec(&mut r, &pk, &ct, &shares[0], &pd))
+    });
+    let proof = paillier::nizk::prove_pdec(&mut r, &pk, &ct, &shares[0], &pd);
+    c.bench_function("paillier256/pdec_verify", |b| {
+        b.iter(|| paillier::nizk::verify_pdec(&pk, &ct, &pd, black_box(&proof)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+        .without_plots();
+    targets = bench_mock, bench_paillier
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Ablation A1: the packing factor `k` as the design's central dial.
+//!
+//! At fixed committee size `n`, sweep `k` from 1 (traditional YOSO,
+//! `ε = 0`) to the GOD-maximal value and measure:
+//!
+//! - online elements per gate (should fall as `1/k`),
+//! - offline elements per gate (roughly flat — packing does not help
+//!   the offline phase, the limitation the paper inherits from
+//!   Turbopack and lists as future work §7),
+//! - the corruption threshold `t` the configuration still tolerates
+//!   (the price of packing: each unit of `k` costs roughly one unit
+//!   of `t` via `t + 2(k−1) + 1 ≤ n − t`).
+//!
+//! ```text
+//! cargo run --release -p yoso-bench --bin ablation_packing
+//! ```
+
+use yoso_bench::measure_packed;
+use yoso_core::ProtocolParams;
+
+fn main() {
+    let n = 64;
+    println!("A1 — packing-factor sweep at n = {n} (measured)\n");
+    println!(
+        "{:>4} {:>8} {:>10} {:>16} {:>16} {:>12}",
+        "k", "max t", "ε implied", "online el/gate", "offline el/gate", "k·online"
+    );
+    for k in [1usize, 2, 4, 8, 12, 16, 20, 24] {
+        // Largest t compatible with GOD at this (n, k).
+        let t = (n - 2 * (k - 1) - 1) / 2;
+        let Ok(params) = ProtocolParams::new(n, t, k) else {
+            println!("{k:>4}  infeasible");
+            continue;
+        };
+        let (online, offline) = measure_packed(60, params, 2, 2);
+        println!(
+            "{:>4} {:>8} {:>10.3} {:>16.1} {:>16.1} {:>12.1}",
+            k,
+            t,
+            params.epsilon(),
+            online,
+            offline,
+            k as f64 * online
+        );
+    }
+    println!(
+        "\nReading: online cost falls exactly as 1/k (k·online constant = 4n).\n\
+         The offline column also shrinks with k — its dominant terms (packing\n\
+         helpers, Step-6 re-encryption) amortize per *batch* — but it remains\n\
+         Θ(n) per gate in committee-size scaling (experiment E3), which is the\n\
+         Turbopack-inherited limitation the paper lists as future work (§7).\n\
+         Each unit of k costs ≈1 unit of corruption threshold t."
+    );
+}

@@ -1,0 +1,73 @@
+//! Experiment E7: guaranteed output delivery under active attack
+//! (Theorem 1).
+//!
+//! Runs the full protocol with `t` actively corrupted roles in *every*
+//! committee, across all implemented attack strategies and multiple
+//! circuit shapes, and checks the delivered outputs against cleartext
+//! evaluation. Also verifies the converse: the outputs are *correct*,
+//! not just delivered (the additive attack must not shift results).
+//!
+//! ```text
+//! cargo run --release -p yoso-bench --bin god_attack
+//! ```
+
+use yoso_bench::{random_inputs, rng};
+use yoso_circuit::generators;
+use yoso_core::{Engine, ExecutionConfig, ProtocolParams};
+use yoso_field::F61;
+use yoso_runtime::{ActiveAttack, Adversary};
+
+fn main() {
+    let params = ProtocolParams::new(16, 3, 3).expect("params");
+    let engine = Engine::new(params, ExecutionConfig::default());
+    let attacks = [
+        ActiveAttack::WrongValue,
+        ActiveAttack::BadProof,
+        ActiveAttack::Silent,
+        ActiveAttack::AdditiveOffset,
+    ];
+    let mut circuits = vec![
+        ("inner_product(6)", generators::inner_product::<F61>(6).unwrap()),
+        ("poly_eval(4)", generators::poly_eval::<F61>(4).unwrap()),
+        ("federated_stats(3,3)", generators::federated_stats::<F61>(3, 3).unwrap()),
+    ];
+    let mut mimc_rng = rng(1);
+    circuits.push(("mimc(3)", generators::mimc::<F61, _>(&mut mimc_rng, 3).unwrap()));
+
+    println!(
+        "E7 — GOD under active attack: n = {}, t = {} malicious per committee\n",
+        params.n, params.t
+    );
+    println!("{:<24} {:>16} {:>10}", "circuit", "attack", "outcome");
+    let mut all_ok = true;
+    for (name, circuit) in &circuits {
+        for attack in attacks {
+            let mut r = rng(1000 + name.len() as u64);
+            let inputs = random_inputs(&mut r, circuit);
+            let expected = circuit.evaluate(&inputs).expect("cleartext evaluation");
+            let adversary = Adversary::active(params.t, attack);
+            let outcome = match engine.run(&mut r, circuit, &inputs, &adversary) {
+                Ok(run) if run.outputs == expected => "correct",
+                Ok(_) => {
+                    all_ok = false;
+                    "WRONG OUTPUT"
+                }
+                Err(_) => {
+                    all_ok = false;
+                    "ABORTED"
+                }
+            };
+            println!("{name:<24} {attack:>16?} {outcome:>10}");
+        }
+    }
+    println!(
+        "\n{}",
+        if all_ok {
+            "Every run delivered the correct output — GOD holds under all attack\n\
+             strategies (Theorem 1)."
+        } else {
+            "GOD VIOLATION OBSERVED — investigate!"
+        }
+    );
+    assert!(all_ok);
+}

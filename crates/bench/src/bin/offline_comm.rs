@@ -1,0 +1,41 @@
+//! Experiment E3: offline communication per multiplication gate vs
+//! committee size `n` — the paper's offline phase costs `O(n)`
+//! elements per gate (§5.2 communication analysis), the same asymptotic
+//! as prior work; the savings are purely online.
+//!
+//! ```text
+//! cargo run --release -p yoso-bench --bin offline_comm
+//! ```
+
+use yoso_bench::{gap_params, measure_packed};
+
+fn main() {
+    let epsilon = 0.25;
+    let batches_per_layer = 2;
+    let depth = 2;
+    println!("E3 — offline elements per multiplication gate (gap ε = {epsilon}, measured)\n");
+    println!("{:>6} {:>6} {:>6} {:>16} {:>16}", "n", "t", "k", "offline/gate", "offline/(n·gate)");
+    let mut series = Vec::new();
+    for n in [8usize, 16, 32, 64, 128] {
+        let params = gap_params(n, epsilon);
+        let (_, offline) = measure_packed(43, params, batches_per_layer, depth);
+        println!(
+            "{:>6} {:>6} {:>6} {:>16.1} {:>16.2}",
+            n,
+            params.t,
+            params.k,
+            offline,
+            offline / n as f64
+        );
+        series.push((n, offline));
+    }
+    let first = series.first().unwrap();
+    let last = series.last().unwrap();
+    let n_growth = last.0 as f64 / first.0 as f64;
+    let cost_growth = last.1 / first.1;
+    println!(
+        "\nn grew {:.0}×, offline per-gate cost grew {:.1}× — linear in n as the paper states \
+         (normalized column should be roughly flat).",
+        n_growth, cost_growth
+    );
+}

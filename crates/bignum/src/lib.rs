@@ -1,0 +1,45 @@
+//! Arbitrary-precision unsigned and modular integer arithmetic.
+//!
+//! This crate is the numeric substrate for the threshold Paillier
+//! encryption scheme used by the YOSO MPC protocol (see the `yoso-the`
+//! crate). It is written from scratch and provides:
+//!
+//! - [`Nat`]: an arbitrary-precision unsigned integer (little-endian
+//!   `u64` limbs) with addition, subtraction, multiplication
+//!   (schoolbook and Karatsuba), Knuth division, shifting and
+//!   comparison.
+//! - [`Int`]: a signed wrapper used by the extended Euclidean
+//!   algorithm and by Lagrange combining over the integers (the `Δ = n!`
+//!   trick of threshold Paillier).
+//! - Modular arithmetic: [`Nat::mod_add`], [`Nat::mod_mul`],
+//!   [`Nat::mod_pow`], [`Nat::mod_inv`] and [`Nat::gcd`].
+//! - Primality testing and prime generation ([`prime`]): Miller–Rabin
+//!   with deterministic small witnesses plus random rounds, and
+//!   safe-prime generation for Paillier moduli.
+//! - Uniform random sampling below a bound ([`Nat::random_below`]).
+//!
+//! # Example
+//!
+//! ```rust
+//! use yoso_bignum::Nat;
+//!
+//! let a = Nat::from(123_456_789u64);
+//! let b = Nat::from(987_654_321u64);
+//! let m = Nat::from(1_000_000_007u64);
+//! let c = a.mod_mul(&b, &m);
+//! assert_eq!(c, Nat::from(121_932_631_112_635_269u128 % 1_000_000_007u128));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod int;
+mod modular;
+pub mod montgomery;
+mod nat;
+pub mod prime;
+
+pub use int::{Int, Sign};
+pub use montgomery::MontgomeryCtx;
+pub use modular::{crt_pair, extended_gcd};
+pub use nat::{Nat, ParseNatError};

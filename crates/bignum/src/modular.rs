@@ -1,0 +1,303 @@
+//! Modular arithmetic on [`Nat`]: addition, multiplication,
+//! exponentiation (4-bit fixed window), gcd, lcm and modular inversion
+//! via the extended Euclidean algorithm.
+
+use crate::{Int, Nat, Sign};
+
+impl Nat {
+    /// `(self + rhs) mod m`. Operands need not be reduced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn mod_add(&self, rhs: &Nat, m: &Nat) -> Nat {
+        &(&(self % m) + &(rhs % m)) % m
+    }
+
+    /// `(self - rhs) mod m`, mapped into `[0, m)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn mod_sub(&self, rhs: &Nat, m: &Nat) -> Nat {
+        let a = self % m;
+        let b = rhs % m;
+        match a.checked_sub(&b) {
+            Some(d) => d,
+            None => &(&a + m) - &b,
+        }
+    }
+
+    /// `(self * rhs) mod m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn mod_mul(&self, rhs: &Nat, m: &Nat) -> Nat {
+        &(self * rhs) % m
+    }
+
+    /// `-self mod m`, mapped into `[0, m)`.
+    pub fn mod_neg(&self, m: &Nat) -> Nat {
+        let r = self % m;
+        if r.is_zero() {
+            r
+        } else {
+            m - &r
+        }
+    }
+
+    /// `self^exponent mod m` via 4-bit fixed-window exponentiation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero. `x^0 mod 1` is `0` (everything is `0` mod 1).
+    pub fn mod_pow(&self, exponent: &Nat, m: &Nat) -> Nat {
+        assert!(!m.is_zero(), "mod_pow: zero modulus");
+        if m.is_one() {
+            return Nat::zero();
+        }
+        if exponent.is_zero() {
+            return Nat::one();
+        }
+        let base = self % m;
+        if base.is_zero() {
+            return Nat::zero();
+        }
+        // Large odd moduli with long exponents: Montgomery is much
+        // faster than division-based reduction.
+        if m.is_odd() && m.limbs().len() >= 4 && exponent.bit_len() > 64 {
+            return crate::montgomery::MontgomeryCtx::new(m).mod_pow(&base, exponent);
+        }
+
+        // Precompute base^0 .. base^15.
+        let mut table = Vec::with_capacity(16);
+        table.push(Nat::one());
+        for i in 1..16 {
+            let prev: &Nat = &table[i - 1];
+            table.push(prev.mod_mul(&base, m));
+        }
+
+        let bits = exponent.bit_len();
+        let windows = bits.div_ceil(4);
+        let mut acc = Nat::one();
+        for w in (0..windows).rev() {
+            for _ in 0..4 {
+                acc = acc.mod_mul(&acc, m);
+            }
+            let mut digit = 0usize;
+            for b in 0..4 {
+                let idx = w * 4 + (3 - b);
+                digit <<= 1;
+                if idx < bits && exponent.bit(idx) {
+                    digit |= 1;
+                }
+            }
+            if digit != 0 {
+                acc = acc.mod_mul(&table[digit], m);
+            }
+        }
+        acc
+    }
+
+    /// Greatest common divisor (binary-free Euclid; division-based).
+    pub fn gcd(&self, other: &Nat) -> Nat {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = &a % &b;
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Least common multiple. `lcm(0, x) = 0`.
+    pub fn lcm(&self, other: &Nat) -> Nat {
+        if self.is_zero() || other.is_zero() {
+            return Nat::zero();
+        }
+        let g = self.gcd(other);
+        (self * other).div_rem(&g).0
+    }
+
+    /// Modular inverse: `self^{-1} mod m`, or `None` if
+    /// `gcd(self, m) != 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn mod_inv(&self, m: &Nat) -> Option<Nat> {
+        assert!(!m.is_zero(), "mod_inv: zero modulus");
+        let (g, x, _) = extended_gcd(&Int::from_nat(self % m), &Int::from_nat(m.clone()));
+        if g != Int::one() {
+            return None;
+        }
+        Some(x.mod_floor(m))
+    }
+
+    /// Factorial `n!` as a [`Nat`] (used for the `Δ = n!` scaling of
+    /// threshold Paillier share combining).
+    pub fn factorial(n: u64) -> Nat {
+        let mut acc = Nat::one();
+        for i in 2..=n {
+            acc *= &Nat::from(i);
+        }
+        acc
+    }
+}
+
+/// Extended Euclidean algorithm over signed integers.
+///
+/// Returns `(g, x, y)` with `a*x + b*y = g = gcd(|a|, |b|)` and `g >= 0`.
+pub fn extended_gcd(a: &Int, b: &Int) -> (Int, Int, Int) {
+    let mut old_r = a.clone();
+    let mut r = b.clone();
+    let mut old_s = Int::one();
+    let mut s = Int::zero();
+    let mut old_t = Int::zero();
+    let mut t = Int::one();
+
+    while !r.is_zero() {
+        let (q_mag, _) = old_r.magnitude().div_rem(r.magnitude());
+        let q_sign = match (old_r.sign(), r.sign()) {
+            (Sign::Zero, _) | (_, Sign::Zero) => Sign::Zero,
+            (x, y) if x == y => Sign::Positive,
+            _ => Sign::Negative,
+        };
+        let q = Int::from_sign_magnitude(q_sign, q_mag);
+        // Note: this is truncated division, which is fine for the gcd
+        // loop as long as the remainder shrinks in magnitude; we recompute
+        // the remainder as old_r - q*r.
+        let new_r = &old_r - &(&q * &r);
+        old_r = std::mem::replace(&mut r, new_r);
+        let new_s = &old_s - &(&q * &s);
+        old_s = std::mem::replace(&mut s, new_s);
+        let new_t = &old_t - &(&q * &t);
+        old_t = std::mem::replace(&mut t, new_t);
+    }
+
+    if old_r.is_negative() {
+        (-old_r, -old_s, -old_t)
+    } else {
+        (old_r, old_s, old_t)
+    }
+}
+
+/// Chinese remainder theorem for two coprime moduli.
+///
+/// Returns the unique `x in [0, m1*m2)` with `x ≡ r1 (mod m1)` and
+/// `x ≡ r2 (mod m2)`, or `None` if `gcd(m1, m2) != 1`.
+pub fn crt_pair(r1: &Nat, m1: &Nat, r2: &Nat, m2: &Nat) -> Option<Nat> {
+    let m1_inv = m1.mod_inv(m2)?;
+    // x = r1 + m1 * ((r2 - r1) * m1^{-1} mod m2)
+    let diff = r2.mod_sub(r1, m2);
+    let h = diff.mod_mul(&m1_inv, m2);
+    Some(&(r1 % m1) + &(m1 * &h))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u128) -> Nat {
+        Nat::from(v)
+    }
+
+    #[test]
+    fn mod_add_sub_wraparound() {
+        let m = n(13);
+        assert_eq!(n(10).mod_add(&n(10), &m), n(7));
+        assert_eq!(n(3).mod_sub(&n(10), &m), n(6));
+        assert_eq!(n(10).mod_sub(&n(3), &m), n(7));
+        assert_eq!(n(0).mod_neg(&m), n(0));
+        assert_eq!(n(5).mod_neg(&m), n(8));
+    }
+
+    #[test]
+    fn mod_pow_small_cases() {
+        let m = n(1_000_000_007);
+        assert_eq!(n(2).mod_pow(&n(10), &m), n(1024));
+        assert_eq!(n(2).mod_pow(&n(0), &m), n(1));
+        assert_eq!(n(0).mod_pow(&n(5), &m), n(0));
+        assert_eq!(n(5).mod_pow(&n(3), &Nat::one()), n(0));
+    }
+
+    #[test]
+    fn mod_pow_fermat_little_theorem() {
+        // p prime => a^(p-1) = 1 mod p
+        let p = n(1_000_000_007);
+        for a in [2u128, 3, 65537, 999_999_999] {
+            assert_eq!(n(a).mod_pow(&(&p - &Nat::one()), &p), Nat::one());
+        }
+    }
+
+    #[test]
+    fn mod_pow_matches_u128_reference() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let m = 0xffff_ffff_0000_0001u128; // Goldilocks-ish modulus
+        for _ in 0..20 {
+            let a = rng.gen::<u64>() as u128 % m;
+            let e = rng.gen::<u32>() as u128;
+            let mut expect = 1u128;
+            let mut base = a;
+            let mut exp = e;
+            while exp > 0 {
+                if exp & 1 == 1 {
+                    expect = expect * base % m;
+                }
+                base = base * base % m;
+                exp >>= 1;
+            }
+            assert_eq!(n(a).mod_pow(&n(e), &n(m)), n(expect));
+        }
+    }
+
+    #[test]
+    fn gcd_lcm() {
+        assert_eq!(n(12).gcd(&n(18)), n(6));
+        assert_eq!(n(0).gcd(&n(5)), n(5));
+        assert_eq!(n(5).gcd(&n(0)), n(5));
+        assert_eq!(n(12).lcm(&n(18)), n(36));
+        assert_eq!(n(0).lcm(&n(5)), n(0));
+    }
+
+    #[test]
+    fn extended_gcd_bezout_identity() {
+        let a = Int::from(240i64);
+        let b = Int::from(46i64);
+        let (g, x, y) = extended_gcd(&a, &b);
+        assert_eq!(g, Int::from(2i64));
+        assert_eq!(&(&a * &x) + &(&b * &y), g);
+    }
+
+    #[test]
+    fn mod_inv_roundtrip_and_failure() {
+        let m = n(97);
+        for a in 1u128..97 {
+            let inv = n(a).mod_inv(&m).unwrap();
+            assert_eq!(n(a).mod_mul(&inv, &m), Nat::one());
+        }
+        assert_eq!(n(6).mod_inv(&n(9)), None);
+        assert_eq!(n(0).mod_inv(&n(9)), None);
+    }
+
+    #[test]
+    fn crt_reconstructs() {
+        let x = crt_pair(&n(2), &n(3), &n(3), &n(5)).unwrap();
+        assert_eq!(x, n(8));
+        let x = crt_pair(&n(1), &n(4), &n(2), &n(9)).unwrap();
+        assert_eq!(&x % &n(4), n(1));
+        assert_eq!(&x % &n(9), n(2));
+        assert!(crt_pair(&n(1), &n(4), &n(2), &n(6)).is_none());
+    }
+
+    #[test]
+    fn factorial_small() {
+        assert_eq!(Nat::factorial(0), Nat::one());
+        assert_eq!(Nat::factorial(1), Nat::one());
+        assert_eq!(Nat::factorial(5), n(120));
+        assert_eq!(Nat::factorial(20), n(2_432_902_008_176_640_000));
+    }
+}

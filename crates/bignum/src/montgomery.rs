@@ -1,0 +1,201 @@
+//! Montgomery modular multiplication and exponentiation.
+//!
+//! Threshold Paillier spends essentially all of its time in `mod_pow`
+//! with a fixed odd modulus (`N²`). A [`MontgomeryCtx`] precomputes the
+//! Montgomery constants for such a modulus once; exponentiation then
+//! replaces every division-based reduction with a multiply-and-shift
+//! REDC step.
+
+use crate::Nat;
+
+/// Precomputed context for Montgomery arithmetic modulo an odd `m`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MontgomeryCtx {
+    /// The modulus (odd, > 1).
+    m: Nat,
+    /// Limb count of `m` (the Montgomery radix is `2^(64·limbs)`).
+    limbs: usize,
+    /// `-m^{-1} mod 2^64` (the REDC constant).
+    m_prime: u64,
+    /// `R² mod m` for converting into Montgomery form.
+    r2: Nat,
+    /// `R mod m` (the Montgomery form of 1).
+    r1: Nat,
+}
+
+impl MontgomeryCtx {
+    /// Builds a context for the odd modulus `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is even or `< 3`.
+    pub fn new(m: &Nat) -> Self {
+        assert!(m.is_odd() && *m > Nat::from(2u64), "Montgomery modulus must be odd and > 2");
+        let limbs = m.limbs().len();
+        // m' = -m^{-1} mod 2^64 via Newton iteration on the low limb.
+        let m0 = m.limbs()[0];
+        let mut inv = m0; // correct to 3 bits (for odd m0)
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(m0.wrapping_mul(inv)));
+        }
+        let m_prime = inv.wrapping_neg();
+        // R = 2^(64·limbs); R mod m and R² mod m by shifting.
+        let r1 = &(Nat::one() << (64 * limbs)) % m;
+        let r2 = &(&r1 * &r1) % m;
+        MontgomeryCtx { m: m.clone(), limbs, m_prime, r2, r1 }
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> &Nat {
+        &self.m
+    }
+
+    /// Montgomery reduction: given `t < m·R`, returns `t·R^{-1} mod m`.
+    fn redc(&self, t: &Nat) -> Nat {
+        let n = self.limbs;
+        let mlimbs = self.m.limbs();
+        let mut acc = vec![0u64; 2 * n + 1];
+        let tl = t.limbs();
+        acc[..tl.len()].copy_from_slice(tl);
+
+        for i in 0..n {
+            let u = acc[i].wrapping_mul(self.m_prime);
+            // acc += u · m · 2^(64 i)
+            let mut carry = 0u128;
+            for (j, &mj) in mlimbs.iter().enumerate() {
+                let cur = acc[i + j] as u128 + u as u128 * mj as u128 + carry;
+                acc[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut idx = i + n;
+            while carry != 0 {
+                let cur = acc[idx] as u128 + carry;
+                acc[idx] = cur as u64;
+                carry = cur >> 64;
+                idx += 1;
+            }
+        }
+        let out = Nat::from_limbs(acc[n..].to_vec());
+        if out >= self.m {
+            &out - &self.m
+        } else {
+            out
+        }
+    }
+
+    /// Converts into Montgomery form: `a·R mod m`.
+    pub fn to_mont(&self, a: &Nat) -> Nat {
+        self.redc(&(&(a % &self.m) * &self.r2))
+    }
+
+    /// Converts out of Montgomery form.
+    pub fn from_mont(&self, a: &Nat) -> Nat {
+        self.redc(a)
+    }
+
+    /// Multiplies two Montgomery-form values.
+    pub fn mont_mul(&self, a: &Nat, b: &Nat) -> Nat {
+        self.redc(&(a * b))
+    }
+
+    /// Modular exponentiation `base^exp mod m` (operands in normal
+    /// form) via 4-bit windowed Montgomery ladder.
+    pub fn mod_pow(&self, base: &Nat, exp: &Nat) -> Nat {
+        if exp.is_zero() {
+            return Nat::one() % &self.m;
+        }
+        let base_m = self.to_mont(base);
+        // Window table: base^0 .. base^15 in Montgomery form.
+        let mut table = Vec::with_capacity(16);
+        table.push(self.r1.clone());
+        for i in 1..16 {
+            let prev: &Nat = &table[i - 1];
+            table.push(self.mont_mul(prev, &base_m));
+        }
+        let bits = exp.bit_len();
+        let windows = bits.div_ceil(4);
+        let mut acc = self.r1.clone();
+        for w in (0..windows).rev() {
+            for _ in 0..4 {
+                acc = self.mont_mul(&acc, &acc);
+            }
+            let mut digit = 0usize;
+            for b in 0..4 {
+                let idx = w * 4 + (3 - b);
+                digit <<= 1;
+                if idx < bits && exp.bit(idx) {
+                    digit |= 1;
+                }
+            }
+            if digit != 0 {
+                acc = self.mont_mul(&acc, &table[digit]);
+            }
+        }
+        self.from_mont(&acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn n(v: u128) -> Nat {
+        Nat::from(v)
+    }
+
+    #[test]
+    fn rejects_even_modulus() {
+        let result = std::panic::catch_unwind(|| MontgomeryCtx::new(&n(100)));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn roundtrip_mont_form() {
+        let ctx = MontgomeryCtx::new(&n(1_000_000_007));
+        for v in [0u128, 1, 12345, 999_999_999] {
+            let m = ctx.to_mont(&n(v));
+            assert_eq!(ctx.from_mont(&m), n(v));
+        }
+    }
+
+    #[test]
+    fn mont_mul_matches_mod_mul() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let m = crate::prime::generate_prime(&mut rng, 256);
+        let ctx = MontgomeryCtx::new(&m);
+        for _ in 0..50 {
+            let a = Nat::random_below(&mut rng, &m);
+            let b = Nat::random_below(&mut rng, &m);
+            let got = ctx.from_mont(&ctx.mont_mul(&ctx.to_mont(&a), &ctx.to_mont(&b)));
+            assert_eq!(got, a.mod_mul(&b, &m));
+        }
+    }
+
+    #[test]
+    fn mod_pow_matches_plain() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(18);
+        let p = crate::prime::generate_prime(&mut rng, 128);
+        let q = crate::prime::generate_prime(&mut rng, 128);
+        let m = &p * &q; // odd composite, like N²'s factors
+        let ctx = MontgomeryCtx::new(&m);
+        for _ in 0..10 {
+            let base = Nat::random_below(&mut rng, &m);
+            let exp = Nat::random_bits(&mut rng, 200);
+            assert_eq!(ctx.mod_pow(&base, &exp), base.mod_pow(&exp, &m));
+        }
+        // Edge exponents.
+        let base = Nat::random_below(&mut rng, &m);
+        assert_eq!(ctx.mod_pow(&base, &Nat::zero()), Nat::one());
+        assert_eq!(ctx.mod_pow(&base, &Nat::one()), base);
+    }
+
+    #[test]
+    fn fermat_via_montgomery() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(19);
+        let p = crate::prime::generate_prime(&mut rng, 192);
+        let ctx = MontgomeryCtx::new(&p);
+        let a = Nat::random_below(&mut rng, &p);
+        assert_eq!(ctx.mod_pow(&a, &(&p - &Nat::one())), Nat::one());
+    }
+}

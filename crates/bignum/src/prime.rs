@@ -1,0 +1,217 @@
+//! Primality testing and prime generation.
+//!
+//! Used to generate the RSA-style modulus `N = p·q` for the threshold
+//! Paillier scheme. The tests are Miller–Rabin with a deterministic set
+//! of small witnesses (complete below 3.3 · 10^24) plus extra random
+//! rounds for larger candidates.
+
+use rand::Rng;
+
+use crate::Nat;
+
+/// Small primes used for trial division before Miller–Rabin.
+const SMALL_PRIMES: [u64; 46] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199,
+];
+
+/// Deterministic Miller–Rabin witnesses, complete for n < 3.3 · 10^24.
+const DETERMINISTIC_WITNESSES: [u64; 13] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41];
+
+/// Number of extra random Miller–Rabin rounds for large candidates.
+const RANDOM_ROUNDS: usize = 24;
+
+/// Probabilistic primality test (trial division + Miller–Rabin).
+///
+/// For candidates below 2^81 the witness set is deterministic and the
+/// answer is exact; above that the error probability is at most
+/// `4^-RANDOM_ROUNDS`.
+pub fn is_prime<R: Rng + ?Sized>(n: &Nat, rng: &mut R) -> bool {
+    if n < &Nat::from(2u64) {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let p = Nat::from(p);
+        if n == &p {
+            return true;
+        }
+        if (n % &p).is_zero() {
+            return false;
+        }
+    }
+
+    // Write n - 1 = d * 2^s with d odd.
+    let n_minus_1 = n - &Nat::one();
+    let mut d = n_minus_1.clone();
+    let mut s = 0usize;
+    while d.is_even() {
+        d = d >> 1;
+        s += 1;
+    }
+
+    let witness_fails = |a: &Nat| -> bool {
+        // Returns true if `a` proves n composite.
+        let mut x = a.mod_pow(&d, n);
+        if x.is_one() || x == n_minus_1 {
+            return false;
+        }
+        for _ in 0..s - 1 {
+            x = x.mod_mul(&x, n);
+            if x == n_minus_1 {
+                return false;
+            }
+        }
+        true
+    };
+
+    for &w in &DETERMINISTIC_WITNESSES {
+        let a = Nat::from(w);
+        if &a >= n {
+            continue;
+        }
+        if witness_fails(&a) {
+            return false;
+        }
+    }
+
+    if n.bit_len() > 81 {
+        let two = Nat::from(2u64);
+        let upper = n - &two; // witnesses in [2, n-2]
+        for _ in 0..RANDOM_ROUNDS {
+            let a = &Nat::random_below(rng, &upper) + &two;
+            if witness_fails(&a) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Generates a random prime with exactly `bits` bits.
+///
+/// # Panics
+///
+/// Panics if `bits < 2`.
+pub fn generate_prime<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> Nat {
+    assert!(bits >= 2, "generate_prime: need at least 2 bits");
+    loop {
+        let mut candidate = Nat::random_bits(rng, bits);
+        if candidate.is_even() {
+            candidate = &candidate + &Nat::one();
+            if candidate.bit_len() != bits {
+                continue;
+            }
+        }
+        if is_prime(&candidate, rng) {
+            return candidate;
+        }
+    }
+}
+
+/// Generates a random safe prime `p = 2q + 1` (both `p` and `q` prime)
+/// with exactly `bits` bits.
+///
+/// Safe primes make the Paillier modulus `N = p·q` have
+/// `gcd(N, φ(N)) = 1` and give a large cyclic subgroup for the
+/// threshold key sharing.
+///
+/// # Panics
+///
+/// Panics if `bits < 3`.
+pub fn generate_safe_prime<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> Nat {
+    assert!(bits >= 3, "generate_safe_prime: need at least 3 bits");
+    loop {
+        let q = generate_prime(rng, bits - 1);
+        let p = &(q.clone() << 1) + &Nat::one();
+        if p.bit_len() == bits && is_prime(&p, rng) {
+            return p;
+        }
+    }
+}
+
+/// Generates distinct primes `(p, q)` of `bits` bits each suitable for a
+/// Paillier modulus: `gcd(pq, (p-1)(q-1)) = 1` is guaranteed by
+/// requiring `p != q` and both of the same bit length.
+pub fn generate_paillier_primes<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> (Nat, Nat) {
+    loop {
+        let p = generate_prime(rng, bits);
+        let q = generate_prime(rng, bits);
+        if p == q {
+            continue;
+        }
+        // gcd(N, phi) = 1 iff neither prime divides the other minus one.
+        let p1 = &p - &Nat::one();
+        let q1 = &q - &Nat::one();
+        if (&p1 % &q).is_zero() || (&q1 % &p).is_zero() {
+            continue;
+        }
+        return (p, q);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn small_primes_and_composites() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let primes = [2u64, 3, 5, 7, 97, 101, 7919, 1_000_000_007];
+        let composites = [0u64, 1, 4, 100, 561, 1105, 1729, 2465, 2821, 6601]; // incl. Carmichael
+        for p in primes {
+            assert!(is_prime(&Nat::from(p), &mut rng), "{p} should be prime");
+        }
+        for c in composites {
+            assert!(!is_prime(&Nat::from(c), &mut rng), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn mersenne_61_is_prime() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let p = Nat::from((1u128 << 61) - 1);
+        assert!(is_prime(&p, &mut rng));
+    }
+
+    #[test]
+    fn large_known_prime() {
+        // 2^127 - 1 is a Mersenne prime.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let p = &(Nat::one() << 127) - &Nat::one();
+        assert!(is_prime(&p, &mut rng));
+        // 2^128 - 1 = (2^64-1)(2^64+1) is composite.
+        let c = &(Nat::one() << 128) - &Nat::one();
+        assert!(!is_prime(&c, &mut rng));
+    }
+
+    #[test]
+    fn generated_primes_have_requested_width() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for bits in [16usize, 32, 64, 128] {
+            let p = generate_prime(&mut rng, bits);
+            assert_eq!(p.bit_len(), bits);
+            assert!(is_prime(&p, &mut rng));
+        }
+    }
+
+    #[test]
+    fn safe_prime_structure() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let p = generate_safe_prime(&mut rng, 32);
+        assert!(is_prime(&p, &mut rng));
+        let q = (&p - &Nat::one()) >> 1;
+        assert!(is_prime(&q, &mut rng));
+    }
+
+    #[test]
+    fn paillier_primes_are_coprime_to_phi() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let (p, q) = generate_paillier_primes(&mut rng, 64);
+        assert_ne!(p, q);
+        let n = &p * &q;
+        let phi = &(&p - &Nat::one()) * &(&q - &Nat::one());
+        assert_eq!(n.gcd(&phi), Nat::one());
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests checking `Nat`/`Int` against `u128` reference
+//! semantics and algebraic laws.
+
+use proptest::prelude::*;
+use yoso_bignum::{Int, Nat};
+
+fn nat_strategy() -> impl Strategy<Value = (u128, Nat)> {
+    any::<u128>().prop_map(|v| (v, Nat::from(v)))
+}
+
+proptest! {
+    #[test]
+    fn add_matches_u128((a, na) in nat_strategy(), (b, nb) in nat_strategy()) {
+        let (sum, overflow) = a.overflowing_add(b);
+        let big = &na + &nb;
+        if !overflow {
+            prop_assert_eq!(big, Nat::from(sum));
+        } else {
+            prop_assert_eq!(big.checked_sub(&(Nat::one() << 128)).unwrap(), Nat::from(sum));
+        }
+    }
+
+    #[test]
+    fn sub_matches_u128((a, na) in nat_strategy(), (b, nb) in nat_strategy()) {
+        match a.checked_sub(b) {
+            Some(d) => prop_assert_eq!(na.checked_sub(&nb), Some(Nat::from(d))),
+            None => prop_assert_eq!(na.checked_sub(&nb), None),
+        }
+    }
+
+    #[test]
+    fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let big = &Nat::from(a) * &Nat::from(b);
+        prop_assert_eq!(big, Nat::from(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn div_rem_matches_u128((a, na) in nat_strategy(), b in 1u128..) {
+        let nb = Nat::from(b);
+        let (q, r) = na.div_rem(&nb);
+        prop_assert_eq!(q, Nat::from(a / b));
+        prop_assert_eq!(r, Nat::from(a % b));
+    }
+
+    #[test]
+    fn mul_commutes_and_associates(a in any::<u128>(), b in any::<u128>(), c in any::<u64>()) {
+        let (na, nb, nc) = (Nat::from(a), Nat::from(b), Nat::from(c));
+        prop_assert_eq!(&na * &nb, &nb * &na);
+        prop_assert_eq!(&(&na * &nb) * &nc, &na * &(&nb * &nc));
+    }
+
+    #[test]
+    fn distributivity(a in any::<u128>(), b in any::<u128>(), c in any::<u128>()) {
+        let (na, nb, nc) = (Nat::from(a), Nat::from(b), Nat::from(c));
+        prop_assert_eq!(&nc * &(&na + &nb), &(&nc * &na) + &(&nc * &nb));
+    }
+
+    #[test]
+    fn bytes_roundtrip((_, na) in nat_strategy()) {
+        prop_assert_eq!(Nat::from_bytes_be(&na.to_bytes_be()), na);
+    }
+
+    #[test]
+    fn display_parse_roundtrip((_, na) in nat_strategy()) {
+        let s = na.to_string();
+        prop_assert_eq!(s.parse::<Nat>().unwrap(), na);
+    }
+
+    #[test]
+    fn shift_is_mul_by_power_of_two((a, na) in nat_strategy(), s in 0usize..200) {
+        let shifted = na.clone() << s;
+        let pow = Nat::one() << s;
+        prop_assert_eq!(&na * &pow, shifted.clone());
+        prop_assert_eq!(shifted >> s, Nat::from(a));
+    }
+
+    #[test]
+    fn mod_pow_matches_naive(a in any::<u64>(), e in 0u32..64, m in 2u64..) {
+        let nm = Nat::from(m);
+        let got = Nat::from(a).mod_pow(&Nat::from(e as u64), &nm);
+        let mut expect = 1u128;
+        for _ in 0..e {
+            expect = expect * (a as u128 % m as u128) % m as u128;
+        }
+        prop_assert_eq!(got, Nat::from(expect));
+    }
+
+    #[test]
+    fn mod_inv_is_inverse(a in 1u64.., p in prop::sample::select(vec![65537u64, 1_000_000_007, 2_305_843_009_213_693_951])) {
+        let np = Nat::from(p);
+        let na = Nat::from(a % p);
+        prop_assume!(!na.is_zero());
+        let inv = na.mod_inv(&np).unwrap();
+        prop_assert_eq!(na.mod_mul(&inv, &np), Nat::one());
+    }
+
+    #[test]
+    fn gcd_divides_both(a in any::<u128>(), b in any::<u128>()) {
+        let (na, nb) = (Nat::from(a), Nat::from(b));
+        let g = na.gcd(&nb);
+        if !g.is_zero() {
+            prop_assert!((&na % &g).is_zero());
+            prop_assert!((&nb % &g).is_zero());
+        } else {
+            prop_assert!(na.is_zero() && nb.is_zero());
+        }
+    }
+
+    #[test]
+    fn int_arithmetic_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let (ia, ib) = (Int::from(a), Int::from(b));
+        let sum = a as i128 + b as i128;
+        let prod = a as i128 * b as i128;
+        prop_assert_eq!((&ia + &ib).to_string(), sum.to_string());
+        prop_assert_eq!((&ia - &ib).to_string(), (a as i128 - b as i128).to_string());
+        prop_assert_eq!((&ia * &ib).to_string(), prod.to_string());
+    }
+
+    #[test]
+    fn montgomery_matches_plain_modpow(
+        base_seed in any::<u64>(),
+        exp_bits in 1usize..300,
+        modulus_seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let mut mr = rand::rngs::StdRng::seed_from_u64(modulus_seed);
+        // Random odd modulus of 4+ limbs (the Montgomery fast path).
+        let mut m = Nat::random_bits(&mut mr, 260);
+        if m.is_even() {
+            m = &m + &Nat::one();
+        }
+        let mut br = rand::rngs::StdRng::seed_from_u64(base_seed);
+        let base = Nat::random_below(&mut br, &m);
+        let exp = Nat::random_bits(&mut br, exp_bits);
+        let ctx = yoso_bignum::MontgomeryCtx::new(&m);
+        // Cross-check the two implementations directly.
+        let via_ctx = ctx.mod_pow(&base, &exp);
+        // Square-and-multiply reference without the Montgomery path.
+        let mut acc = Nat::one();
+        for i in (0..exp.bit_len()).rev() {
+            acc = acc.mod_mul(&acc, &m);
+            if exp.bit(i) {
+                acc = acc.mod_mul(&base, &m);
+            }
+        }
+        prop_assert_eq!(via_ctx, acc);
+    }
+
+    #[test]
+    fn int_mod_floor_in_range(a in any::<i64>(), m in 1u64..) {
+        let r = Int::from(a).mod_floor(&Nat::from(m));
+        prop_assert!(r < Nat::from(m));
+        // (a - r) divisible by m: check via i128 arithmetic.
+        let rv = r.to_u64().unwrap() as i128;
+        prop_assert_eq!((a as i128 - rv).rem_euclid(m as i128), 0);
+    }
+}

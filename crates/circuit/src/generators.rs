@@ -1,0 +1,335 @@
+//! Parameterized circuit families for examples, tests and benchmarks.
+
+use rand::Rng;
+
+use yoso_field::PrimeField;
+
+use crate::{Circuit, CircuitBuilder, CircuitError, WireId};
+
+/// A wide layered circuit: `width` parallel multiplication chains of
+/// `depth` layers, all inputs from `clients` round-robin, one output
+/// per chain to client 0.
+///
+/// This is the paper's canonical workload shape — "circuit width
+/// `O(n)`" — used by the communication experiments: at packing factor
+/// `k`, each layer forms `⌈width/k⌉` multiplication batches.
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`] (impossible for valid parameters).
+pub fn wide_layered<F: PrimeField>(
+    width: usize,
+    depth: usize,
+    clients: usize,
+) -> Result<Circuit<F>, CircuitError> {
+    assert!(width >= 1 && depth >= 1 && clients >= 1, "degenerate circuit parameters");
+    let mut b = CircuitBuilder::new();
+    // Two input rows so the first layer has distinct operands.
+    let row_a: Vec<WireId> = (0..width).map(|i| b.input(i % clients)).collect();
+    let row_b: Vec<WireId> = (0..width).map(|i| b.input(i % clients)).collect();
+    let mut cur: Vec<WireId> = row_a
+        .iter()
+        .zip(&row_b)
+        .map(|(&a, &bb)| b.mul(a, bb))
+        .collect();
+    for _ in 1..depth {
+        // Mix neighbours additively (free) then multiply pairwise with a
+        // rotation, keeping the layer width constant.
+        let mixed: Vec<WireId> = (0..width)
+            .map(|i| b.add(cur[i], cur[(i + 1) % width]))
+            .collect();
+        cur = (0..width).map(|i| b.mul(mixed[i], cur[(i + width / 2) % width])).collect();
+    }
+    for &w in &cur {
+        b.output(w, 0);
+    }
+    b.build()
+}
+
+/// Inner product of two `len`-dimensional vectors, one per client;
+/// the scalar result goes to both clients.
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`].
+pub fn inner_product<F: PrimeField>(len: usize) -> Result<Circuit<F>, CircuitError> {
+    assert!(len >= 1, "empty inner product");
+    let mut b = CircuitBuilder::new();
+    let xs: Vec<WireId> = (0..len).map(|_| b.input(0)).collect();
+    let ys: Vec<WireId> = (0..len).map(|_| b.input(1)).collect();
+    let mut acc = b.mul(xs[0], ys[0]);
+    for i in 1..len {
+        let p = b.mul(xs[i], ys[i]);
+        acc = b.add(acc, p);
+    }
+    b.output(acc, 0);
+    b.output(acc, 1);
+    b.build()
+}
+
+/// Evaluates the polynomial with client 1's secret coefficients
+/// `a_0 … a_deg` at client 0's secret point `x`; the value goes to
+/// client 0. (Horner: multiplicative depth = `deg`.)
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`].
+pub fn poly_eval<F: PrimeField>(deg: usize) -> Result<Circuit<F>, CircuitError> {
+    let mut b = CircuitBuilder::new();
+    let x = b.input(0);
+    let coeffs: Vec<WireId> = (0..=deg).map(|_| b.input(1)).collect();
+    let mut acc = coeffs[deg];
+    for i in (0..deg).rev() {
+        let t = b.mul(acc, x);
+        acc = b.add(t, coeffs[i]);
+    }
+    b.output(acc, 0);
+    b.build()
+}
+
+/// Federated statistics: `parties` clients each contribute `per_party`
+/// values; the circuit outputs (to client 0) the sum and the sum of
+/// squares — enough for mean and variance with public counts.
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`].
+pub fn federated_stats<F: PrimeField>(
+    parties: usize,
+    per_party: usize,
+) -> Result<Circuit<F>, CircuitError> {
+    assert!(parties >= 1 && per_party >= 1, "degenerate statistics circuit");
+    let mut b = CircuitBuilder::new();
+    let mut sum: Option<WireId> = None;
+    let mut sq_sum: Option<WireId> = None;
+    for c in 0..parties {
+        for _ in 0..per_party {
+            let x = b.input(c);
+            let sq = b.mul(x, x);
+            sum = Some(match sum {
+                Some(s) => b.add(s, x),
+                None => x,
+            });
+            sq_sum = Some(match sq_sum {
+                Some(s) => b.add(s, sq),
+                None => sq,
+            });
+        }
+    }
+    b.output(sum.unwrap(), 0);
+    b.output(sq_sum.unwrap(), 0);
+    b.build()
+}
+
+/// A MiMC-style keyed permutation: `rounds` rounds of
+/// `x ← (x + key + rc_i)³` with public round constants, computing a
+/// shared PRF-style value from client 0's input and client 1's key.
+/// Cubing costs two multiplications per round (depth `2·rounds`).
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`].
+pub fn mimc<F: PrimeField, R: Rng + ?Sized>(
+    rng: &mut R,
+    rounds: usize,
+) -> Result<Circuit<F>, CircuitError> {
+    assert!(rounds >= 1, "need at least one round");
+    let mut b = CircuitBuilder::new();
+    let mut x = b.input(0);
+    let key = b.input(1);
+    for _ in 0..rounds {
+        let rc = b.constant(F::random(rng));
+        let t0 = b.add(x, key);
+        let t = b.add(t0, rc);
+        let t2 = b.mul(t, t);
+        x = b.mul(t2, t);
+    }
+    let fin = b.add(x, key);
+    b.output(fin, 0);
+    b.output(fin, 1);
+    b.build()
+}
+
+/// A private weighted-average circuit: client `i` contributes a value
+/// and a weight; the outputs (to every client) are `Σ wᵢ·xᵢ` and
+/// `Σ wᵢ` (the caller divides in the clear).
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`].
+pub fn weighted_average<F: PrimeField>(parties: usize) -> Result<Circuit<F>, CircuitError> {
+    assert!(parties >= 1, "no parties");
+    let mut b = CircuitBuilder::new();
+    let mut num: Option<WireId> = None;
+    let mut den: Option<WireId> = None;
+    for c in 0..parties {
+        let x = b.input(c);
+        let w = b.input(c);
+        let wx = b.mul(w, x);
+        num = Some(match num {
+            Some(s) => b.add(s, wx),
+            None => wx,
+        });
+        den = Some(match den {
+            Some(s) => b.add(s, w),
+            None => w,
+        });
+    }
+    let (num, den) = (num.unwrap(), den.unwrap());
+    for c in 0..parties {
+        b.output(num, c);
+        b.output(den, c);
+    }
+    b.build()
+}
+
+/// Matrix multiplication: client 0 holds an `m×m` matrix `A`, client 1
+/// holds `B`; client 0 receives `A·B` (row-major inputs and outputs).
+/// Width `m²` per layer — a natural "wide circuit" workload.
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`].
+pub fn matmul<F: PrimeField>(m: usize) -> Result<Circuit<F>, CircuitError> {
+    assert!(m >= 1, "empty matrix");
+    let mut b = CircuitBuilder::new();
+    let a_in: Vec<WireId> = (0..m * m).map(|_| b.input(0)).collect();
+    let b_in: Vec<WireId> = (0..m * m).map(|_| b.input(1)).collect();
+    for i in 0..m {
+        for j in 0..m {
+            let mut acc: Option<WireId> = None;
+            for l in 0..m {
+                let p = b.mul(a_in[i * m + l], b_in[l * m + j]);
+                acc = Some(match acc {
+                    None => p,
+                    Some(s) => b.add(s, p),
+                });
+            }
+            b.output(acc.unwrap(), 0);
+        }
+    }
+    b.build()
+}
+
+/// A private set-membership indicator via polynomial evaluation:
+/// client 1's set of `set_size` elements is encoded as the roots of a
+/// monic polynomial whose coefficients are its inputs; the circuit
+/// evaluates it at client 0's element. Output 0 ⟺ member. (Horner;
+/// depth `set_size`.)
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`].
+pub fn set_membership<F: PrimeField>(set_size: usize) -> Result<Circuit<F>, CircuitError> {
+    assert!(set_size >= 1, "empty set");
+    let mut b = CircuitBuilder::new();
+    let x = b.input(0);
+    // Monic polynomial: coefficients a_0 … a_{set_size−1}, leading 1.
+    let coeffs: Vec<WireId> = (0..set_size).map(|_| b.input(1)).collect();
+    let mut acc = b.constant(F::ONE);
+    for i in (0..set_size).rev() {
+        let t = b.mul(acc, x);
+        acc = b.add(t, coeffs[i]);
+    }
+    b.output(acc, 0);
+    b.output(acc, 1);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use yoso_field::F61;
+
+    fn f(v: u64) -> F61 {
+        F61::from(v)
+    }
+
+    #[test]
+    fn wide_layered_shape() {
+        let c = wide_layered::<F61>(8, 3, 2).unwrap();
+        assert_eq!(c.mul_depth(), 3);
+        assert_eq!(c.mul_count(), 24);
+        assert_eq!(c.input_count(), 16);
+        assert_eq!(c.outputs().len(), 8);
+        // Evaluates without error on arbitrary inputs.
+        let inputs: Vec<Vec<F61>> = vec![
+            (0..8).map(|i| f(i + 1)).collect(),
+            (0..8).map(|i| f(i + 11)).collect(),
+        ];
+        c.evaluate(&inputs).unwrap();
+    }
+
+    #[test]
+    fn inner_product_correct() {
+        let c = inner_product::<F61>(4).unwrap();
+        let x = vec![f(1), f(2), f(3), f(4)];
+        let y = vec![f(5), f(6), f(7), f(8)];
+        let out = c.evaluate(&[x, y]).unwrap();
+        assert_eq!(out[0], vec![f(70)]);
+        assert_eq!(out[1], vec![f(70)]);
+        assert_eq!(c.mul_count(), 4);
+        assert_eq!(c.mul_depth(), 1);
+    }
+
+    #[test]
+    fn poly_eval_correct() {
+        // f(x) = 2 + 3x + x², x = 5 → 42.
+        let c = poly_eval::<F61>(2).unwrap();
+        let out = c.evaluate(&[vec![f(5)], vec![f(2), f(3), f(1)]]).unwrap();
+        assert_eq!(out[0], vec![f(42)]);
+        assert_eq!(c.mul_depth(), 2);
+    }
+
+    #[test]
+    fn federated_stats_correct() {
+        let c = federated_stats::<F61>(3, 2).unwrap();
+        let inputs = vec![vec![f(1), f(2)], vec![f(3), f(4)], vec![f(5), f(6)]];
+        let out = c.evaluate(&inputs).unwrap();
+        assert_eq!(out[0], vec![f(21), f(91)]); // Σx, Σx²
+    }
+
+    #[test]
+    fn mimc_deterministic_given_seed() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let c = mimc::<F61, _>(&mut rng, 4).unwrap();
+        assert_eq!(c.mul_depth(), 8);
+        let out1 = c.evaluate(&[vec![f(123)], vec![f(456)]]).unwrap();
+        let out2 = c.evaluate(&[vec![f(123)], vec![f(456)]]).unwrap();
+        assert_eq!(out1, out2);
+        assert_eq!(out1[0], out1[1]);
+    }
+
+    #[test]
+    fn matmul_correct() {
+        let c = matmul::<F61>(2).unwrap();
+        // A = [[1,2],[3,4]], B = [[5,6],[7,8]] → AB = [[19,22],[43,50]].
+        let a = vec![f(1), f(2), f(3), f(4)];
+        let b = vec![f(5), f(6), f(7), f(8)];
+        let out = c.evaluate(&[a, b]).unwrap();
+        assert_eq!(out[0], vec![f(19), f(22), f(43), f(50)]);
+        assert_eq!(c.mul_count(), 8);
+        assert_eq!(c.mul_depth(), 1);
+    }
+
+    #[test]
+    fn set_membership_zero_iff_root() {
+        let c = set_membership::<F61>(2).unwrap();
+        // Set {3, 5}: (x−3)(x−5) = x² − 8x + 15 → coefficients (15, −8).
+        let coeffs = vec![f(15), -f(8)];
+        let member = c.evaluate(&[vec![f(3)], coeffs.clone()]).unwrap();
+        assert_eq!(member[0], vec![F61::ZERO]);
+        let non_member = c.evaluate(&[vec![f(4)], coeffs]).unwrap();
+        assert_ne!(non_member[0], vec![F61::ZERO]);
+    }
+
+    #[test]
+    fn weighted_average_correct() {
+        let c = weighted_average::<F61>(2).unwrap();
+        // values 10 (w 1), 20 (w 3): Σwx = 70, Σw = 4.
+        let out = c.evaluate(&[vec![f(10), f(1)], vec![f(20), f(3)]]).unwrap();
+        assert_eq!(out[0], vec![f(70), f(4)]);
+        assert_eq!(out[1], vec![f(70), f(4)]);
+    }
+}

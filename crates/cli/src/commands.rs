@@ -1,0 +1,284 @@
+//! Subcommand implementations.
+
+use std::collections::HashMap;
+
+use rand::SeedableRng;
+
+use yoso_bignum::Nat;
+use yoso_circuit::{generators, Circuit};
+use yoso_core::{crash_phases, Engine, ExecutionConfig, ProtocolParams};
+use yoso_field::{F61, PrimeField};
+use yoso_runtime::{ActiveAttack, Adversary};
+use yoso_sortition::{GapAnalysis, SecurityParams};
+use yoso_the::paillier::ThresholdPaillier;
+
+type Opts = HashMap<String, String>;
+
+fn get<T: std::str::FromStr>(opts: &Opts, key: &str, default: T) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|e| format!("--{key}: {e}")),
+    }
+}
+
+fn build_circuit(opts: &Opts) -> Result<Circuit<F61>, String> {
+    let name = opts.get("circuit").map(String::as_str).unwrap_or("inner-product");
+    let size: usize = get(opts, "size", 8)?;
+    let clients: usize = get(opts, "clients", 2)?;
+    let circuit = match name {
+        "inner-product" => generators::inner_product(size),
+        "poly-eval" => generators::poly_eval(size),
+        "stats" => generators::federated_stats(clients, size),
+        "wide" => generators::wide_layered(size, 2, clients),
+        "average" => generators::weighted_average(clients.max(1)),
+        "matmul" => generators::matmul(size),
+        "set-membership" => generators::set_membership(size),
+        other => return Err(format!("unknown circuit {other:?}")),
+    };
+    circuit.map_err(|e| format!("circuit construction: {e}"))
+}
+
+fn parse_attack(opts: &Opts) -> Result<Option<ActiveAttack>, String> {
+    match opts.get("attack").map(String::as_str) {
+        None | Some("none") => Ok(None),
+        Some("wrong-value") => Ok(Some(ActiveAttack::WrongValue)),
+        Some("bad-proof") => Ok(Some(ActiveAttack::BadProof)),
+        Some("silent") => Ok(Some(ActiveAttack::Silent)),
+        Some("additive") => Ok(Some(ActiveAttack::AdditiveOffset)),
+        Some(other) => Err(format!("unknown attack {other:?}")),
+    }
+}
+
+/// `yoso run` — execute the full three-phase protocol.
+pub fn run(opts: &Opts) -> Result<(), String> {
+    let n: usize = get(opts, "n", 16)?;
+    let eps: f64 = get(opts, "eps", 0.2)?;
+    let seed: u64 = get(opts, "seed", 7)?;
+    let crashes: usize = get(opts, "crashes", 0)?;
+
+    let mut params = if crashes > 0 {
+        ProtocolParams::from_gap_failstop(n, eps).map_err(|e| e.to_string())?
+    } else {
+        ProtocolParams::from_gap(n, eps).map_err(|e| e.to_string())?
+    };
+    if crashes > params.failstops {
+        return Err(format!(
+            "{crashes} crashes exceed the fail-stop budget {} at (n={n}, ε={eps})",
+            params.failstops
+        ));
+    }
+    params.failstops = crashes;
+
+    let t_mal: usize = get(opts, "t-mal", params.t)?;
+    if t_mal > params.t {
+        return Err(format!("--t-mal {t_mal} exceeds the threshold t = {}", params.t));
+    }
+
+    let circuit = build_circuit(opts)?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let inputs: Vec<Vec<F61>> = circuit
+        .inputs_per_client()
+        .iter()
+        .map(|ws| ws.iter().map(|_| F61::random(&mut rng)).collect())
+        .collect();
+
+    let mut adversary = match parse_attack(opts)? {
+        Some(attack) => Adversary::active(t_mal, attack),
+        None => Adversary::none(),
+    };
+    if crashes > 0 {
+        adversary = adversary.with_failstops(crashes, crash_phases::ONLINE_MULT);
+    }
+
+    let config = if opts.contains_key("no-proofs") {
+        ExecutionConfig::sweep()
+    } else {
+        ExecutionConfig::default()
+    };
+    let engine = Engine::new(params, config);
+
+    println!(
+        "running: n = {}, t = {}, k = {}, circuit with {} mul gates / {} wires",
+        params.n,
+        params.t,
+        params.k,
+        circuit.mul_count(),
+        circuit.wire_count()
+    );
+    let start = std::time::Instant::now();
+    let result = engine
+        .run(&mut rng, &circuit, &inputs, &adversary)
+        .map_err(|e| format!("protocol: {e}"))?;
+    let elapsed = start.elapsed();
+
+    let expected = circuit.evaluate(&inputs).map_err(|e| e.to_string())?;
+    let correct = result.outputs == expected;
+    println!("\noutputs (client 0): {:?}", result.outputs[0]);
+    println!("matches cleartext evaluation: {correct}");
+    println!("\ncommunication by phase (ring elements):");
+    for (phase, stats) in &result.phases {
+        println!("  {phase:<28} {:>12}", stats.elements);
+    }
+    println!(
+        "\nonline mult: {:.1} elements/gate   offline: {:.1} elements/gate   wall: {:.2?}",
+        result.online_elements_per_gate(),
+        result.offline_elements_per_gate(),
+        elapsed
+    );
+    if !correct {
+        return Err("output mismatch".into());
+    }
+    Ok(())
+}
+
+/// `yoso plan` — §6 committee planning.
+pub fn plan(opts: &Opts) -> Result<(), String> {
+    let pool: u64 = get(opts, "pool", 1_000_000)?;
+    let f: f64 = get(opts, "f", 0.1)?;
+    if !(0.0..1.0).contains(&f) || f <= 0.0 {
+        return Err(format!("--f {f} out of range"));
+    }
+    let sweep: Vec<f64> = match opts.get("c") {
+        Some(v) => vec![v.parse().map_err(|e| format!("--c: {e}"))?],
+        None => vec![1000.0, 2000.0, 5000.0, 10000.0, 20000.0, 40000.0],
+    };
+    println!("pool N = {pool}, corruption f = {f}\n");
+    println!(
+        "{:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>12}",
+        "C", "t", "c", "c'", "eps", "k", "online gain"
+    );
+    for c_param in sweep {
+        match GapAnalysis::compute(c_param, f, SecurityParams::default()) {
+            Some(a) => println!(
+                "{:>8} {:>8} {:>8} {:>8} {:>8.3} {:>8} {:>11}×",
+                c_param as u64,
+                a.t,
+                a.c,
+                a.c_prime,
+                a.eps,
+                a.k,
+                a.improvement_factor()
+            ),
+            None => println!("{:>8}  infeasible (no positive gap at f = {f})", c_param as u64),
+        }
+    }
+    Ok(())
+}
+
+/// `yoso table1` — the paper's Table 1.
+pub fn table1() -> Result<(), String> {
+    println!("{:>7} {:>6} {:>8} {:>8} {:>8} {:>8} {:>8}", "C", "f", "t", "c", "c'", "eps", "k");
+    for r in yoso_sortition::table1() {
+        match r.analysis {
+            Some(a) => println!(
+                "{:>7} {:>6.2} {:>8} {:>8} {:>8} {:>8.2} {:>8}",
+                r.c_param as u64, r.f, a.t, a.c, a.c_prime, a.eps, a.k
+            ),
+            None => println!(
+                "{:>7} {:>6.2} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                r.c_param as u64, r.f, "-", "-", "-", "-", "-"
+            ),
+        }
+    }
+    Ok(())
+}
+
+/// `yoso paillier` — threshold-Paillier smoke run with timings.
+pub fn paillier(opts: &Opts) -> Result<(), String> {
+    let bits: usize = get(opts, "bits", 160)?;
+    let parties: usize = get(opts, "parties", 3)?;
+    let threshold: usize = get(opts, "threshold", 1)?;
+    let seed: u64 = get(opts, "seed", 7)?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+
+    let start = std::time::Instant::now();
+    let (pk, shares) = ThresholdPaillier::keygen(&mut rng, bits, parties, threshold)
+        .map_err(|e| e.to_string())?;
+    println!("keygen ({}-bit N, n = {parties}, t = {threshold}): {:.2?}", 2 * bits, start.elapsed());
+
+    let m = Nat::from(123_456_789u64);
+    let start = std::time::Instant::now();
+    let (ct, _) = ThresholdPaillier::encrypt(&mut rng, &pk, &m);
+    println!("encrypt: {:.2?}", start.elapsed());
+
+    let start = std::time::Instant::now();
+    let partials: Vec<_> = shares
+        .iter()
+        .take(threshold + 1)
+        .map(|s| ThresholdPaillier::partial_decrypt(&pk, s, &ct))
+        .collect();
+    println!("{} partial decryptions: {:.2?}", partials.len(), start.elapsed());
+
+    let start = std::time::Instant::now();
+    let out = ThresholdPaillier::combine(&pk, &partials, &Nat::one()).map_err(|e| e.to_string())?;
+    println!("combine: {:.2?}", start.elapsed());
+    println!("\ndecrypted: {out} (expected {m})");
+    if out != m {
+        return Err("decryption mismatch".into());
+    }
+    Ok(())
+}
+
+/// `yoso experiments` — abbreviated versions of the headline
+/// experiments (full versions: `cargo run -p yoso-bench --bin …`).
+pub fn experiments() -> Result<(), String> {
+    use yoso_circuit::generators;
+
+    println!("== E2 (quick): online elements/gate vs n (ε = 0.25) ==\n");
+    println!("{:>6} {:>14} {:>14}", "n", "packed", "baseline");
+    for n in [8usize, 16, 32, 64] {
+        let params = ProtocolParams::from_gap(n, 0.25).map_err(|e| e.to_string())?;
+        let circuit =
+            generators::wide_layered::<F61>(params.k * 2, 2, 2).map_err(|e| e.to_string())?;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let inputs: Vec<Vec<F61>> = circuit
+            .inputs_per_client()
+            .iter()
+            .map(|ws| ws.iter().map(|_| F61::random(&mut rng)).collect())
+            .collect();
+        let packed = Engine::new(params, ExecutionConfig::sweep())
+            .run(&mut rng, &circuit, &inputs, &Adversary::none())
+            .map_err(|e| e.to_string())?;
+        let base_params = ProtocolParams::new(n, params.t, 1).map_err(|e| e.to_string())?;
+        let baseline =
+            yoso_core::baseline::BaselineEngine::new(base_params, ExecutionConfig::sweep())
+                .run(&mut rng, &circuit, &inputs, &Adversary::none())
+                .map_err(|e| e.to_string())?;
+        println!(
+            "{:>6} {:>14.1} {:>14.1}",
+            n,
+            packed.online_elements_per_gate(),
+            baseline.elements("online/mult") as f64 / baseline.mul_gates as f64
+        );
+    }
+
+    println!("\n== E7 (quick): GOD under every attack (n = 12, t = 3) ==\n");
+    let params = ProtocolParams::new(12, 3, 2).map_err(|e| e.to_string())?;
+    let circuit = generators::inner_product::<F61>(4).map_err(|e| e.to_string())?;
+    for attack in [
+        ActiveAttack::WrongValue,
+        ActiveAttack::BadProof,
+        ActiveAttack::Silent,
+        ActiveAttack::AdditiveOffset,
+    ] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let inputs: Vec<Vec<F61>> = circuit
+            .inputs_per_client()
+            .iter()
+            .map(|ws| ws.iter().map(|_| F61::random(&mut rng)).collect())
+            .collect();
+        let expected = circuit.evaluate(&inputs).map_err(|e| e.to_string())?;
+        let run = Engine::new(params, ExecutionConfig::default())
+            .run(&mut rng, &circuit, &inputs, &Adversary::active(3, attack))
+            .map_err(|e| e.to_string())?;
+        println!(
+            "  {attack:?}: {}",
+            if run.outputs == expected { "correct output delivered" } else { "FAILED" }
+        );
+    }
+    println!("\nfull experiment suite: cargo run --release -p yoso-bench --bin <table1|online_comm|offline_comm|improvement|failstop|sortition_mc|god_attack|it_comparison|ablation_packing|ablation_nizk>");
+    Ok(())
+}

@@ -1,0 +1,104 @@
+//! `yoso` — command-line driver for the packed YOSO MPC stack.
+//!
+//! ```text
+//! yoso run   --circuit inner-product --size 8 --n 16 --eps 0.2
+//! yoso run   --circuit stats --size 4 --clients 3 --attack wrong-value
+//! yoso plan  --pool 1000000 --f 0.10
+//! yoso table1
+//! yoso paillier --bits 192
+//! yoso help
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+mod commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        print_help();
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_opts(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "run" => commands::run(&opts),
+        "plan" => commands::plan(&opts),
+        "table1" => commands::table1(),
+        "paillier" => commands::paillier(&opts),
+        "experiments" => commands::experiments(),
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try `yoso help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses `--key value` pairs (and bare `--flag` as `"true"`).
+fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut opts = HashMap::new();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        let key = arg
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --option, got {arg:?}"))?;
+        let value = match it.peek() {
+            Some(v) if !v.starts_with("--") => it.next().unwrap().clone(),
+            _ => "true".to_string(),
+        };
+        opts.insert(key.to_string(), value);
+    }
+    Ok(opts)
+}
+
+fn print_help() {
+    println!(
+        "yoso — packed YOSO MPC simulator and experiment driver
+
+USAGE:
+  yoso run [OPTIONS]       run the full three-phase protocol
+  yoso plan [OPTIONS]      committee-size planning (paper §6)
+  yoso table1              regenerate the paper's Table 1
+  yoso paillier [OPTIONS]  threshold-Paillier smoke run
+  yoso experiments         quick versions of the headline experiments
+  yoso help                this message
+
+RUN OPTIONS:
+  --circuit NAME    inner-product | poly-eval | stats | wide | average |
+                    matmul | set-membership                              [inner-product]
+  --size N          circuit size parameter                               [8]
+  --clients N       clients (stats/average circuits)                     [2]
+  --n N             committee size                                       [16]
+  --eps F           corruption gap ε in (0, 0.5)                         [0.2]
+  --attack NAME     none | wrong-value | bad-proof | silent | additive   [none]
+  --t-mal N         malicious roles per committee (≤ t)                  [t]
+  --crashes N       fail-stop roles per committee (online mult phase)    [0]
+  --seed N          RNG seed                                             [7]
+  --no-proofs       skip NIZK computation (metering unchanged)
+
+PLAN OPTIONS:
+  --pool N          global party count                                   [1000000]
+  --f F             global corruption ratio                              [0.1]
+  --c N             sortition parameter (omit to sweep)
+
+PAILLIER OPTIONS:
+  --bits N          prime size in bits (modulus is 2N bits)              [160]
+  --parties N       committee size                                       [3]
+  --threshold N     corruption threshold                                 [1]
+  --seed N          RNG seed                                             [7]"
+    );
+}

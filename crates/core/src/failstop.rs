@@ -1,0 +1,106 @@
+//! Fail-stop tolerance (paper §5.4).
+//!
+//! All prior YOSO protocols fold crashed-but-honest parties into the
+//! active corruption budget. The paper observes that with a gap
+//! `t < n(1/2 − ε)`, halving the packing factor —
+//! `k′ = ⌊nε/2⌋ + 1` instead of `k = ⌊nε⌋ + 1` — buys tolerance for
+//! `⌊nε⌋` *additional* unresponsive honest parties:
+//!
+//! ```text
+//! t + 2(k′−1) + 1  ≤  n/2 + 1  ≤  n − t − nε
+//! ```
+//!
+//! so the `t + 2(k′−1) + 1` verified μ-shares needed for
+//! reconstruction are still available when `nε` honest roles crash on
+//! top of the `t` active corruptions.
+//!
+//! This module provides the parameter derivation (see
+//! [`ProtocolParams::from_gap_failstop`]) and the trade-off analysis
+//! used by experiment E5; the engine itself handles crashes uniformly
+//! through [`yoso_runtime::Behavior::FailStop`].
+
+use crate::{ProtocolError, ProtocolParams};
+
+/// The §5.4 trade-off at committee size `n` and gap `ε`: full-packing
+/// vs half-packing parameters and their crash tolerances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailstopTradeoff {
+    /// Parameters with the full packing factor (no crash tolerance).
+    pub full: ProtocolParams,
+    /// Parameters with the halved packing factor (crash tolerance
+    /// `⌊nε⌋`).
+    pub halved: ProtocolParams,
+}
+
+impl FailstopTradeoff {
+    /// Derives the trade-off for `(n, ε)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::BadParameters`] when either variant is
+    /// infeasible.
+    pub fn derive(n: usize, epsilon: f64) -> Result<Self, ProtocolError> {
+        Ok(FailstopTradeoff {
+            full: ProtocolParams::from_gap(n, epsilon)?,
+            halved: ProtocolParams::from_gap_failstop(n, epsilon)?,
+        })
+    }
+
+    /// The largest number of crashes each variant tolerates while the
+    /// reconstruction threshold stays reachable (`n − t − crashes ≥
+    /// t + 2(k−1) + 1`).
+    pub fn max_crashes(params: &ProtocolParams) -> usize {
+        params
+            .n
+            .saturating_sub(params.t)
+            .saturating_sub(params.reconstruction_threshold())
+    }
+
+    /// The online-cost ratio paid for crash tolerance: per-gate online
+    /// cost is proportional to `n/k`, so halving `k` doubles it.
+    pub fn online_cost_ratio(&self) -> f64 {
+        self.full.k as f64 / self.halved.k as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halved_packing_tolerates_n_epsilon_crashes() {
+        let tr = FailstopTradeoff::derive(40, 0.2).unwrap();
+        // Full packing: k = 9, no slack for crashes beyond the GOD margin.
+        // Halved: k = 5, tolerates ⌊40·0.2⌋ = 8 crashes.
+        assert_eq!(tr.full.k, 9);
+        assert_eq!(tr.halved.k, 5);
+        assert_eq!(tr.halved.failstops, 8);
+        assert!(FailstopTradeoff::max_crashes(&tr.halved) >= 8);
+        assert!(FailstopTradeoff::max_crashes(&tr.full) < 8);
+    }
+
+    #[test]
+    fn cost_ratio_is_about_two() {
+        let tr = FailstopTradeoff::derive(100, 0.2).unwrap();
+        let ratio = tr.online_cost_ratio();
+        assert!((1.5..=2.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn out_of_range_gap_rejected() {
+        assert!(FailstopTradeoff::derive(10, 0.5).is_err());
+        assert!(FailstopTradeoff::derive(10, -0.1).is_err());
+    }
+
+    #[test]
+    fn derived_parameters_are_always_feasible() {
+        // `from_gap` builds in slack (floor − 1), so every in-range
+        // (n, ε) with room for k ≥ 1 must validate.
+        for n in [4usize, 10, 33, 100] {
+            for eps in [0.01, 0.1, 0.25, 0.4] {
+                let tr = FailstopTradeoff::derive(n, eps);
+                assert!(tr.is_ok(), "n={n}, eps={eps}: {tr:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! The online phase `Π_YOSO-Online` (paper §5.3).
+//!
+//! Once inputs are known:
+//!
+//! - **Future key distribution**: the first online committee
+//!   `Re-encrypt`s every KFF secret key to the now-known YOSO role key
+//!   of its owner, then hands `tsk` to the output committee. After
+//!   this, `tsk` is never re-shared again (`Re-encrypt*`).
+//! - **Input**: each client opens its re-encrypted wire masks with its
+//!   KFF secret and publishes `μ = v − λ` — one element per input
+//!   wire.
+//! - **Addition** (and all linear gates): `μ` propagates locally, zero
+//!   communication.
+//! - **Multiplication**: for a batch of `k` gates, member `i` of the
+//!   layer committee opens its three packed shares
+//!   (`λ_α`, `λ_β`, `Γ`), computes
+//!   `μᵢ^γ = μᵢ^α·μᵢ^β + μᵢ^α·λᵢ^β + μᵢ^β·λᵢ^α + Γᵢ`
+//!   and publishes it with a NIZK binding it to the on-board
+//!   ciphertexts through its KFF public key. Any `t + 2(k−1) + 1`
+//!   verified shares reconstruct `μ^γ` — `n/k = O(1/ε)` elements per
+//!   gate, **independent of `n`**.
+//! - **Output**: the output committee `Re-encrypt*`s each output-wire
+//!   mask to the receiving client, who computes `v = μ + λ`.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use yoso_circuit::{BatchedCircuit, Gate};
+use yoso_field::PrimeField;
+use yoso_pss_sharing::{PackedSharing, Share};
+use yoso_runtime::{ActiveAttack, Adversary, Behavior, BulletinBoard, LeakLog};
+use yoso_the::mock::{LinearPke, PkeKeyPair, PkePublicKey};
+use yoso_the::nizk::{share_proof, verify_share_proof, ShareProof};
+
+use crate::messages::{self, Post, MULSHARE_PROOF_ELEMENTS};
+use crate::offline::OfflineArtifacts;
+use crate::setup::SetupArtifacts;
+use crate::tsk::ReencryptedValue;
+use crate::{ExecutionConfig, ProtocolError};
+
+/// The result of the online phase.
+#[derive(Debug, Clone)]
+pub struct OnlineResult<F: PrimeField> {
+    /// Per-client outputs, in output-gate order.
+    pub outputs: Vec<Vec<F>>,
+    /// The public `μ` value of every wire (diagnostics / tests).
+    pub mu: Vec<F>,
+}
+
+/// Runs the full online phase.
+///
+/// `inputs[c]` are client `c`'s input values in input-gate order.
+///
+/// # Errors
+///
+/// Propagates sub-step errors; within the corruption model none occur.
+#[allow(clippy::too_many_lines, clippy::too_many_arguments, clippy::needless_range_loop)]
+pub fn run_online<F: PrimeField, R: Rng + ?Sized>(
+    rng: &mut R,
+    params: &crate::ProtocolParams,
+    board: &BulletinBoard<Post>,
+    adversary: &Adversary,
+    cfg: &ExecutionConfig,
+    bc: &BatchedCircuit<F>,
+    setup: &SetupArtifacts<F>,
+    offline: OfflineArtifacts<F>,
+    inputs: &[Vec<F>],
+    leak: &LeakLog,
+) -> Result<OnlineResult<F>, ProtocolError> {
+    let n = params.n;
+    let circuit = &bc.circuit;
+    let layers = circuit.mul_depth();
+    let clients = circuit.clients();
+    let mut tsk = offline.tsk;
+
+    // Role assignment for the online committees and clients: fresh
+    // role keys become known only now.
+    let role_keys: Vec<Vec<PkeKeyPair<F>>> = (0..layers)
+        .map(|_| (0..n).map(|_| LinearPke::keygen(rng)).collect())
+        .collect();
+    let client_role_keys: Vec<PkeKeyPair<F>> =
+        (0..clients).map(|_| LinearPke::keygen(rng)).collect();
+
+    // ---- Future key distribution.
+    let kd = adversary.sample_committee(rng, "on-keydist", n);
+    let phase_kd = "online/1-keydist";
+    let mut items: Vec<(PkePublicKey<F>, yoso_the::mock::Ciphertext<F>)> = Vec::new();
+    for l in 0..layers {
+        for i in 0..n {
+            items.push((role_keys[l][i].public, setup.kff_cts[l][i]));
+        }
+    }
+    for c in 0..clients {
+        items.push((client_role_keys[c].public, setup.client_kff_cts[c]));
+    }
+    let mut kff_prime = tsk.reencrypt(rng, board, &kd, cfg, phase_kd, &items);
+    let client_kff_prime: Vec<ReencryptedValue<F>> = kff_prime.split_off(layers * n);
+    // kff_prime[l*n + i] targets role (l, i).
+
+    // Hand tsk to the output committee (the last holder; Re-encrypt*
+    // afterwards performs no further resharing).
+    let output_keys: Vec<PkeKeyPair<F>> = (0..n).map(|_| LinearPke::keygen(rng)).collect();
+    tsk.handover(rng, board, &kd, cfg, "online/handover", &output_keys)?;
+    board.advance_round();
+
+    // Clients recover their KFF secrets through the protocol path.
+    let client_kff_sk: Vec<F> = (0..clients)
+        .map(|c| client_kff_prime[c].open(client_role_keys[c].secret.scalar))
+        .collect::<Result<_, _>>()?;
+
+    // ---- Input: clients publish μ = v − λ per input wire.
+    let phase_in = "online/2-input";
+    let mut mu: Vec<Option<F>> = vec![None; circuit.wire_count()];
+    let mut input_reenc_by_wire: HashMap<usize, &ReencryptedValue<F>> = HashMap::new();
+    for (w, _client, rv) in &offline.input_reenc {
+        input_reenc_by_wire.insert(*w, rv);
+    }
+    for (client, wires) in circuit.inputs_per_client().iter().enumerate() {
+        for (idx, w) in wires.iter().enumerate() {
+            let rv = input_reenc_by_wire
+                .get(&w.0)
+                .expect("offline re-encrypted every input wire");
+            let lambda = rv.open(client_kff_sk[client])?;
+            let v = inputs[client][idx];
+            mu[w.0] = Some(v - lambda);
+        }
+        if !wires.is_empty() {
+            let elements = wires.len() as u64;
+            board.post(
+                yoso_runtime::RoleId::new("client", client),
+                Post::InputMu { wires: wires.len() as u32 },
+                phase_in,
+                elements,
+                messages::to_bytes(elements),
+            );
+        }
+    }
+
+    board.advance_round();
+
+    // ---- Gate-by-gate μ propagation; multiplications per batch.
+    // Pre-index batches by layer for the committee loop.
+    let phase_mul = "online/3-mult";
+    let mut batches_by_layer: Vec<Vec<usize>> = vec![Vec::new(); layers];
+    for (b_idx, batch) in bc.mul_batches.iter().enumerate() {
+        batches_by_layer[batch.layer].push(b_idx);
+    }
+
+    // Propagate linear gates up to (but not including) each mul layer,
+    // then process the layer's batches. Easiest: repeatedly sweep the
+    // gate list, filling what is computable; mul wires get filled by
+    // their batch.
+    let propagate_linear = |mu: &mut Vec<Option<F>>| {
+        for (w, gate) in circuit.gates().iter().enumerate() {
+            if mu[w].is_some() {
+                continue;
+            }
+            mu[w] = match *gate {
+                Gate::Const(c) => Some(c),
+                Gate::Add(a, b) => match (mu[a.0], mu[b.0]) {
+                    (Some(x), Some(y)) => Some(x + y),
+                    _ => None,
+                },
+                Gate::Sub(a, b) => match (mu[a.0], mu[b.0]) {
+                    (Some(x), Some(y)) => Some(x - y),
+                    _ => None,
+                },
+                Gate::MulConst(a, c) => mu[a.0].map(|x| x * c),
+                Gate::Output(a, _) => mu[a.0],
+                Gate::Input { .. } | Gate::Mul(_, _) => None,
+            };
+        }
+    };
+
+    for (layer_idx, layer_batches) in batches_by_layer.iter().enumerate() {
+        propagate_linear(&mut mu);
+        let committee = adversary.sample_committee(rng, format!("on-mult-{layer_idx}"), n);
+        for &b_idx in layer_batches {
+            let batch = &bc.mul_batches[b_idx];
+            let shares = &offline.batch_shares[b_idx];
+            let k_b = batch.gates.len();
+            let scheme = PackedSharing::<F>::new(n, k_b)?;
+            let rec_degree = params.t + 2 * (k_b - 1);
+
+            // Public degree-(k_b − 1) packed sharings of the μ vectors.
+            let mu_alpha: Vec<F> = batch
+                .left_wires(circuit)
+                .iter()
+                .map(|w| mu[w.0].expect("mu of mul input known"))
+                .collect();
+            let mu_beta: Vec<F> = batch
+                .right_wires(circuit)
+                .iter()
+                .map(|w| mu[w.0].expect("mu of mul input known"))
+                .collect();
+            let mu_alpha_sh = scheme.share_public(&mu_alpha)?;
+            let mu_beta_sh = scheme.share_public(&mu_beta)?;
+
+            let mut posted: Vec<Share<F>> = Vec::new();
+            for i in 0..n {
+                let behavior = committee.behavior(i);
+                if !behavior.participates_at(crate::engine::phase_index(phase_mul)) {
+                    continue;
+                }
+                let kff_pk = setup.kff_pairs[layer_idx][i].public;
+                let ma = mu_alpha_sh.share_of(i).value;
+                let mb = mu_beta_sh.share_of(i).value;
+                // Public opening coefficients of the three re-encrypted
+                // packed shares (value = a − sk·b).
+                let (a_al, b_al) = shares.alpha[i].opening_coefficients()?;
+                let (a_be, b_be) = shares.beta[i].opening_coefficients()?;
+                let (a_ga, b_ga) = shares.gamma[i].opening_coefficients()?;
+                let offset = ma * mb + ma * a_be + mb * a_al + a_ga;
+                let slope = ma * b_be + mb * b_al + b_ga;
+
+                if matches!(behavior, Behavior::Malicious(_) | Behavior::Leaky) {
+                    // The corrupted role's KFF opens all three of its
+                    // packed shares — record the exposure.
+                    for which in ["alpha", "beta", "gamma"] {
+                        leak.record(committee.role(i), format!("batch{b_idx}/{which}"), i);
+                    }
+                }
+                let (value, valid) = match behavior {
+                    Behavior::Honest | Behavior::Leaky | Behavior::FailStop { .. } => {
+                        // Recover the KFF secret via the role key, then
+                        // compute the share honestly.
+                        let kff_sk =
+                            kff_prime[layer_idx * n + i].open(role_keys[layer_idx][i].secret.scalar)?;
+                        let value = offset - kff_sk * slope;
+                        let ok = if cfg.produce_proofs {
+                            let proof = share_proof(rng, &kff_pk, slope, offset, value, kff_sk);
+                            verify_share_proof(&kff_pk, slope, offset, value, &proof)
+                        } else {
+                            true
+                        };
+                        (value, ok)
+                    }
+                    Behavior::Malicious(attack) => {
+                        let kff_sk =
+                            kff_prime[layer_idx * n + i].open(role_keys[layer_idx][i].secret.scalar)?;
+                        let honest = offset - kff_sk * slope;
+                        let value = match attack {
+                            ActiveAttack::BadProof => honest,
+                            ActiveAttack::AdditiveOffset => honest + F::ONE,
+                            _ => F::random(rng),
+                        };
+                        let ok = if cfg.produce_proofs {
+                            let proof = ShareProof::<F>::garbage(rng);
+                            verify_share_proof(&kff_pk, slope, offset, value, &proof)
+                        } else {
+                            false
+                        };
+                        (value, ok)
+                    }
+                };
+                board.post(
+                    committee.role(i),
+                    Post::MulShare,
+                    phase_mul,
+                    1 + MULSHARE_PROOF_ELEMENTS,
+                    messages::to_bytes(1 + MULSHARE_PROOF_ELEMENTS),
+                );
+                if valid {
+                    posted.push(Share { party: i, value });
+                }
+            }
+
+            if posted.len() < rec_degree + 1 {
+                return Err(ProtocolError::NotEnoughContributions {
+                    step: "mul-share reconstruction",
+                    got: posted.len(),
+                    need: rec_degree + 1,
+                });
+            }
+            let mu_gamma = scheme.reconstruct(&posted[..rec_degree + 1], rec_degree)?;
+            for (j, gw) in batch.gates.iter().enumerate() {
+                mu[gw.0] = Some(mu_gamma[j]);
+            }
+        }
+        board.advance_round();
+    }
+    propagate_linear(&mut mu);
+
+    // ---- Output: Re-encrypt* each output-wire mask to its client.
+    let phase_out = "online/4-output";
+    let out_committee = adversary.sample_committee(rng, "on-output", n);
+    let out_items: Vec<(PkePublicKey<F>, yoso_the::mock::Ciphertext<F>)> = circuit
+        .outputs()
+        .iter()
+        .map(|&(w, client)| (client_role_keys[client].public, offline.lambda_cts[w.0]))
+        .collect();
+    let out_vals = tsk.reencrypt(rng, board, &out_committee, cfg, phase_out, &out_items);
+
+    let mut outputs: Vec<Vec<F>> = vec![Vec::new(); clients];
+    for ((&(w, client), rv), _) in circuit.outputs().iter().zip(&out_vals).zip(0..) {
+        let lambda = rv.open(client_role_keys[client].secret.scalar)?;
+        let mu_w = mu[w.0].expect("output wire mu known");
+        outputs[client].push(mu_w + lambda);
+    }
+
+    let mu_final: Vec<F> = mu
+        .into_iter()
+        .map(|m| m.unwrap_or(F::ZERO))
+        .collect();
+    Ok(OnlineResult { outputs, mu: mu_final })
+}

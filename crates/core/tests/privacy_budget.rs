@@ -1,0 +1,83 @@
+//! Privacy accounting: the adversary's recorded view never exceeds the
+//! information-theoretic privacy threshold of any secret object.
+//!
+//! A degree-`d` packed sharing of `k` secrets hides them from up to
+//! `d − k + 1` shares; the λ-sharings have `d = t + k − 1`, so the
+//! privacy threshold is exactly `t`. The `tsk` Shamir sharing has
+//! threshold `t` as well. With `t_mal` malicious plus `ℓ` leaky roles
+//! per committee, the adversary's per-object exposure is
+//! `t_mal + ℓ ≤ t` — never more.
+
+use rand::SeedableRng;
+use yoso_circuit::generators;
+use yoso_core::{Engine, ExecutionConfig, ProtocolParams};
+use yoso_field::{F61, PrimeField};
+use yoso_runtime::{ActiveAttack, Adversary};
+
+fn run(params: ProtocolParams, adversary: &Adversary, seed: u64) -> yoso_core::RunResult<F61> {
+    let circuit = generators::inner_product::<F61>(4).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let inputs: Vec<Vec<F61>> = circuit
+        .inputs_per_client()
+        .iter()
+        .map(|ws| ws.iter().map(|_| F61::random(&mut rng)).collect())
+        .collect();
+    Engine::new(params, ExecutionConfig::default())
+        .run(&mut rng, &circuit, &inputs, adversary)
+        .unwrap()
+}
+
+#[test]
+fn honest_run_leaks_nothing() {
+    let params = ProtocolParams::new(10, 2, 2).unwrap();
+    let result = run(params, &Adversary::none(), 1);
+    assert!(result.leaks.is_empty());
+}
+
+#[test]
+fn exposure_equals_corruption_and_stays_below_threshold() {
+    // t = 3 threshold; adversary uses 2 malicious + 1 leaky = 3 ≤ t.
+    let params = ProtocolParams::new(14, 3, 2).unwrap();
+    let adversary = Adversary::active(2, ActiveAttack::BadProof).with_leaky(1);
+    let result = run(params, &adversary, 2);
+    assert!(!result.leaks.is_empty());
+    let per_object = result.leaks.pieces_per_object();
+    for (object, pieces) in &per_object {
+        assert!(
+            *pieces <= params.t,
+            "object {object}: {pieces} exposed shares exceed the privacy threshold t = {}",
+            params.t
+        );
+        assert_eq!(*pieces, 3, "object {object}: exposure should equal mal + leaky");
+    }
+    // Both λ-batch shares and tsk shares appear in the accounting.
+    assert!(per_object.keys().any(|k| k.starts_with("batch")));
+    assert!(per_object.keys().any(|k| k.starts_with("tsk/epoch")));
+    assert_eq!(result.leaks.max_exposure(), 3);
+}
+
+#[test]
+fn failstop_roles_do_not_leak() {
+    // Fail-stop parties are honest: crashes must not add exposure.
+    let params = ProtocolParams::with_failstops(14, 2, 2, 3).unwrap();
+    let adversary = Adversary::active(2, ActiveAttack::WrongValue)
+        .with_failstops(3, yoso_core::crash_phases::ONLINE_MULT);
+    let result = run(params, &adversary, 3);
+    assert_eq!(result.leaks.max_exposure(), 2, "only the 2 malicious roles expose shares");
+}
+
+#[test]
+fn every_tsk_epoch_is_separately_accounted() {
+    // Each committee handover re-randomizes tsk's sharing: exposures in
+    // different epochs must not accumulate against one object.
+    let params = ProtocolParams::new(10, 2, 1).unwrap();
+    let adversary = Adversary::active(2, ActiveAttack::BadProof);
+    let result = run(params, &adversary, 4);
+    let per_object = result.leaks.pieces_per_object();
+    let epochs: Vec<&String> =
+        per_object.keys().filter(|k| k.starts_with("tsk/epoch")).collect();
+    assert!(epochs.len() >= 2, "multiple custody epochs expected: {epochs:?}");
+    for e in epochs {
+        assert!(per_object[e] <= params.t);
+    }
+}

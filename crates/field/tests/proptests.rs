@@ -1,0 +1,99 @@
+//! Property-based tests for field axioms, polynomials and
+//! Lagrange interpolation.
+
+use proptest::prelude::*;
+use yoso_field::{lagrange, F61, Poly, PrimeField};
+
+fn felt() -> impl Strategy<Value = F61> {
+    any::<u64>().prop_map(F61::from_u64)
+}
+
+fn poly_strategy(max_deg: usize) -> impl Strategy<Value = Poly<F61>> {
+    prop::collection::vec(felt(), 0..=max_deg + 1).prop_map(Poly::new)
+}
+
+proptest! {
+    #[test]
+    fn field_axioms(a in felt(), b in felt(), c in felt()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!((a * b) * c, a * (b * c));
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+        prop_assert_eq!(a + F61::ZERO, a);
+        prop_assert_eq!(a * F61::ONE, a);
+        prop_assert_eq!(a + (-a), F61::ZERO);
+        prop_assert_eq!(a - b, a + (-b));
+    }
+
+    #[test]
+    fn inverse_is_two_sided(a in felt()) {
+        prop_assume!(!a.is_zero());
+        let inv = a.inv().unwrap();
+        prop_assert_eq!(a * inv, F61::ONE);
+        prop_assert_eq!(inv * a, F61::ONE);
+        prop_assert_eq!(inv.inv().unwrap(), a);
+    }
+
+    #[test]
+    fn pow_is_homomorphic(a in felt(), e1 in 0u64..1000, e2 in 0u64..1000) {
+        prop_assert_eq!(a.pow(e1) * a.pow(e2), a.pow(e1 + e2));
+    }
+
+    #[test]
+    fn bytes_roundtrip(a in felt()) {
+        prop_assert_eq!(F61::from_bytes(&a.to_bytes()).unwrap(), a);
+    }
+
+    #[test]
+    fn poly_ring_axioms(p in poly_strategy(6), q in poly_strategy(6), r in poly_strategy(4)) {
+        prop_assert_eq!(&p + &q, &q + &p);
+        prop_assert_eq!(&p * &q, &q * &p);
+        prop_assert_eq!(&(&p + &q) * &r, &(&p * &r) + &(&q * &r));
+        prop_assert_eq!(&(&p - &q) + &q, p);
+    }
+
+    #[test]
+    fn poly_eval_is_ring_hom(p in poly_strategy(6), q in poly_strategy(6), x in felt()) {
+        prop_assert_eq!((&p + &q).eval(x), p.eval(x) + q.eval(x));
+        prop_assert_eq!((&p * &q).eval(x), p.eval(x) * q.eval(x));
+    }
+
+    #[test]
+    fn interpolation_roundtrip(p in poly_strategy(9)) {
+        let deg = p.degree().unwrap_or(0);
+        let xs: Vec<F61> = (1..=deg as u64 + 1).map(F61::from_u64).collect();
+        let ys = p.eval_many(&xs);
+        let q = lagrange::interpolate(&xs, &ys).unwrap();
+        prop_assert_eq!(p, q);
+    }
+
+    #[test]
+    fn basis_reproduces_polynomial_values(p in poly_strategy(7), x in felt()) {
+        let m = p.degree().unwrap_or(0) + 1;
+        let xs: Vec<F61> = (1..=m as u64).map(F61::from_u64).collect();
+        let basis = lagrange::basis_at(&xs, x).unwrap();
+        let ys = p.eval_many(&xs);
+        let via_basis: F61 = basis.iter().zip(&ys).map(|(&b, &y)| b * y).sum();
+        prop_assert_eq!(via_basis, p.eval(x));
+    }
+
+    #[test]
+    fn poly_division_invariant(p in poly_strategy(10), q in poly_strategy(5)) {
+        prop_assume!(!q.is_zero());
+        let (quot, rem) = p.div_rem(&q);
+        prop_assert_eq!(&(&quot * &q) + &rem, p);
+        if let Some(rd) = rem.degree() {
+            prop_assert!(rd < q.degree().unwrap());
+        }
+    }
+
+    #[test]
+    fn batch_invert_agrees(vals in prop::collection::vec(felt(), 1..40)) {
+        prop_assume!(vals.iter().all(|v| !v.is_zero()));
+        let inv = lagrange::batch_invert(&vals).unwrap();
+        for (v, i) in vals.iter().zip(&inv) {
+            prop_assert_eq!(*v * *i, F61::ONE);
+        }
+    }
+}

@@ -1,0 +1,598 @@
+//! Packed Shamir secret sharing (Franklin–Yung).
+//!
+//! A degree-`d` *packed* Shamir sharing `[[x]]_d` stores a vector
+//! `x ∈ F^k` of `k` secrets in a single sharing: a polynomial `f` of
+//! degree at most `d` with `f(e_j) = x_j` at the *secret points*
+//! `e_j = −(j−1)`, while party `i ∈ [n]` holds the *share* `f(i)`.
+//!
+//! Properties used throughout the paper (§3.2):
+//!
+//! - `d + 1` shares reconstruct; any `d − k + 1` shares are independent
+//!   of the secrets.
+//! - Linear homomorphism: `[[x + y]]_d = [[x]]_d + [[y]]_d`.
+//! - Share-wise multiplication: `[[x * y]]_{d1+d2} = [[x]]_{d1} ⊙ [[y]]_{d2}`
+//!   (requires `d1 + d2 < n`).
+//! - Multiplication-friendliness: a *public* vector `c` can be
+//!   multiplied in by locally computing the (deterministic)
+//!   degree-`(k−1)` sharing `[[c]]_{k−1}` and share-wise multiplying.
+//!
+//! The crate exposes dealer-side whole-vector types ([`PackedShares`])
+//! because the YOSO runtime simulates all roles in one process; the
+//! per-party view is a [`Share`].
+//!
+//! # Example
+//!
+//! ```rust
+//! use rand::SeedableRng;
+//! use yoso_field::F61;
+//! use yoso_pss_sharing::PackedSharing;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! // n = 10 parties, k = 3 secrets per sharing.
+//! let scheme = PackedSharing::<F61>::new(10, 3)?;
+//! let secrets = [F61::from(5u64), F61::from(7u64), F61::from(9u64)];
+//! let shares = scheme.share(&mut rng, &secrets, 5)?;
+//! let back = scheme.reconstruct(&shares.select(&[0, 2, 4, 6, 8, 9]), 5)?;
+//! assert_eq!(back, secrets.to_vec());
+//! # Ok::<(), yoso_pss_sharing::PssError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod shamir;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use yoso_field::{lagrange, FieldError, Poly, PrimeField};
+
+/// Errors produced by sharing operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PssError {
+    /// Scheme parameters are inconsistent (e.g. `k = 0` or `k > n`).
+    BadParameters {
+        /// Committee size.
+        n: usize,
+        /// Packing factor.
+        k: usize,
+    },
+    /// A degree outside `[k−1, n−1]` was requested.
+    BadDegree {
+        /// The offending degree.
+        degree: usize,
+        /// Packing factor `k` of the scheme.
+        k: usize,
+        /// Committee size `n` of the scheme.
+        n: usize,
+    },
+    /// Too few shares were supplied to reconstruct.
+    NotEnoughShares {
+        /// Shares supplied.
+        got: usize,
+        /// Shares required (`degree + 1`).
+        need: usize,
+    },
+    /// Supplied shares are inconsistent with a single polynomial of the
+    /// claimed degree (error detection tripped).
+    Inconsistent,
+    /// The number of secrets does not match the packing factor.
+    SecretCountMismatch {
+        /// Secrets supplied.
+        got: usize,
+        /// Packing factor `k`.
+        expected: usize,
+    },
+    /// A duplicate party index appeared in a share set.
+    DuplicateParty(usize),
+    /// An underlying field error.
+    Field(FieldError),
+}
+
+impl std::fmt::Display for PssError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PssError::BadParameters { n, k } => write!(f, "invalid packed sharing parameters: n={n}, k={k}"),
+            PssError::BadDegree { degree, k, n } => {
+                write!(f, "degree {degree} outside valid range [{}, {}]", k - 1, n - 1)
+            }
+            PssError::NotEnoughShares { got, need } => {
+                write!(f, "not enough shares: got {got}, need {need}")
+            }
+            PssError::Inconsistent => write!(f, "shares are inconsistent with claimed degree"),
+            PssError::SecretCountMismatch { got, expected } => {
+                write!(f, "secret count mismatch: got {got}, expected {expected}")
+            }
+            PssError::DuplicateParty(i) => write!(f, "duplicate party index {i} in share set"),
+            PssError::Field(e) => write!(f, "field error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PssError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PssError::Field(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FieldError> for PssError {
+    fn from(e: FieldError) -> Self {
+        PssError::Field(e)
+    }
+}
+
+/// One party's share of a packed sharing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(bound = "")]
+pub struct Share<F: PrimeField> {
+    /// 0-based party index (party `i` evaluates at point `i + 1`).
+    pub party: usize,
+    /// The share value `f(party + 1)`.
+    pub value: F,
+}
+
+/// A complete degree-`d` packed sharing: the dealer-side view holding
+/// all `n` share values.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(bound = "")]
+pub struct PackedShares<F: PrimeField> {
+    degree: usize,
+    values: Vec<F>,
+}
+
+impl<F: PrimeField> PackedShares<F> {
+    /// The sharing degree.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// All `n` share values (index `i` belongs to party `i`).
+    pub fn values(&self) -> &[F] {
+        &self.values
+    }
+
+    /// The share of party `i` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    pub fn share_of(&self, i: usize) -> Share<F> {
+        Share { party: i, value: self.values[i] }
+    }
+
+    /// Extracts the shares of the given (0-based) parties.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn select(&self, parties: &[usize]) -> Vec<Share<F>> {
+        parties.iter().map(|&i| self.share_of(i)).collect()
+    }
+
+    /// Share-wise addition. Result degree is the max of the operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the share vectors have different lengths.
+    pub fn add(&self, rhs: &Self) -> Self {
+        assert_eq!(self.values.len(), rhs.values.len(), "mismatched committee sizes");
+        PackedShares {
+            degree: self.degree.max(rhs.degree),
+            values: self.values.iter().zip(&rhs.values).map(|(&a, &b)| a + b).collect(),
+        }
+    }
+
+    /// Share-wise subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the share vectors have different lengths.
+    pub fn sub(&self, rhs: &Self) -> Self {
+        assert_eq!(self.values.len(), rhs.values.len(), "mismatched committee sizes");
+        PackedShares {
+            degree: self.degree.max(rhs.degree),
+            values: self.values.iter().zip(&rhs.values).map(|(&a, &b)| a - b).collect(),
+        }
+    }
+
+    /// Multiplication by a public scalar.
+    pub fn scale(&self, s: F) -> Self {
+        PackedShares { degree: self.degree, values: self.values.iter().map(|&v| v * s).collect() }
+    }
+
+    /// Share-wise multiplication: `[[x*y]]_{d1+d2}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the share vectors have different lengths.
+    pub fn mul_elementwise(&self, rhs: &Self) -> Self {
+        assert_eq!(self.values.len(), rhs.values.len(), "mismatched committee sizes");
+        PackedShares {
+            degree: self.degree + rhs.degree,
+            values: self.values.iter().zip(&rhs.values).map(|(&a, &b)| a * b).collect(),
+        }
+    }
+}
+
+/// A packed Shamir sharing scheme instance: `n` parties, `k` secrets
+/// per sharing.
+///
+/// Precomputes the secret points `e_j = −(j−1)` and the party points
+/// `1..=n`.
+#[derive(Debug, Clone)]
+pub struct PackedSharing<F: PrimeField> {
+    n: usize,
+    k: usize,
+    party_points: Vec<F>,
+    secret_points: Vec<F>,
+}
+
+impl<F: PrimeField> PackedSharing<F> {
+    /// Creates a scheme for `n` parties packing `k` secrets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PssError::BadParameters`] unless `1 ≤ k ≤ n` and
+    /// `n + k ≤ MODULUS` (points must be distinct in the field).
+    pub fn new(n: usize, k: usize) -> Result<Self, PssError> {
+        if k == 0 || k > n || n == 0 || (n + k) as u64 >= F::MODULUS {
+            return Err(PssError::BadParameters { n, k });
+        }
+        let party_points = (1..=n as u64).map(F::from_u64).collect();
+        let secret_points = (0..k as i64).map(|j| F::from_i64(-j)).collect();
+        Ok(PackedSharing { n, k, party_points, secret_points })
+    }
+
+    /// Committee size `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Packing factor `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The evaluation point of party `i` (0-based), i.e. `i + 1`.
+    pub fn party_point(&self, i: usize) -> F {
+        self.party_points[i]
+    }
+
+    /// The evaluation point storing secret `j`, i.e. `−j` (0-based).
+    pub fn secret_point(&self, j: usize) -> F {
+        self.secret_points[j]
+    }
+
+    fn check_degree(&self, degree: usize) -> Result<(), PssError> {
+        if degree + 1 < self.k || degree >= self.n {
+            return Err(PssError::BadDegree { degree, k: self.k, n: self.n });
+        }
+        Ok(())
+    }
+
+    /// Deals a fresh uniformly random degree-`degree` sharing of
+    /// `secrets`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PssError::SecretCountMismatch`] or
+    /// [`PssError::BadDegree`] on malformed input.
+    pub fn share<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        secrets: &[F],
+        degree: usize,
+    ) -> Result<PackedShares<F>, PssError> {
+        if secrets.len() != self.k {
+            return Err(PssError::SecretCountMismatch { got: secrets.len(), expected: self.k });
+        }
+        self.check_degree(degree)?;
+        // Interpolate through the k secrets plus (degree + 1 − k) random
+        // values at the first party points; the result is uniform among
+        // degree-`degree` polynomials with the prescribed secrets.
+        let extra = degree + 1 - self.k;
+        let mut xs = self.secret_points.clone();
+        let mut ys = secrets.to_vec();
+        for i in 0..extra {
+            xs.push(self.party_points[i]);
+            ys.push(F::random(rng));
+        }
+        let poly = lagrange::interpolate(&xs, &ys)?;
+        debug_assert!(poly.degree().unwrap_or(0) <= degree);
+        Ok(PackedShares { degree, values: poly.eval_many(&self.party_points) })
+    }
+
+    /// The *deterministic* degree-`(k−1)` sharing of a public vector
+    /// `c` — every party can compute it locally (all shares are
+    /// determined by the secrets). This is the first step of
+    /// multiplication-friendliness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PssError::SecretCountMismatch`] if `c` has the wrong
+    /// length.
+    pub fn share_public(&self, c: &[F]) -> Result<PackedShares<F>, PssError> {
+        if c.len() != self.k {
+            return Err(PssError::SecretCountMismatch { got: c.len(), expected: self.k });
+        }
+        let poly = lagrange::interpolate(&self.secret_points, c)?;
+        Ok(PackedShares { degree: self.k - 1, values: poly.eval_many(&self.party_points) })
+    }
+
+    /// Multiplies a public vector into a sharing:
+    /// `c * [[x]]_d = [[c * x]]_{d + k − 1}` (the paper's
+    /// `c * [[x]]_{n−k} = [[c*x]]_{n−1}` construction).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PssError::SecretCountMismatch`]; returns
+    /// [`PssError::BadDegree`] if the product degree reaches `n`.
+    pub fn mul_public(&self, c: &[F], shares: &PackedShares<F>) -> Result<PackedShares<F>, PssError> {
+        let c_shares = self.share_public(c)?;
+        let out = c_shares.mul_elementwise(shares);
+        if out.degree >= self.n {
+            return Err(PssError::BadDegree { degree: out.degree, k: self.k, n: self.n });
+        }
+        Ok(out)
+    }
+
+    /// Reconstructs the packed secrets from at least `degree + 1`
+    /// shares, with consistency (error-detection) checking of any
+    /// surplus shares.
+    ///
+    /// # Errors
+    ///
+    /// - [`PssError::NotEnoughShares`] with fewer than `degree + 1`.
+    /// - [`PssError::DuplicateParty`] on repeated indices.
+    /// - [`PssError::Inconsistent`] if surplus shares do not lie on the
+    ///   interpolated polynomial (some share is corrupted).
+    pub fn reconstruct(&self, shares: &[Share<F>], degree: usize) -> Result<Vec<F>, PssError> {
+        self.check_degree(degree)?;
+        if shares.len() < degree + 1 {
+            return Err(PssError::NotEnoughShares { got: shares.len(), need: degree + 1 });
+        }
+        let mut seen = vec![false; self.n];
+        for s in shares {
+            if s.party >= self.n || seen[s.party] {
+                return Err(PssError::DuplicateParty(s.party));
+            }
+            seen[s.party] = true;
+        }
+        let xs: Vec<F> = shares[..degree + 1].iter().map(|s| self.party_points[s.party]).collect();
+        let ys: Vec<F> = shares[..degree + 1].iter().map(|s| s.value).collect();
+        let poly = lagrange::interpolate(&xs, &ys)?;
+        // Error detection: every surplus share must be on the polynomial.
+        for s in &shares[degree + 1..] {
+            if poly.eval(self.party_points[s.party]) != s.value {
+                return Err(PssError::Inconsistent);
+            }
+        }
+        if poly.degree().unwrap_or(0) > degree {
+            return Err(PssError::Inconsistent);
+        }
+        Ok(poly.eval_many(&self.secret_points))
+    }
+
+    /// Reconstructs the full polynomial (used by tests and the runtime
+    /// to inspect share structure).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::reconstruct`].
+    pub fn reconstruct_poly(&self, shares: &[Share<F>], degree: usize) -> Result<Poly<F>, PssError> {
+        self.check_degree(degree)?;
+        if shares.len() < degree + 1 {
+            return Err(PssError::NotEnoughShares { got: shares.len(), need: degree + 1 });
+        }
+        let xs: Vec<F> = shares[..degree + 1].iter().map(|s| self.party_points[s.party]).collect();
+        let ys: Vec<F> = shares[..degree + 1].iter().map(|s| s.value).collect();
+        Ok(lagrange::interpolate(&xs, &ys)?)
+    }
+
+    /// The recombination vector taking shares of parties `parties`
+    /// (0-based) to the value at secret point `j`: coefficients `w`
+    /// with `x_j = Σ w_i · f(party_i + 1)` for any polynomial of degree
+    /// `< parties.len()`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates field errors on duplicate parties.
+    pub fn recombination_vector(&self, parties: &[usize], j: usize) -> Result<Vec<F>, PssError> {
+        let xs: Vec<F> = parties.iter().map(|&i| self.party_points[i]).collect();
+        Ok(lagrange::basis_at(&xs, self.secret_points[j])?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use yoso_field::F61;
+
+    fn f(v: u64) -> F61 {
+        F61::from(v)
+    }
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(PackedSharing::<F61>::new(10, 3).is_ok());
+        assert!(matches!(PackedSharing::<F61>::new(10, 0), Err(PssError::BadParameters { .. })));
+        assert!(matches!(PackedSharing::<F61>::new(3, 4), Err(PssError::BadParameters { .. })));
+        assert!(matches!(PackedSharing::<F61>::new(0, 0), Err(PssError::BadParameters { .. })));
+    }
+
+    #[test]
+    fn share_reconstruct_roundtrip_all_degrees() {
+        let mut rng = rng();
+        let scheme = PackedSharing::<F61>::new(12, 4).unwrap();
+        let secrets = [f(1), f(22), f(333), f(4444)];
+        for degree in 3..12 {
+            let shares = scheme.share(&mut rng, &secrets, degree).unwrap();
+            let subset: Vec<usize> = (0..=degree).collect();
+            let got = scheme.reconstruct(&shares.select(&subset), degree).unwrap();
+            assert_eq!(got, secrets.to_vec(), "degree {degree}");
+        }
+    }
+
+    #[test]
+    fn reconstruct_from_any_subset() {
+        let mut rng = rng();
+        let scheme = PackedSharing::<F61>::new(9, 2).unwrap();
+        let secrets = [f(10), f(20)];
+        let shares = scheme.share(&mut rng, &secrets, 4).unwrap();
+        for subset in [[0, 2, 4, 6, 8], [1, 3, 5, 7, 8], [4, 5, 6, 7, 0]] {
+            let got = scheme.reconstruct(&shares.select(&subset), 4).unwrap();
+            assert_eq!(got, secrets.to_vec());
+        }
+    }
+
+    #[test]
+    fn too_few_shares_rejected() {
+        let mut rng = rng();
+        let scheme = PackedSharing::<F61>::new(9, 2).unwrap();
+        let shares = scheme.share(&mut rng, &[f(1), f(2)], 4).unwrap();
+        let err = scheme.reconstruct(&shares.select(&[0, 1, 2, 3]), 4).unwrap_err();
+        assert_eq!(err, PssError::NotEnoughShares { got: 4, need: 5 });
+    }
+
+    #[test]
+    fn corrupted_surplus_share_detected() {
+        let mut rng = rng();
+        let scheme = PackedSharing::<F61>::new(9, 2).unwrap();
+        let shares = scheme.share(&mut rng, &[f(1), f(2)], 4).unwrap();
+        let mut subset = shares.select(&[0, 1, 2, 3, 4, 5]);
+        subset[5].value += F61::ONE;
+        assert_eq!(scheme.reconstruct(&subset, 4), Err(PssError::Inconsistent));
+    }
+
+    #[test]
+    fn duplicate_party_rejected() {
+        let mut rng = rng();
+        let scheme = PackedSharing::<F61>::new(9, 2).unwrap();
+        let shares = scheme.share(&mut rng, &[f(1), f(2)], 4).unwrap();
+        let mut subset = shares.select(&[0, 1, 2, 3, 4]);
+        subset[4].party = 0;
+        subset[4].value = shares.share_of(0).value;
+        assert!(matches!(scheme.reconstruct(&subset, 4), Err(PssError::DuplicateParty(0))));
+    }
+
+    #[test]
+    fn linearity() {
+        let mut rng = rng();
+        let scheme = PackedSharing::<F61>::new(10, 3).unwrap();
+        let a = [f(1), f(2), f(3)];
+        let b = [f(100), f(200), f(300)];
+        let sa = scheme.share(&mut rng, &a, 5).unwrap();
+        let sb = scheme.share(&mut rng, &b, 5).unwrap();
+        let sum = sa.add(&sb);
+        let all: Vec<usize> = (0..10).collect();
+        let got = scheme.reconstruct(&sum.select(&all), 5).unwrap();
+        assert_eq!(got, vec![f(101), f(202), f(303)]);
+        let diff = sum.sub(&sb);
+        assert_eq!(scheme.reconstruct(&diff.select(&all), 5).unwrap(), a.to_vec());
+        let scaled = sa.scale(f(7));
+        assert_eq!(scheme.reconstruct(&scaled.select(&all), 5).unwrap(), vec![f(7), f(14), f(21)]);
+    }
+
+    #[test]
+    fn elementwise_multiplication_degree_sum() {
+        let mut rng = rng();
+        let scheme = PackedSharing::<F61>::new(11, 2).unwrap();
+        let a = [f(3), f(4)];
+        let b = [f(5), f(6)];
+        let sa = scheme.share(&mut rng, &a, 4).unwrap();
+        let sb = scheme.share(&mut rng, &b, 4).unwrap();
+        let prod = sa.mul_elementwise(&sb);
+        assert_eq!(prod.degree(), 8);
+        let all: Vec<usize> = (0..11).collect();
+        let got = scheme.reconstruct(&prod.select(&all), 8).unwrap();
+        assert_eq!(got, vec![f(15), f(24)]);
+    }
+
+    #[test]
+    fn mul_public_matches_paper_rule() {
+        // c * [[x]]_{n-k} = [[c*x]]_{n-1}
+        let mut rng = rng();
+        let n = 10;
+        let k = 3;
+        let scheme = PackedSharing::<F61>::new(n, k).unwrap();
+        let x = [f(2), f(3), f(4)];
+        let c = [f(10), f(20), f(30)];
+        let sx = scheme.share(&mut rng, &x, n - k).unwrap();
+        let prod = scheme.mul_public(&c, &sx).unwrap();
+        assert_eq!(prod.degree(), n - 1);
+        let all: Vec<usize> = (0..n).collect();
+        let got = scheme.reconstruct(&prod.select(&all), n - 1).unwrap();
+        assert_eq!(got, vec![f(20), f(60), f(120)]);
+    }
+
+    #[test]
+    fn mul_public_rejects_overflow_degree() {
+        let mut rng = rng();
+        let scheme = PackedSharing::<F61>::new(10, 3).unwrap();
+        let sx = scheme.share(&mut rng, &[f(1), f(2), f(3)], 8).unwrap();
+        assert!(matches!(
+            scheme.mul_public(&[f(1), f(1), f(1)], &sx),
+            Err(PssError::BadDegree { .. })
+        ));
+    }
+
+    #[test]
+    fn privacy_low_degree_shares_leak_nothing() {
+        // With degree d, any d - k + 1 shares of distinct random
+        // sharings of *different* secrets are identically distributed.
+        // We check a weaker invariant computationally: the shares of
+        // d - k + 1 parties do not determine the secrets (many
+        // polynomials through them yield different secrets).
+        let mut rng = rng();
+        let scheme = PackedSharing::<F61>::new(10, 3).unwrap();
+        let d = 6;
+        let secrets = [f(1), f(2), f(3)];
+        let shares = scheme.share(&mut rng, &secrets, d).unwrap();
+        let observed = shares.select(&[0, 1, 2, 3]); // d - k + 1 = 4 shares
+        // Build a different completion consistent with the observed shares.
+        let mut xs: Vec<F61> = observed.iter().map(|s| scheme.party_point(s.party)).collect();
+        let mut ys: Vec<F61> = observed.iter().map(|s| s.value).collect();
+        let fake_secrets = [f(9), f(8), f(7)];
+        for j in 0..3 {
+            xs.push(scheme.secret_point(j));
+            ys.push(fake_secrets[j]);
+        }
+        let poly = yoso_field::lagrange::interpolate(&xs, &ys).unwrap();
+        assert!(poly.degree().unwrap() <= d, "a consistent fake completion exists");
+    }
+
+    #[test]
+    fn recombination_vector_reconstructs_secret() {
+        let mut rng = rng();
+        let scheme = PackedSharing::<F61>::new(10, 3).unwrap();
+        let secrets = [f(42), f(43), f(44)];
+        let shares = scheme.share(&mut rng, &secrets, 6).unwrap();
+        let parties: Vec<usize> = (0..7).collect();
+        for j in 0..3 {
+            let w = scheme.recombination_vector(&parties, j).unwrap();
+            let got: F61 = w
+                .iter()
+                .zip(&parties)
+                .map(|(&wi, &p)| wi * shares.share_of(p).value)
+                .sum();
+            assert_eq!(got, secrets[j]);
+        }
+    }
+
+    #[test]
+    fn standard_shamir_is_k_equals_one() {
+        let mut rng = rng();
+        let scheme = PackedSharing::<F61>::new(7, 1).unwrap();
+        let shares = scheme.share(&mut rng, &[f(99)], 3).unwrap();
+        let got = scheme.reconstruct(&shares.select(&[1, 3, 5, 6]), 3).unwrap();
+        assert_eq!(got, vec![f(99)]);
+    }
+}

@@ -1,0 +1,221 @@
+//! Standard (non-packed) Shamir secret sharing of a single secret.
+//!
+//! Used for the threshold-encryption key sharing (`tsk` split among a
+//! committee with threshold `t`) and for re-sharing shares between
+//! committees (`TKRes`/`TKRec`). The secret lives at point `0`; party
+//! `i` (0-based) holds the evaluation at `i + 1`.
+
+use rand::Rng;
+
+use yoso_field::{lagrange, Poly, PrimeField};
+
+use crate::{PssError, Share};
+
+/// Deals a degree-`t` Shamir sharing of `secret` to `n` parties.
+///
+/// Any `t + 1` shares reconstruct; any `t` shares are independent of
+/// the secret.
+///
+/// # Errors
+///
+/// Returns [`PssError::BadParameters`] if `t >= n` or `n` is too large
+/// for the field.
+pub fn share<F: PrimeField, R: Rng + ?Sized>(
+    rng: &mut R,
+    secret: F,
+    n: usize,
+    t: usize,
+) -> Result<Vec<Share<F>>, PssError> {
+    if n == 0 || t >= n || (n as u64) >= F::MODULUS - 1 {
+        return Err(PssError::BadParameters { n, k: t });
+    }
+    let mut coeffs = Vec::with_capacity(t + 1);
+    coeffs.push(secret);
+    for _ in 0..t {
+        coeffs.push(F::random(rng));
+    }
+    let poly = Poly::new(coeffs);
+    Ok((0..n)
+        .map(|i| Share { party: i, value: poly.eval(F::from_u64(i as u64 + 1)) })
+        .collect())
+}
+
+/// Reconstructs the secret from at least `t + 1` shares, checking any
+/// surplus shares for consistency.
+///
+/// # Errors
+///
+/// - [`PssError::NotEnoughShares`] with fewer than `t + 1` shares.
+/// - [`PssError::DuplicateParty`] on repeated indices.
+/// - [`PssError::Inconsistent`] if shares disagree with a single
+///   degree-`t` polynomial.
+pub fn reconstruct<F: PrimeField>(shares: &[Share<F>], t: usize) -> Result<F, PssError> {
+    if shares.len() < t + 1 {
+        return Err(PssError::NotEnoughShares { got: shares.len(), need: t + 1 });
+    }
+    let mut seen = std::collections::HashSet::new();
+    for s in shares {
+        if !seen.insert(s.party) {
+            return Err(PssError::DuplicateParty(s.party));
+        }
+    }
+    let xs: Vec<F> = shares[..t + 1].iter().map(|s| F::from_u64(s.party as u64 + 1)).collect();
+    let ys: Vec<F> = shares[..t + 1].iter().map(|s| s.value).collect();
+    let poly = lagrange::interpolate(&xs, &ys)?;
+    for s in &shares[t + 1..] {
+        if poly.eval(F::from_u64(s.party as u64 + 1)) != s.value {
+            return Err(PssError::Inconsistent);
+        }
+    }
+    if poly.degree().unwrap_or(0) > t {
+        return Err(PssError::Inconsistent);
+    }
+    Ok(poly.eval(F::ZERO))
+}
+
+/// Re-shares a share: party `i` deals a degree-`t` sub-sharing of its
+/// own share `s_i` to the next committee (the `TKRes` operation). The
+/// next committee member `j` reconstructs its new share of the original
+/// secret by Lagrange-combining the subshares it received at point 0
+/// ([`recombine_subshares`], the `TKRec` operation).
+///
+/// # Errors
+///
+/// Same conditions as [`share`].
+pub fn reshare<F: PrimeField, R: Rng + ?Sized>(
+    rng: &mut R,
+    own_share: Share<F>,
+    n: usize,
+    t: usize,
+) -> Result<Vec<Share<F>>, PssError> {
+    share(rng, own_share.value, n, t)
+}
+
+/// Combines subshares received from the previous committee into a new
+/// share of the original secret.
+///
+/// `subshares[j]` must be the subshare produced for *this* party by
+/// previous-committee member `providers[j]` (0-based indices into the
+/// previous committee). Requires at least `t + 1` providers.
+///
+/// # Errors
+///
+/// - [`PssError::NotEnoughShares`] with fewer than `t + 1` providers.
+/// - [`PssError::DuplicateParty`] on repeated provider indices.
+pub fn recombine_subshares<F: PrimeField>(
+    providers: &[usize],
+    subshares: &[F],
+    t: usize,
+) -> Result<F, PssError> {
+    if providers.len() != subshares.len() || providers.len() < t + 1 {
+        return Err(PssError::NotEnoughShares { got: providers.len().min(subshares.len()), need: t + 1 });
+    }
+    let mut seen = std::collections::HashSet::new();
+    for &p in providers {
+        if !seen.insert(p) {
+            return Err(PssError::DuplicateParty(p));
+        }
+    }
+    let xs: Vec<F> = providers[..t + 1].iter().map(|&p| F::from_u64(p as u64 + 1)).collect();
+    let basis = lagrange::basis_at(&xs, F::ZERO)?;
+    Ok(basis.iter().zip(&subshares[..t + 1]).map(|(&b, &s)| b * s).sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use yoso_field::F61;
+
+    fn f(v: u64) -> F61 {
+        F61::from(v)
+    }
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(123)
+    }
+
+    #[test]
+    fn share_reconstruct_roundtrip() {
+        let mut rng = rng();
+        for (n, t) in [(5, 2), (7, 3), (10, 4), (3, 1), (2, 0)] {
+            let shares = share(&mut rng, f(777), n, t).unwrap();
+            assert_eq!(shares.len(), n);
+            let got = reconstruct(&shares[..t + 1], t).unwrap();
+            assert_eq!(got, f(777), "n={n}, t={t}");
+        }
+    }
+
+    #[test]
+    fn t_shares_are_insufficient() {
+        let mut rng = rng();
+        let shares = share(&mut rng, f(5), 7, 3).unwrap();
+        assert!(matches!(
+            reconstruct(&shares[..3], 3),
+            Err(PssError::NotEnoughShares { got: 3, need: 4 })
+        ));
+    }
+
+    #[test]
+    fn corrupted_share_detected_with_surplus() {
+        let mut rng = rng();
+        let mut shares = share(&mut rng, f(5), 7, 3).unwrap();
+        shares[6].value += F61::ONE;
+        assert_eq!(reconstruct(&shares, 3), Err(PssError::Inconsistent));
+    }
+
+    #[test]
+    fn invalid_parameters() {
+        let mut rng = rng();
+        assert!(share(&mut rng, f(1), 3, 3).is_err());
+        assert!(share(&mut rng, f(1), 0, 0).is_err());
+    }
+
+    #[test]
+    fn reshare_preserves_secret() {
+        let mut rng = rng();
+        let n = 7;
+        let t = 3;
+        let secret = f(424_242);
+        let shares = share(&mut rng, secret, n, t).unwrap();
+
+        // Every old member re-shares its share to the new committee.
+        let all_subshares: Vec<Vec<Share<F61>>> =
+            shares.iter().map(|s| reshare(&mut rng, *s, n, t).unwrap()).collect();
+
+        // New member j combines the subshares addressed to it, using
+        // any t+1 providers.
+        let providers: Vec<usize> = vec![0, 2, 4, 6];
+        let new_shares: Vec<Share<F61>> = (0..n)
+            .map(|j| {
+                let subs: Vec<F61> = providers.iter().map(|&p| all_subshares[p][j].value).collect();
+                Share { party: j, value: recombine_subshares(&providers, &subs, t).unwrap() }
+            })
+            .collect();
+
+        // The new shares form a valid sharing of the same secret.
+        let got = reconstruct(&new_shares[1..t + 2], t).unwrap();
+        assert_eq!(got, secret);
+    }
+
+    #[test]
+    fn recombine_rejects_duplicates_and_shortage() {
+        assert!(matches!(
+            recombine_subshares::<F61>(&[0, 0, 1, 2], &[f(1), f(1), f(2), f(3)], 3),
+            Err(PssError::NotEnoughShares { .. }) | Err(PssError::DuplicateParty(_))
+        ));
+        assert!(matches!(
+            recombine_subshares::<F61>(&[0, 1], &[f(1), f(2)], 3),
+            Err(PssError::NotEnoughShares { .. })
+        ));
+    }
+
+    #[test]
+    fn different_subsets_agree() {
+        let mut rng = rng();
+        let shares = share(&mut rng, f(31337), 9, 4).unwrap();
+        let a = reconstruct(&shares[0..5], 4).unwrap();
+        let b = reconstruct(&shares[4..9], 4).unwrap();
+        assert_eq!(a, b);
+    }
+}

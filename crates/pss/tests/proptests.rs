@@ -1,0 +1,111 @@
+//! Property tests for packed and standard Shamir sharing invariants.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use yoso_field::{F61, PrimeField};
+use yoso_pss_sharing::{shamir, PackedSharing};
+
+fn felt() -> impl Strategy<Value = F61> {
+    any::<u64>().prop_map(F61::from_u64)
+}
+
+/// (n, k, degree) with 1 <= k <= degree+1 <= n.
+fn params() -> impl Strategy<Value = (usize, usize, usize)> {
+    (2usize..24).prop_flat_map(|n| {
+        (1usize..=n.min(6)).prop_flat_map(move |k| ((k - 1)..n).prop_map(move |d| (n, k, d)))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn packed_roundtrip((n, k, d) in params(), seed in any::<u64>(), secrets_seed in any::<u64>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut srng = rand::rngs::StdRng::seed_from_u64(secrets_seed);
+        let scheme = PackedSharing::<F61>::new(n, k).unwrap();
+        let secrets: Vec<F61> = (0..k).map(|_| F61::random(&mut srng)).collect();
+        let shares = scheme.share(&mut rng, &secrets, d).unwrap();
+        let subset: Vec<usize> = (0..=d).collect();
+        let got = scheme.reconstruct(&shares.select(&subset), d).unwrap();
+        prop_assert_eq!(got, secrets);
+    }
+
+    #[test]
+    fn packed_linearity((n, k, d) in params(), seed in any::<u64>(), c in felt()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let scheme = PackedSharing::<F61>::new(n, k).unwrap();
+        let a: Vec<F61> = (0..k).map(|_| F61::random(&mut rng)).collect();
+        let b: Vec<F61> = (0..k).map(|_| F61::random(&mut rng)).collect();
+        let sa = scheme.share(&mut rng, &a, d).unwrap();
+        let sb = scheme.share(&mut rng, &b, d).unwrap();
+        let combo = sa.scale(c).add(&sb);
+        let subset: Vec<usize> = (0..=d).collect();
+        let got = scheme.reconstruct(&combo.select(&subset), d).unwrap();
+        let expect: Vec<F61> = a.iter().zip(&b).map(|(&x, &y)| c * x + y).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn packed_multiplication(seed in any::<u64>(), n in 5usize..20) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let k = 2;
+        let d = (n - 1) / 2; // so 2d < n
+        prop_assume!(d + 1 >= k);
+        let scheme = PackedSharing::<F61>::new(n, k).unwrap();
+        let a: Vec<F61> = (0..k).map(|_| F61::random(&mut rng)).collect();
+        let b: Vec<F61> = (0..k).map(|_| F61::random(&mut rng)).collect();
+        let sa = scheme.share(&mut rng, &a, d).unwrap();
+        let sb = scheme.share(&mut rng, &b, d).unwrap();
+        let prod = sa.mul_elementwise(&sb);
+        let subset: Vec<usize> = (0..=2 * d).collect();
+        let got = scheme.reconstruct(&prod.select(&subset), 2 * d).unwrap();
+        let expect: Vec<F61> = a.iter().zip(&b).map(|(&x, &y)| x * y).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn corrupting_any_single_surplus_share_is_detected(
+        seed in any::<u64>(), victim in 0usize..8, delta in 1u64..1000
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let scheme = PackedSharing::<F61>::new(8, 2).unwrap();
+        let shares = scheme.share(&mut rng, &[F61::from(1u64), F61::from(2u64)], 3).unwrap();
+        let all: Vec<usize> = (0..8).collect();
+        let mut subset = shares.select(&all);
+        subset[victim].value += F61::from(delta);
+        prop_assert!(scheme.reconstruct(&subset, 3).is_err());
+    }
+
+    #[test]
+    fn shamir_roundtrip(secret in felt(), seed in any::<u64>(), n in 2usize..20) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let t = (n - 1) / 2;
+        let shares = shamir::share(&mut rng, secret, n, t).unwrap();
+        prop_assert_eq!(shamir::reconstruct(&shares[..t + 1], t).unwrap(), secret);
+        prop_assert_eq!(shamir::reconstruct(&shares[n - t - 1..], t).unwrap(), secret);
+    }
+
+    #[test]
+    fn shamir_reshare_chain_preserves_secret(secret in felt(), seed in any::<u64>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (n, t) = (7usize, 2usize);
+        let mut shares = shamir::share(&mut rng, secret, n, t).unwrap();
+        // Three committee handovers.
+        for _ in 0..3 {
+            let subs: Vec<Vec<_>> =
+                shares.iter().map(|s| shamir::reshare(&mut rng, *s, n, t).unwrap()).collect();
+            let providers: Vec<usize> = (0..t + 1).collect();
+            shares = (0..n)
+                .map(|j| {
+                    let vals: Vec<F61> = providers.iter().map(|&p| subs[p][j].value).collect();
+                    yoso_pss_sharing::Share {
+                        party: j,
+                        value: shamir::recombine_subshares(&providers, &vals, t).unwrap(),
+                    }
+                })
+                .collect();
+        }
+        prop_assert_eq!(shamir::reconstruct(&shares[..t + 1], t).unwrap(), secret);
+    }
+}

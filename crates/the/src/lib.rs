@@ -1,0 +1,95 @@
+//! Linearly homomorphic key-rerandomizable threshold encryption (TE)
+//! and the NIZK arguments used by the YOSO MPC protocol.
+//!
+//! The paper (§4.1) specifies a TE scheme with algorithms
+//! `TKGen / TEnc / TPDec / TDec / TEval / TKRes / TKRec / SimTPDec` and
+//! suggests instantiating it with a Shamir-shared Paillier key. This
+//! crate provides **two** instantiations:
+//!
+//! - [`mock::MockTe`]: a linearly homomorphic threshold scheme over a
+//!   prime field (additive-notation ElGamal with a Shamir-shared key).
+//!   Structurally faithful — real partial decryptions, Lagrange
+//!   combining, Feldman verification keys, key re-sharing, and
+//!   *perfect* partial-decryption simulatability — but with a toy
+//!   security level (the field is 61 bits and the scheme is only
+//!   one-time hiding). This is the engine for large-scale protocol
+//!   simulations and communication measurements, where only structure
+//!   and sizes matter. See DESIGN.md §3 for the substitution argument.
+//! - [`paillier::ThresholdPaillier`]: a faithful threshold Paillier
+//!   (Damgård–Jurik style: `Δ = n!` scaled Shamir sharing of the
+//!   decryption exponent over the integers) built on the from-scratch
+//!   `yoso-bignum`. Plaintext ring `Z_N`. Used in tests and the CDN
+//!   baseline demo to validate the offline-phase algebra end-to-end
+//!   with real cryptography.
+//!
+//! The two plaintext rings differ (`F_p` vs `Z_N`), so the crate
+//! deliberately exposes two parallel concrete APIs rather than one
+//! trait; the MPC core is generic over the *field* and uses `MockTe`.
+//!
+//! NIZKs ([`nizk`]) are Fiat–Shamir–compiled sigma protocols:
+//!
+//! - a generic proof of knowledge of a preimage under a public linear
+//!   map over a prime field ([`nizk::linear`]), which covers every
+//!   relation of the mock world (correct encryption, correct partial
+//!   decryption, correct key re-sharing with Feldman commitments);
+//! - integer sigma protocols for Paillier (knowledge of plaintext,
+//!   correctness of partial decryption via discrete-log equality).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mock;
+pub mod nizk;
+pub mod paillier;
+
+/// Errors produced by threshold-encryption operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TeError {
+    /// Parameters are invalid (e.g. `t >= n`).
+    BadParameters {
+        /// Committee size.
+        n: usize,
+        /// Corruption threshold.
+        t: usize,
+    },
+    /// Too few partial decryptions to combine.
+    NotEnoughPartials {
+        /// Partials supplied.
+        got: usize,
+        /// Partials needed (`t + 1`).
+        need: usize,
+    },
+    /// Partial decryptions are mutually inconsistent (some are wrong).
+    InconsistentPartials,
+    /// A party index was out of range or duplicated.
+    BadParty(usize),
+    /// A proof failed to verify.
+    ProofRejected,
+    /// Mismatched input lengths (e.g. `TEval` ciphertexts vs coefficients).
+    LengthMismatch {
+        /// First length.
+        a: usize,
+        /// Second length.
+        b: usize,
+    },
+    /// The ciphertext is malformed for this public key.
+    MalformedCiphertext,
+}
+
+impl std::fmt::Display for TeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TeError::BadParameters { n, t } => write!(f, "invalid TE parameters: n={n}, t={t}"),
+            TeError::NotEnoughPartials { got, need } => {
+                write!(f, "not enough partial decryptions: got {got}, need {need}")
+            }
+            TeError::InconsistentPartials => write!(f, "inconsistent partial decryptions"),
+            TeError::BadParty(i) => write!(f, "bad or duplicate party index {i}"),
+            TeError::ProofRejected => write!(f, "zero-knowledge proof rejected"),
+            TeError::LengthMismatch { a, b } => write!(f, "length mismatch: {a} vs {b}"),
+            TeError::MalformedCiphertext => write!(f, "malformed ciphertext"),
+        }
+    }
+}
+
+impl std::error::Error for TeError {}

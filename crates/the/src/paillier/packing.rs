@@ -1,0 +1,160 @@
+//! Homomorphic packing over `Z_N` — offline Step 4 on the faithful
+//! threshold-Paillier instantiation.
+//!
+//! The paper's packing computes, from per-wire mask ciphertexts
+//! `c^{λ_1} … c^{λ_k}` and `t` helper-randomness ciphertexts, the `n`
+//! encrypted evaluations of the degree-`(t+k−1)` polynomial through
+//! `(0, λ_1), (−1, λ_2), …, (−(k−1), λ_k), (1, r_1), …, (t, r_t)` —
+//! purely by `TEval` with Lagrange coefficients. Over `Z_N` the
+//! coefficients exist because all node differences are tiny integers,
+//! coprime to `N` (its prime factors are huge).
+
+use yoso_bignum::{Int, Nat};
+
+use super::{Ciphertext, PublicKey, ThresholdPaillier};
+use crate::TeError;
+
+/// Lagrange basis coefficient `l_j(x)` over the nodes, as an element
+/// of `Z_N` (signed integers reduced with `mod_floor`).
+fn lagrange_coeff(n_mod: &Nat, nodes: &[i64], j: usize, x: i64) -> Result<Nat, TeError> {
+    let mut num = Int::from(1i64);
+    let mut den = Int::from(1i64);
+    for (m, &xm) in nodes.iter().enumerate() {
+        if m == j {
+            continue;
+        }
+        num = &num * &Int::from(x - xm);
+        den = &den * &Int::from(nodes[j] - xm);
+    }
+    let den_inv = den
+        .mod_floor(n_mod)
+        .mod_inv(n_mod)
+        .ok_or(TeError::MalformedCiphertext)?;
+    Ok(num.mod_floor(n_mod).mod_mul(&den_inv, n_mod))
+}
+
+/// Packs `k = wire_cts.len()` mask ciphertexts plus `t` helper
+/// ciphertexts into `n` packed-share ciphertexts (share `i` lives at
+/// evaluation point `i + 1`).
+///
+/// # Errors
+///
+/// Returns [`TeError::LengthMismatch`] on malformed input or
+/// [`TeError::MalformedCiphertext`] if a Lagrange denominator is not
+/// invertible (impossible for honest `N`).
+pub fn pack_ciphertexts(
+    pk: &PublicKey,
+    n: usize,
+    wire_cts: &[Ciphertext],
+    helper_cts: &[Ciphertext],
+) -> Result<Vec<Ciphertext>, TeError> {
+    if wire_cts.is_empty() {
+        return Err(TeError::LengthMismatch { a: 0, b: helper_cts.len() });
+    }
+    let k = wire_cts.len();
+    let t = helper_cts.len();
+    let mut nodes: Vec<i64> = (0..k as i64).map(|j| -j).collect();
+    nodes.extend(1..=t as i64);
+    let all: Vec<&Ciphertext> = wire_cts.iter().chain(helper_cts).collect();
+    (1..=n as i64)
+        .map(|x| {
+            let coeffs: Vec<Int> = (0..nodes.len())
+                .map(|j| lagrange_coeff(&pk.n_mod, &nodes, j, x).map(Int::from_nat))
+                .collect::<Result<_, _>>()?;
+            ThresholdPaillier::eval(pk, &all, &coeffs)
+        })
+        .collect()
+}
+
+/// Reconstructs the packed secrets from `degree + 1` *plaintext* share
+/// values (share `i` at point `i + 1`), evaluating back at the secret
+/// points `0, −1, …, −(k−1)`. Test/client-side helper.
+///
+/// # Errors
+///
+/// Returns [`TeError::NotEnoughPartials`] with too few shares.
+pub fn reconstruct_packed(
+    pk: &PublicKey,
+    shares: &[(usize, Nat)],
+    k: usize,
+    degree: usize,
+) -> Result<Vec<Nat>, TeError> {
+    if shares.len() < degree + 1 {
+        return Err(TeError::NotEnoughPartials { got: shares.len(), need: degree + 1 });
+    }
+    let nodes: Vec<i64> = shares[..degree + 1].iter().map(|(i, _)| *i as i64 + 1).collect();
+    (0..k as i64)
+        .map(|j| {
+            let target = -j;
+            let mut acc = Nat::zero();
+            for (idx, (_, v)) in shares[..degree + 1].iter().enumerate() {
+                let c = lagrange_coeff(&pk.n_mod, &nodes, idx, target)?;
+                acc = acc.mod_add(&c.mod_mul(v, &pk.n_mod), &pk.n_mod);
+            }
+            Ok(acc)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pack_and_reconstruct_over_z_n() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(808);
+        let (n, t) = (5usize, 1usize);
+        let (pk, shares) = ThresholdPaillier::keygen(&mut rng, 128, n, t).unwrap();
+
+        let values = [Nat::from(123u64), Nat::from(456u64)];
+        let k = values.len();
+        let wire_cts: Vec<Ciphertext> = values
+            .iter()
+            .map(|v| ThresholdPaillier::encrypt(&mut rng, &pk, v).0)
+            .collect();
+        let helper_cts: Vec<Ciphertext> = (0..t)
+            .map(|_| {
+                let r = Nat::random_below(&mut rng, &pk.n_mod);
+                ThresholdPaillier::encrypt(&mut rng, &pk, &r).0
+            })
+            .collect();
+
+        let packed = pack_ciphertexts(&pk, n, &wire_cts, &helper_cts).unwrap();
+        assert_eq!(packed.len(), n);
+
+        // Threshold-decrypt each packed-share ciphertext.
+        let share_vals: Vec<(usize, Nat)> = packed
+            .iter()
+            .enumerate()
+            .map(|(i, ct)| {
+                (i, ThresholdPaillier::decrypt_with_shares(&pk, ct, &shares).unwrap())
+            })
+            .collect();
+
+        // Reconstruct from the minimum number of shares (degree t+k−1).
+        let degree = t + k - 1;
+        let got = reconstruct_packed(&pk, &share_vals[..degree + 1], k, degree).unwrap();
+        assert_eq!(got, values.to_vec());
+
+        // Any other (degree+1)-subset agrees.
+        let alt: Vec<(usize, Nat)> = share_vals[n - degree - 1..].to_vec();
+        assert_eq!(reconstruct_packed(&pk, &alt, k, degree).unwrap(), values.to_vec());
+    }
+
+    #[test]
+    fn pack_rejects_empty() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(809);
+        let (pk, _) = ThresholdPaillier::keygen(&mut rng, 128, 3, 1).unwrap();
+        assert!(pack_ciphertexts(&pk, 3, &[], &[]).is_err());
+    }
+
+    #[test]
+    fn reconstruct_needs_enough_shares() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(810);
+        let (pk, _) = ThresholdPaillier::keygen(&mut rng, 128, 3, 1).unwrap();
+        let err =
+            reconstruct_packed(&pk, &[(0, Nat::one())], 2, 2).unwrap_err();
+        assert!(matches!(err, TeError::NotEnoughPartials { .. }));
+    }
+}

@@ -1,0 +1,177 @@
+//! The bulletin board: authenticated broadcast with metering.
+//!
+//! In the YOSO model every message — point-to-point included — is
+//! posted to a public board (encrypted to its recipient when private),
+//! so broadcast and P2P cost the same (§3.3). The board is therefore
+//! the *single* communication channel of the protocol, and metering
+//! postings measures the protocol's entire communication.
+
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+use crate::metrics::CommMeter;
+use crate::role::RoleId;
+
+/// One posting on the board.
+#[derive(Debug, Clone)]
+pub struct Posting<M> {
+    /// The posting round.
+    pub round: u64,
+    /// The author role.
+    pub from: RoleId,
+    /// The message payload.
+    pub message: M,
+}
+
+/// An append-only bulletin board carrying messages of type `M`,
+/// shared between the simulated roles.
+///
+/// Every post records its size with the [`CommMeter`] under the
+/// supplied phase label; experiments read the meter, tests read the
+/// postings.
+#[derive(Debug, Clone)]
+pub struct BulletinBoard<M> {
+    inner: Arc<RwLock<BoardInner<M>>>,
+    meter: CommMeter,
+    audit: bool,
+}
+
+#[derive(Debug)]
+struct BoardInner<M> {
+    postings: Vec<Posting<M>>,
+    round: u64,
+}
+
+impl<M: Clone> Default for BulletinBoard<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: Clone> BulletinBoard<M> {
+    /// Creates an empty board with a fresh meter.
+    pub fn new() -> Self {
+        BulletinBoard {
+            inner: Arc::new(RwLock::new(BoardInner { postings: Vec::new(), round: 0 })),
+            meter: CommMeter::new(),
+            audit: true,
+        }
+    }
+
+    /// Creates a board that meters traffic but does not retain posting
+    /// payloads — used by large-scale experiments where the audit log
+    /// would dominate memory.
+    pub fn metered_only() -> Self {
+        BulletinBoard {
+            inner: Arc::new(RwLock::new(BoardInner { postings: Vec::new(), round: 0 })),
+            meter: CommMeter::new(),
+            audit: false,
+        }
+    }
+
+    /// The communication meter recording all posts.
+    pub fn meter(&self) -> &CommMeter {
+        &self.meter
+    }
+
+    /// The current round.
+    pub fn round(&self) -> u64 {
+        self.inner.read().round
+    }
+
+    /// Advances to the next round (the synchronous model's clock tick).
+    pub fn advance_round(&self) -> u64 {
+        let mut g = self.inner.write();
+        g.round += 1;
+        g.round
+    }
+
+    /// Posts a message, recording `elements` ring elements /
+    /// `bytes` bytes of traffic under `phase`.
+    pub fn post(&self, from: RoleId, message: M, phase: &str, elements: u64, bytes: u64) {
+        self.meter.record(phase, elements, bytes);
+        if !self.audit {
+            return;
+        }
+        let mut g = self.inner.write();
+        let round = g.round;
+        g.postings.push(Posting { round, from, message });
+    }
+
+    /// Number of postings so far.
+    pub fn len(&self) -> usize {
+        self.inner.read().postings.len()
+    }
+
+    /// Whether the board is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all postings (clones).
+    pub fn postings(&self) -> Vec<Posting<M>> {
+        self.inner.read().postings.clone()
+    }
+
+    /// Snapshot of the postings made in `round`.
+    pub fn postings_in_round(&self, round: u64) -> Vec<Posting<M>> {
+        self.inner
+            .read()
+            .postings
+            .iter()
+            .filter(|p| p.round == round)
+            .cloned()
+            .collect()
+    }
+
+    /// Applies `f` to each posting without cloning.
+    pub fn for_each<Fn2: FnMut(&Posting<M>)>(&self, mut f: Fn2) {
+        for p in self.inner.read().postings.iter() {
+            f(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn post_and_read_back() {
+        let board: BulletinBoard<String> = BulletinBoard::new();
+        assert!(board.is_empty());
+        board.post(RoleId::new("c1", 0), "hello".into(), "offline", 2, 16);
+        board.advance_round();
+        board.post(RoleId::new("c1", 1), "world".into(), "online", 1, 8);
+        assert_eq!(board.len(), 2);
+        assert_eq!(board.round(), 1);
+        let r0 = board.postings_in_round(0);
+        assert_eq!(r0.len(), 1);
+        assert_eq!(r0[0].message, "hello");
+        let r1 = board.postings_in_round(1);
+        assert_eq!(r1[0].from, RoleId::new("c1", 1));
+    }
+
+    #[test]
+    fn metering_accumulates() {
+        let board: BulletinBoard<u64> = BulletinBoard::new();
+        board.post(RoleId::new("c", 0), 1, "offline", 3, 24);
+        board.post(RoleId::new("c", 1), 2, "offline", 5, 40);
+        board.post(RoleId::new("c", 2), 3, "online", 1, 8);
+        let stats = board.meter().phase("offline");
+        assert_eq!(stats.elements, 8);
+        assert_eq!(stats.bytes, 64);
+        assert_eq!(stats.messages, 2);
+        assert_eq!(board.meter().phase("online").elements, 1);
+        assert_eq!(board.meter().total().elements, 9);
+    }
+
+    #[test]
+    fn board_clones_share_state() {
+        let board: BulletinBoard<u64> = BulletinBoard::new();
+        let board2 = board.clone();
+        board.post(RoleId::new("c", 0), 7, "x", 1, 8);
+        assert_eq!(board2.len(), 1);
+        assert_eq!(board2.meter().total().elements, 1);
+    }
+}

@@ -1,0 +1,144 @@
+//! Communication metering.
+//!
+//! The paper's efficiency claims are stated in *ring elements per
+//! gate*: `O(n)` offline, `O(1)` online (Theorem 1). The meter counts
+//! exactly what gets posted to the bulletin board, broken down by
+//! phase, so the experiment harness reports measured counts rather
+//! than analytic estimates.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregated traffic for one phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseStats {
+    /// Ring elements posted.
+    pub elements: u64,
+    /// Bytes posted.
+    pub bytes: u64,
+    /// Number of board postings.
+    pub messages: u64,
+}
+
+impl PhaseStats {
+    /// Adds another stats record.
+    pub fn merge(&mut self, other: &PhaseStats) {
+        self.elements += other.elements;
+        self.bytes += other.bytes;
+        self.messages += other.messages;
+    }
+}
+
+/// A thread-safe communication meter keyed by phase label.
+#[derive(Debug, Clone, Default)]
+pub struct CommMeter {
+    inner: Arc<RwLock<BTreeMap<String, PhaseStats>>>,
+}
+
+impl CommMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a posting of `elements` ring elements / `bytes` bytes
+    /// under `phase`.
+    pub fn record(&self, phase: &str, elements: u64, bytes: u64) {
+        let mut g = self.inner.write();
+        let s = g.entry(phase.to_string()).or_default();
+        s.elements += elements;
+        s.bytes += bytes;
+        s.messages += 1;
+    }
+
+    /// The stats for one phase (zero if never recorded).
+    pub fn phase(&self, phase: &str) -> PhaseStats {
+        self.inner.read().get(phase).copied().unwrap_or_default()
+    }
+
+    /// Sum of stats over phases whose label starts with `prefix`.
+    pub fn phase_prefix(&self, prefix: &str) -> PhaseStats {
+        let mut acc = PhaseStats::default();
+        for (k, v) in self.inner.read().iter() {
+            if k.starts_with(prefix) {
+                acc.merge(v);
+            }
+        }
+        acc
+    }
+
+    /// Total over all phases.
+    pub fn total(&self) -> PhaseStats {
+        let mut acc = PhaseStats::default();
+        for v in self.inner.read().values() {
+            acc.merge(v);
+        }
+        acc
+    }
+
+    /// All phases in label order.
+    pub fn phases(&self) -> Vec<(String, PhaseStats)> {
+        self.inner.read().iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
+    /// Clears all recorded stats.
+    pub fn reset(&self) {
+        self.inner.write().clear();
+    }
+
+    /// Elements per gate for a phase, given the gate count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gates` is zero.
+    pub fn elements_per_gate(&self, phase_prefix: &str, gates: usize) -> f64 {
+        assert!(gates > 0, "elements_per_gate: zero gates");
+        self.phase_prefix(phase_prefix).elements as f64 / gates as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let m = CommMeter::new();
+        m.record("offline/triples", 10, 80);
+        m.record("offline/pack", 5, 40);
+        m.record("online/mult", 2, 16);
+        assert_eq!(m.phase("offline/triples").elements, 10);
+        assert_eq!(m.phase_prefix("offline").elements, 15);
+        assert_eq!(m.phase_prefix("offline").messages, 2);
+        assert_eq!(m.total().bytes, 136);
+        assert_eq!(m.phase("nonexistent"), PhaseStats::default());
+    }
+
+    #[test]
+    fn per_gate_normalization() {
+        let m = CommMeter::new();
+        m.record("online", 100, 800);
+        assert!((m.elements_per_gate("online", 50) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let m = CommMeter::new();
+        m.record("x", 1, 1);
+        m.reset();
+        assert_eq!(m.total(), PhaseStats::default());
+    }
+
+    #[test]
+    fn phases_sorted() {
+        let m = CommMeter::new();
+        m.record("b", 1, 1);
+        m.record("a", 1, 1);
+        let phases = m.phases();
+        assert_eq!(phases[0].0, "a");
+        assert_eq!(phases[1].0, "b");
+    }
+}

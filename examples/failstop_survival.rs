@@ -1,0 +1,73 @@
+//! Fail-stop survival (paper §5.4): with the packing factor halved,
+//! the protocol completes even when `n·ε` honest roles crash mid-online
+//! phase *on top of* `t` active corruptions — while the full-packing
+//! configuration cannot spare those roles.
+//!
+//! ```text
+//! cargo run --release --example failstop_survival
+//! ```
+
+use rand::SeedableRng;
+use yoso_pss::circuit::generators;
+use yoso_pss::core::{crash_phases, Engine, ExecutionConfig, ProtocolParams};
+use yoso_pss::core::failstop::FailstopTradeoff;
+use yoso_pss::field::F61;
+use yoso_pss::runtime::{ActiveAttack, Adversary};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 40;
+    let epsilon = 0.2;
+    let tradeoff = FailstopTradeoff::derive(n, epsilon)?;
+    println!("committee size n = {n}, gap ε = {epsilon}");
+    println!(
+        "full packing   : k = {}, tolerates ≤ {} crashes",
+        tradeoff.full.k,
+        FailstopTradeoff::max_crashes(&tradeoff.full)
+    );
+    println!(
+        "halved packing : k = {}, tolerates ≤ {} crashes (provisioned {})",
+        tradeoff.halved.k,
+        FailstopTradeoff::max_crashes(&tradeoff.halved),
+        tradeoff.halved.failstops
+    );
+    println!("online-cost ratio paid for the tolerance: {:.2}×\n", tradeoff.online_cost_ratio());
+
+    let circuit = generators::weighted_average::<F61>(3)?;
+    let inputs = vec![
+        vec![F61::from(80u64), F61::from(2u64)],
+        vec![F61::from(95u64), F61::from(1u64)],
+        vec![F61::from(70u64), F61::from(3u64)],
+    ];
+    let expected = circuit.evaluate(&inputs)?;
+    let crashes = tradeoff.halved.failstops;
+
+    // Halved packing under t active + nε crashes: must succeed.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let adversary = Adversary::active(tradeoff.halved.t, ActiveAttack::WrongValue)
+        .with_failstops(crashes, crash_phases::ONLINE_MULT);
+    let engine = Engine::new(tradeoff.halved, ExecutionConfig::default());
+    let run = engine.run(&mut rng, &circuit, &inputs, &adversary)?;
+    assert_eq!(run.outputs, expected);
+    println!(
+        "halved packing survived {} active + {} crashed roles per committee ✓",
+        tradeoff.halved.t, crashes
+    );
+    println!(
+        "weighted average = {} / {} (delivered to every client)",
+        run.outputs[0][0], run.outputs[0][1]
+    );
+
+    // Full packing with the same crash count is not even a valid
+    // configuration: the GOD margin is gone.
+    let full_with_crashes = ProtocolParams::with_failstops(
+        tradeoff.full.n,
+        tradeoff.full.t,
+        tradeoff.full.k,
+        crashes,
+    );
+    match full_with_crashes {
+        Err(e) => println!("\nfull packing + {crashes} crashes rejected as expected:\n  {e}"),
+        Ok(_) => unreachable!("full packing must not tolerate nε crashes"),
+    }
+    Ok(())
+}

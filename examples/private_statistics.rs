@@ -1,0 +1,71 @@
+//! Federated statistics under active attack: five hospitals compute
+//! the mean and variance of their pooled measurements without revealing
+//! individual values, while `t` committee roles per committee behave
+//! maliciously — guaranteed output delivery carries the computation
+//! through.
+//!
+//! ```text
+//! cargo run --release --example private_statistics
+//! ```
+
+use rand::SeedableRng;
+use yoso_pss::circuit::generators;
+use yoso_pss::core::{Engine, ExecutionConfig, ProtocolParams};
+use yoso_pss::field::{F61, PrimeField};
+use yoso_pss::runtime::{ActiveAttack, Adversary};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+
+    const HOSPITALS: usize = 5;
+    const PER_HOSPITAL: usize = 4;
+
+    // Σx and Σx² over all 20 private measurements.
+    let circuit = generators::federated_stats::<F61>(HOSPITALS, PER_HOSPITAL)?;
+
+    // Committee n = 14, t = 3 active corruptions, packing k = 2.
+    let params = ProtocolParams::new(14, 3, 2)?;
+    let engine = Engine::new(params, ExecutionConfig::default());
+
+    // Synthetic measurements (e.g. blood pressure readings).
+    let data: Vec<Vec<u64>> = vec![
+        vec![118, 121, 135, 128],
+        vec![142, 110, 125, 131],
+        vec![119, 127, 122, 138],
+        vec![133, 129, 117, 124],
+        vec![126, 140, 132, 120],
+    ];
+    let inputs: Vec<Vec<F61>> =
+        data.iter().map(|row| row.iter().map(|&v| F61::from(v)).collect()).collect();
+
+    // Every committee is hit by 3 actively malicious roles that post
+    // wrong shares with unverifiable proofs.
+    let adversary = Adversary::active(3, ActiveAttack::WrongValue);
+    let run = engine.run(&mut rng, &circuit, &inputs, &adversary)?;
+
+    let count = (HOSPITALS * PER_HOSPITAL) as f64;
+    let sum = run.outputs[0][0].as_u64() as f64;
+    let sq_sum = run.outputs[0][1].as_u64() as f64;
+    let mean = sum / count;
+    let variance = sq_sum / count - mean * mean;
+
+    // Cleartext reference.
+    let all: Vec<f64> = data.iter().flatten().map(|&v| v as f64).collect();
+    let ref_mean = all.iter().sum::<f64>() / count;
+    let ref_var = all.iter().map(|v| (v - ref_mean) * (v - ref_mean)).sum::<f64>() / count;
+
+    println!("pooled measurements : {}", HOSPITALS * PER_HOSPITAL);
+    println!("malicious roles     : 3 per committee (WrongValue attack)");
+    println!("mean     (MPC)      = {mean:.3}   (cleartext {ref_mean:.3})");
+    println!("variance (MPC)      = {variance:.3}   (cleartext {ref_var:.3})");
+    assert!((mean - ref_mean).abs() < 1e-9);
+    assert!((variance - ref_var).abs() < 1e-6);
+
+    println!(
+        "\nonline cost: {:.1} elements/gate across {} multiplication gates",
+        run.online_elements_per_gate(),
+        run.mul_gates
+    );
+    println!("output delivered despite the attack — GOD holds.");
+    Ok(())
+}

@@ -1,0 +1,245 @@
+//! Workspace-spanning end-to-end tests: the full three-phase protocol
+//! against cleartext evaluation across circuit families, parameter
+//! regimes and adversaries.
+
+use rand::SeedableRng;
+use yoso_pss::circuit::{generators, Circuit, CircuitBuilder};
+use yoso_pss::core::{Engine, ExecutionConfig, ProtocolParams};
+use yoso_pss::field::{F61, PrimeField};
+use yoso_pss::runtime::{ActiveAttack, Adversary};
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+fn f(v: u64) -> F61 {
+    F61::from(v)
+}
+
+fn random_inputs(seed: u64, circuit: &Circuit<F61>) -> Vec<Vec<F61>> {
+    let mut r = rng(seed);
+    circuit
+        .inputs_per_client()
+        .iter()
+        .map(|ws| ws.iter().map(|_| F61::random(&mut r)).collect())
+        .collect()
+}
+
+fn check(circuit: &Circuit<F61>, params: ProtocolParams, adversary: &Adversary, seed: u64) {
+    let inputs = random_inputs(seed, circuit);
+    let expected = circuit.evaluate(&inputs).expect("cleartext evaluation");
+    let engine = Engine::new(params, ExecutionConfig::default());
+    let run = engine
+        .run(&mut rng(seed + 1), circuit, &inputs, adversary)
+        .expect("protocol run delivers (GOD)");
+    assert_eq!(run.outputs, expected);
+}
+
+#[test]
+fn all_generators_honest() {
+    let params = ProtocolParams::new(10, 2, 2).unwrap();
+    let mut mimc_rng = rng(0);
+    let circuits: Vec<Circuit<F61>> = vec![
+        generators::inner_product(5).unwrap(),
+        generators::poly_eval(3).unwrap(),
+        generators::federated_stats(3, 2).unwrap(),
+        generators::weighted_average(3).unwrap(),
+        generators::wide_layered(4, 2, 2).unwrap(),
+        generators::mimc(&mut mimc_rng, 2).unwrap(),
+    ];
+    for (i, c) in circuits.iter().enumerate() {
+        check(c, params, &Adversary::none(), 100 + i as u64);
+    }
+}
+
+#[test]
+fn parameter_grid_honest() {
+    let circuit = generators::inner_product::<F61>(6).unwrap();
+    for (n, t, k) in [(5, 1, 1), (8, 1, 3), (12, 3, 3), (16, 5, 2), (20, 4, 5), (24, 7, 4)] {
+        let params = ProtocolParams::new(n, t, k).unwrap();
+        check(&circuit, params, &Adversary::none(), 200 + n as u64);
+    }
+}
+
+#[test]
+fn all_attacks_at_maximum_threshold() {
+    // t = 3 malicious in every committee of 12; k = 2.
+    let params = ProtocolParams::new(12, 3, 2).unwrap();
+    let circuit = generators::poly_eval::<F61>(4).unwrap();
+    for (i, attack) in [
+        ActiveAttack::WrongValue,
+        ActiveAttack::BadProof,
+        ActiveAttack::Silent,
+        ActiveAttack::AdditiveOffset,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        check(&circuit, params, &Adversary::active(3, attack), 300 + i as u64);
+    }
+}
+
+#[test]
+fn leaky_roles_do_not_disturb() {
+    let params = ProtocolParams::new(10, 2, 2).unwrap();
+    let circuit = generators::federated_stats::<F61>(2, 3).unwrap();
+    let adversary = Adversary::active(2, ActiveAttack::WrongValue).with_leaky(3);
+    check(&circuit, params, &adversary, 400);
+}
+
+#[test]
+fn mixed_attack_and_failstop() {
+    // n = 16, t = 2, k = 2, 4 fail-stops budgeted: 16−2−4 = 10 ≥ 2+2+1.
+    let params = ProtocolParams::with_failstops(16, 2, 2, 4).unwrap();
+    let circuit = generators::inner_product::<F61>(4).unwrap();
+    let adversary = Adversary::active(2, ActiveAttack::Silent)
+        .with_failstops(4, yoso_pss::core::crash_phases::ONLINE_MULT);
+    check(&circuit, params, &adversary, 500);
+}
+
+#[test]
+fn crashes_in_earlier_phases_are_survived() {
+    let params = ProtocolParams::with_failstops(16, 2, 2, 4).unwrap();
+    let circuit = generators::inner_product::<F61>(4).unwrap();
+    for (i, phase) in [
+        yoso_pss::core::crash_phases::ONLINE_KEYDIST,
+        yoso_pss::core::crash_phases::ONLINE_MULT,
+        yoso_pss::core::crash_phases::ONLINE_OUTPUT,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let adversary = Adversary::active(1, ActiveAttack::WrongValue).with_failstops(4, phase);
+        check(&circuit, params, &adversary, 600 + i as u64);
+    }
+}
+
+#[test]
+fn multi_output_multi_client_routing() {
+    // Outputs to different clients from shared sub-expressions.
+    let mut b = CircuitBuilder::<F61>::new();
+    let x = b.input(0);
+    let y = b.input(1);
+    let z = b.input(2);
+    let xy = b.mul(x, y);
+    let yz = b.mul(y, z);
+    let s = b.add(xy, yz);
+    let sq = b.mul(s, s);
+    b.output(xy, 0);
+    b.output(yz, 1);
+    b.output(sq, 2);
+    b.output(sq, 0);
+    let circuit = b.build().unwrap();
+    let params = ProtocolParams::new(10, 2, 2).unwrap();
+    check(&circuit, params, &Adversary::none(), 700);
+}
+
+#[test]
+fn ragged_batches_with_padding_free_packing() {
+    // 5 muls in one layer with k = 3 → batches of 3 and 2.
+    let mut b = CircuitBuilder::<F61>::new();
+    let xs: Vec<_> = (0..5).map(|_| b.input(0)).collect();
+    let ys: Vec<_> = (0..5).map(|_| b.input(1)).collect();
+    let mut acc = None;
+    for (x, y) in xs.iter().zip(&ys) {
+        let m = b.mul(*x, *y);
+        acc = Some(match acc {
+            None => m,
+            Some(a) => b.add(a, m),
+        });
+    }
+    b.output(acc.unwrap(), 0);
+    let circuit = b.build().unwrap();
+    let params = ProtocolParams::new(12, 3, 3).unwrap();
+    check(&circuit, params, &Adversary::active(3, ActiveAttack::WrongValue), 800);
+}
+
+#[test]
+fn input_wires_are_masked_on_the_board() {
+    // The published μ of an input wire must differ from the input value
+    // itself (the λ mask is uniformly random — collision is ~2^-61).
+    let circuit = generators::inner_product::<F61>(3).unwrap();
+    let inputs = vec![vec![f(1), f(2), f(3)], vec![f(4), f(5), f(6)]];
+    let engine =
+        Engine::new(ProtocolParams::new(8, 1, 2).unwrap(), ExecutionConfig::default());
+    let run = engine.run(&mut rng(900), &circuit, &inputs, &Adversary::none()).unwrap();
+    for (client, wires) in circuit.inputs_per_client().iter().enumerate() {
+        for (idx, w) in wires.iter().enumerate() {
+            assert_ne!(run.mu[w.0], inputs[client][idx], "μ must not leak the input");
+        }
+    }
+}
+
+#[test]
+fn mu_is_consistent_with_linear_structure() {
+    // μ respects the circuit's linear relations: μ_add = μ_a + μ_b etc.
+    let mut b = CircuitBuilder::<F61>::new();
+    let x = b.input(0);
+    let y = b.input(0);
+    let s = b.add(x, y);
+    let d = b.sub(s, y);
+    let m = b.mul_const(d, f(7));
+    let p = b.mul(m, s);
+    b.output(p, 0);
+    let circuit = b.build().unwrap();
+    let engine =
+        Engine::new(ProtocolParams::new(8, 1, 1).unwrap(), ExecutionConfig::default());
+    let run = engine
+        .run(&mut rng(901), &circuit, &[vec![f(10), f(20)]], &Adversary::none())
+        .unwrap();
+    assert_eq!(run.mu[s.0], run.mu[x.0] + run.mu[y.0]);
+    assert_eq!(run.mu[d.0], run.mu[s.0] - run.mu[y.0]);
+    assert_eq!(run.mu[m.0], run.mu[d.0] * f(7));
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let circuit = generators::inner_product::<F61>(4).unwrap();
+    let inputs = random_inputs(5, &circuit);
+    let params = ProtocolParams::new(8, 1, 2).unwrap();
+    let run1 = Engine::new(params, ExecutionConfig::default())
+        .run(&mut rng(42), &circuit, &inputs, &Adversary::none())
+        .unwrap();
+    let run2 = Engine::new(params, ExecutionConfig::default())
+        .run(&mut rng(42), &circuit, &inputs, &Adversary::none())
+        .unwrap();
+    assert_eq!(run1.outputs, run2.outputs);
+    assert_eq!(run1.mu, run2.mu);
+}
+
+#[test]
+fn round_count_scales_with_mul_depth() {
+    // The synchronous round count tracks the number of sequential
+    // committee steps: deeper circuits need more rounds.
+    let params = ProtocolParams::new(8, 1, 2).unwrap();
+    let rounds_for = |depth: usize| {
+        let circuit = generators::wide_layered::<F61>(2, depth, 2).unwrap();
+        let inputs = random_inputs(33, &circuit);
+        Engine::new(params, ExecutionConfig::sweep())
+            .run(&mut rng(34), &circuit, &inputs, &Adversary::none())
+            .unwrap()
+            .rounds
+    };
+    let shallow = rounds_for(1);
+    let deep = rounds_for(4);
+    assert!(deep > shallow, "rounds: depth 1 → {shallow}, depth 4 → {deep}");
+    // Each extra mul layer costs exactly 2 rounds (offline decrypt +
+    // online mult).
+    assert_eq!(deep - shallow, 6);
+}
+
+#[test]
+fn dealerless_setup_end_to_end() {
+    // The full protocol with the DKG-generated threshold key (no
+    // trusted dealer for tpk/tsk), under an active adversary.
+    let circuit = generators::inner_product::<F61>(4).unwrap();
+    let inputs = random_inputs(50, &circuit);
+    let expected = circuit.evaluate(&inputs).unwrap();
+    let params = ProtocolParams::new(10, 2, 2).unwrap();
+    let engine = Engine::new(params, ExecutionConfig::default().dealerless());
+    let adversary = Adversary::active(2, ActiveAttack::WrongValue);
+    let run = engine.run(&mut rng(51), &circuit, &inputs, &adversary).unwrap();
+    assert_eq!(run.outputs, expected);
+    // DKG traffic shows up as its own phase.
+    assert!(run.elements("setup/dkg") > 0);
+}

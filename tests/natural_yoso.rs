@@ -1,0 +1,88 @@
+//! "Natural YOSO" composition: the role-assignment layer (sortition
+//! sampling + §6 analysis) feeding the protocol layer — committees are
+//! *sampled*, their realized size and corruption become the protocol's
+//! `(n, t)`, and the run must still deliver.
+//!
+//! The paper separates abstract YOSO (roles given) from natural YOSO
+//! (role assignment included); this test exercises the seam.
+
+use rand::SeedableRng;
+use yoso_pss::circuit::generators;
+use yoso_pss::core::{Engine, ExecutionConfig, ProtocolParams};
+use yoso_pss::field::{F61, PrimeField};
+use yoso_pss::runtime::sortition::sample_committee;
+use yoso_pss::runtime::{ActiveAttack, Adversary};
+use yoso_pss::sortition::{GapAnalysis, SecurityParams};
+
+#[test]
+fn sampled_committees_drive_the_protocol() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(777);
+    // Global pool with 10% corruption; plan with reduced security so the
+    // committees stay simulatable, then *scale down* the realized
+    // committee to protocol size preserving the ratios.
+    let (n_global, f, c_param) = (1_000_000u64, 0.10, 2000.0);
+    let sec = SecurityParams { k1: 4, k2: 12, k3: 12 };
+    let analysis = GapAnalysis::compute(c_param, f, sec).expect("feasible");
+
+    let circuit = generators::inner_product::<F61>(4).unwrap();
+    let inputs: Vec<Vec<F61>> = circuit
+        .inputs_per_client()
+        .iter()
+        .map(|ws| ws.iter().map(|_| F61::random(&mut rng)).collect())
+        .collect();
+    let expected = circuit.evaluate(&inputs).unwrap();
+
+    let mut runs = 0;
+    for _ in 0..5 {
+        let sampled = sample_committee(&mut rng, n_global, f, c_param);
+        // The analysis guarantees (w.h.p.) φ < t and the gap; verify on
+        // this sample, then scale to a simulatable n preserving t/c and
+        // the packing ratio.
+        assert!(
+            (sampled.corrupt as u64) < analysis.t,
+            "sampled corruption {} must stay below t = {}",
+            sampled.corrupt,
+            analysis.t
+        );
+        let scale = 40.0 / sampled.size as f64;
+        let n = 40usize;
+        let t = ((sampled.corrupt as f64) * scale).ceil() as usize;
+        let k = ((analysis.k as f64 / analysis.c as f64) * n as f64).floor().max(1.0) as usize;
+        let Ok(params) = ProtocolParams::new(n, t, k) else {
+            // A particularly corrupt sample can fall outside the scaled
+            // GOD region — the analysis bounds this w.h.p., not always.
+            continue;
+        };
+        let engine = Engine::new(params, ExecutionConfig::sweep());
+        let adversary = Adversary::active(t, ActiveAttack::WrongValue);
+        let run = engine.run(&mut rng, &circuit, &inputs, &adversary).unwrap();
+        assert_eq!(run.outputs, expected);
+        runs += 1;
+    }
+    assert!(runs >= 4, "nearly all sampled committees must be runnable, got {runs}/5");
+}
+
+#[test]
+fn planned_parameters_survive_worst_case_sampling() {
+    // Take the analysis's own (t, c) — the w.h.p. worst case — and run
+    // the protocol at the scaled-down ratio with the full t active.
+    let sec = SecurityParams::default();
+    let a = GapAnalysis::compute(5000.0, 0.1, sec).expect("feasible");
+    let n = 60usize;
+    let t = ((a.t as f64 / a.c as f64) * n as f64).floor() as usize;
+    let k = ((a.k as f64 / a.c as f64) * n as f64).floor().max(1.0) as usize + 1;
+    let params = ProtocolParams::new(n, t, k).expect("analysis ratios are GOD-feasible");
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(778);
+    let circuit = generators::poly_eval::<F61>(3).unwrap();
+    let inputs: Vec<Vec<F61>> = circuit
+        .inputs_per_client()
+        .iter()
+        .map(|ws| ws.iter().map(|_| F61::random(&mut rng)).collect())
+        .collect();
+    let expected = circuit.evaluate(&inputs).unwrap();
+    let run = Engine::new(params, ExecutionConfig::sweep())
+        .run(&mut rng, &circuit, &inputs, &Adversary::active(t, ActiveAttack::Silent))
+        .unwrap();
+    assert_eq!(run.outputs, expected);
+}

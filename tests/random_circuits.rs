@@ -1,0 +1,144 @@
+//! Property-based end-to-end testing: random arithmetic circuits are
+//! run through the full protocol and must match cleartext evaluation.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use yoso_pss::circuit::{Circuit, CircuitBuilder, WireId};
+use yoso_pss::core::{Engine, ExecutionConfig, ProtocolParams};
+use yoso_pss::field::{F61, PrimeField};
+use yoso_pss::runtime::{ActiveAttack, Adversary};
+
+/// A compact description of one random gate.
+#[derive(Debug, Clone)]
+enum GateDesc {
+    Add(usize, usize),
+    Sub(usize, usize),
+    Mul(usize, usize),
+    MulConst(usize, u64),
+    Const(u64),
+}
+
+fn gate_strategy() -> impl Strategy<Value = GateDesc> {
+    prop_oneof![
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| GateDesc::Add(a, b)),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| GateDesc::Sub(a, b)),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| GateDesc::Mul(a, b)),
+        (any::<usize>(), any::<u64>()).prop_map(|(a, c)| GateDesc::MulConst(a, c)),
+        any::<u64>().prop_map(GateDesc::Const),
+    ]
+}
+
+/// Builds a valid circuit from random gate descriptors: operand indices
+/// are reduced modulo the number of wires defined so far.
+fn build_circuit(inputs_per_client: &[usize], gates: &[GateDesc]) -> Circuit<F61> {
+    let mut b = CircuitBuilder::<F61>::new();
+    let mut wires: Vec<WireId> = Vec::new();
+    for (client, &count) in inputs_per_client.iter().enumerate() {
+        for _ in 0..count {
+            wires.push(b.input(client));
+        }
+    }
+    for g in gates {
+        let pick = |i: usize| wires[i % wires.len()];
+        let w = match *g {
+            GateDesc::Add(a, c) => b.add(pick(a), pick(c)),
+            GateDesc::Sub(a, c) => b.sub(pick(a), pick(c)),
+            GateDesc::Mul(a, c) => b.mul(pick(a), pick(c)),
+            GateDesc::MulConst(a, c) => b.mul_const(pick(a), F61::from_u64(c)),
+            GateDesc::Const(c) => b.constant(F61::from_u64(c)),
+        };
+        wires.push(w);
+    }
+    // Route the last few wires to outputs across both clients.
+    let out_count = wires.len().min(3);
+    for (i, w) in wires.iter().rev().take(out_count).enumerate() {
+        b.output(*w, i % inputs_per_client.len());
+    }
+    b.build().expect("random circuit is valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_circuit_matches_cleartext(
+        in0 in 1usize..4,
+        in1 in 1usize..4,
+        gates in prop::collection::vec(gate_strategy(), 1..25),
+        input_seed in any::<u64>(),
+        run_seed in any::<u64>(),
+    ) {
+        let circuit = build_circuit(&[in0, in1], &gates);
+        let mut ir = rand::rngs::StdRng::seed_from_u64(input_seed);
+        let inputs: Vec<Vec<F61>> = circuit
+            .inputs_per_client()
+            .iter()
+            .map(|ws| ws.iter().map(|_| F61::random(&mut ir)).collect())
+            .collect();
+        let expected = circuit.evaluate(&inputs).expect("cleartext");
+        let params = ProtocolParams::new(10, 2, 2).unwrap();
+        let engine = Engine::new(params, ExecutionConfig::sweep());
+        let mut rr = rand::rngs::StdRng::seed_from_u64(run_seed);
+        let run = engine.run(&mut rr, &circuit, &inputs, &Adversary::none()).unwrap();
+        prop_assert_eq!(run.outputs, expected);
+    }
+
+    #[test]
+    fn random_circuit_survives_attack(
+        gates in prop::collection::vec(gate_strategy(), 1..15),
+        run_seed in any::<u64>(),
+    ) {
+        let circuit = build_circuit(&[2, 2], &gates);
+        let mut ir = rand::rngs::StdRng::seed_from_u64(7);
+        let inputs: Vec<Vec<F61>> = circuit
+            .inputs_per_client()
+            .iter()
+            .map(|ws| ws.iter().map(|_| F61::random(&mut ir)).collect())
+            .collect();
+        let expected = circuit.evaluate(&inputs).expect("cleartext");
+        let params = ProtocolParams::new(10, 2, 2).unwrap();
+        // Proof production on: the attack is filtered by real NIZKs.
+        let engine = Engine::new(params, ExecutionConfig::default());
+        let adversary = Adversary::active(2, ActiveAttack::WrongValue);
+        let mut rr = rand::rngs::StdRng::seed_from_u64(run_seed);
+        let run = engine.run(&mut rr, &circuit, &inputs, &adversary).unwrap();
+        prop_assert_eq!(run.outputs, expected);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn random_valid_parameters_all_work(
+        n in 4usize..20,
+        t_frac in 0.0f64..0.5,
+        k_frac in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        // Derive a (t, k) pair inside the GOD region, then run.
+        let t = ((n as f64) * t_frac) as usize;
+        let k_max = (n.saturating_sub(2 * t + 1)) / 2 + 1;
+        prop_assume!(k_max >= 1);
+        let k = 1 + ((k_frac * (k_max as f64 - 1.0)) as usize);
+        let Ok(params) = ProtocolParams::new(n, t, k) else {
+            // Boundary rounding can spill outside the region; skip.
+            return Ok(());
+        };
+        let circuit = build_circuit(&[2, 2], &[
+            GateDesc::Mul(0, 1),
+            GateDesc::Add(2, 4),
+            GateDesc::Mul(5, 3),
+        ]);
+        let mut ir = rand::rngs::StdRng::seed_from_u64(seed);
+        let inputs: Vec<Vec<F61>> = circuit
+            .inputs_per_client()
+            .iter()
+            .map(|ws| ws.iter().map(|_| F61::random(&mut ir)).collect())
+            .collect();
+        let expected = circuit.evaluate(&inputs).unwrap();
+        let engine = Engine::new(params, ExecutionConfig::sweep());
+        let run = engine.run(&mut ir, &circuit, &inputs, &Adversary::none()).unwrap();
+        prop_assert_eq!(run.outputs, expected);
+    }
+}

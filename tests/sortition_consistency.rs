@@ -1,0 +1,75 @@
+//! Cross-crate consistency of the sortition layer: the runtime's
+//! committee sampler vs the analysis crate's bounds, and the
+//! analysis-to-protocol parameter pipeline.
+
+use rand::SeedableRng;
+use yoso_pss::core::ProtocolParams;
+use yoso_pss::runtime::sortition::sample_committee;
+use yoso_pss::sortition::{GapAnalysis, SecurityParams};
+
+#[test]
+fn sampled_committees_respect_analysis_bounds() {
+    // At reduced security (bounds ≈ 2^-10), 2000 samples should show
+    // zero-or-few violations of either bound.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+    let sec = SecurityParams { k1: 4, k2: 10, k3: 10 };
+    let (c_param, f) = (3000.0, 0.15);
+    let a = GapAnalysis::compute(c_param, f, sec).expect("feasible");
+    let honest_floor = (1.0 - a.eps3) * (1.0 - f) * (1.0 - f) * c_param;
+    let mut corr_viol = 0;
+    let mut floor_viol = 0;
+    for _ in 0..2000 {
+        let c = sample_committee(&mut rng, 1_000_000, f, c_param);
+        if c.corrupt as u64 >= a.t {
+            corr_viol += 1;
+        }
+        if ((c.size - c.corrupt) as f64) < honest_floor {
+            floor_viol += 1;
+        }
+    }
+    assert!(corr_viol <= 4, "corruption bound violated {corr_viol}/2000 times");
+    assert!(floor_viol <= 4, "honest floor violated {floor_viol}/2000 times");
+}
+
+#[test]
+fn analysis_parameters_instantiate_the_protocol() {
+    // Every feasible Table-1 cell yields (scaled-down) protocol
+    // parameters that pass validation: t/c and k/c ratios transfer.
+    for row in yoso_pss::sortition::table1() {
+        let Some(a) = row.analysis else { continue };
+        // Scale the committee down to a simulatable size, preserving
+        // the ratios.
+        let n = 60usize;
+        let t = ((a.t as f64 / a.c as f64) * n as f64).floor() as usize;
+        let k = ((a.k as f64 / a.c as f64) * n as f64).floor() as usize + 1;
+        let params = ProtocolParams::new(n, t, k);
+        assert!(
+            params.is_ok(),
+            "scaled params n={n}, t={t}, k={k} from (C={}, f={}) must be feasible: {params:?}",
+            row.c_param,
+            row.f
+        );
+    }
+}
+
+#[test]
+fn gap_epsilon_matches_analysis_epsilon() {
+    let a = GapAnalysis::compute(10000.0, 0.1, SecurityParams::default()).unwrap();
+    // t ≤ c(1/2 − ε) by construction.
+    assert!(a.t as f64 <= a.c as f64 * (0.5 - a.eps) + 1.0);
+    // The protocol-parameter derivation from the same (n, ε) agrees.
+    let params = ProtocolParams::from_gap(200, a.eps).unwrap();
+    assert!(params.t as f64 <= 200.0 * (0.5 - a.eps));
+    assert!(params.k as f64 >= 200.0 * a.eps * 0.9);
+}
+
+#[test]
+fn infeasible_cells_have_no_positive_gap() {
+    // The ⊥ cells of Table 1: verify δ ≤ 1 is really why.
+    for (c_param, f) in [(1000.0, 0.1), (5000.0, 0.2), (10000.0, 0.25)] {
+        assert!(
+            GapAnalysis::compute(c_param, f, SecurityParams::default()).is_none(),
+            "({c_param}, {f}) must be infeasible"
+        );
+    }
+}
