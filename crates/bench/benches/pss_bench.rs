@@ -62,6 +62,40 @@ fn bench_mul_public(c: &mut Criterion) {
     group.finish();
 }
 
+/// The batch APIs used by the layer loop: dealing and opening a whole
+/// layer of sharings against one warm set of domain caches.
+fn bench_batch(c: &mut Criterion) {
+    const ROWS: usize = 16;
+    let mut group = c.benchmark_group("pss/batch16");
+    for (n, k) in CONFIGS {
+        let mut r = rng();
+        let scheme = PackedSharing::<F61>::new(n, k).unwrap();
+        let degree = n / 2 + k - 1;
+        let secrets: Vec<Vec<F61>> = (0..ROWS)
+            .map(|_| (0..k).map(|_| F61::random(&mut r)).collect())
+            .collect();
+        let subset: Vec<usize> = (0..=degree).collect();
+        let batch: Vec<_> = scheme
+            .share_batch(&mut r, &secrets, degree)
+            .unwrap()
+            .iter()
+            .map(|s| s.select(&subset))
+            .collect();
+        group.throughput(Throughput::Elements((ROWS * k) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("share", format!("n{n}k{k}")),
+            &n,
+            |b, _| b.iter(|| scheme.share_batch(&mut r, black_box(&secrets), degree).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reconstruct", format!("n{n}k{k}")),
+            &n,
+            |b, _| b.iter(|| scheme.reconstruct_batch(black_box(&batch), degree).unwrap()),
+        );
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
@@ -69,6 +103,6 @@ criterion_group! {
         .measurement_time(std::time::Duration::from_secs(2))
         .sample_size(20)
         .without_plots();
-    targets = bench_share, bench_reconstruct, bench_mul_public
+    targets = bench_share, bench_reconstruct, bench_mul_public, bench_batch
 }
 criterion_main!(benches);

@@ -8,7 +8,7 @@ use yoso_bignum::Nat;
 use yoso_field::{F61, PrimeField};
 use yoso_the::mock::MockTe;
 use yoso_the::nizk;
-use yoso_the::paillier::{self, ThresholdPaillier};
+use yoso_the::paillier::{self, EncryptionContext, ThresholdPaillier};
 
 fn rng() -> rand::rngs::StdRng {
     rand::rngs::StdRng::seed_from_u64(3)
@@ -71,6 +71,34 @@ fn bench_paillier(c: &mut Criterion) {
     });
 }
 
+/// The fixed-base precomputation paths: per-epoch table build,
+/// table-backed encryption, and the batch APIs that amortize table and
+/// Montgomery-context setup across a committee's contributions.
+fn bench_fixed_base(c: &mut Criterion) {
+    let mut r = rng();
+    let (pk, shares) = ThresholdPaillier::keygen(&mut r, 128, 4, 1).unwrap();
+    let ctx = EncryptionContext::new(&mut r, &pk);
+    let m = Nat::from(123_456_789u64);
+    c.bench_function("paillier256/fb_context_build", |b| {
+        b.iter(|| EncryptionContext::new(&mut r, &pk))
+    });
+    c.bench_function("paillier256/fb_encrypt", |b| {
+        b.iter(|| ctx.encrypt(&mut r, &pk, black_box(&m)))
+    });
+    let ms: Vec<Nat> = (0..32).map(|_| Nat::random_below(&mut r, &pk.n_mod)).collect();
+    c.bench_function("paillier256/fb_encrypt_batch32", |b| {
+        b.iter(|| ctx.encrypt_batch(&mut r, &pk, black_box(&ms)))
+    });
+    let cts: Vec<_> =
+        ms.iter().map(|m| ThresholdPaillier::encrypt(&mut r, &pk, m).0).collect();
+    c.bench_function("paillier256/partial_decrypt_batch32", |b| {
+        b.iter(|| ThresholdPaillier::partial_decrypt_batch(&pk, &shares[0], black_box(&cts)))
+    });
+    c.bench_function("paillier256/reshare_batch4", |b| {
+        b.iter(|| ThresholdPaillier::reshare_batch(&mut r, &pk, black_box(&shares)))
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
@@ -78,6 +106,6 @@ criterion_group! {
         .measurement_time(std::time::Duration::from_secs(2))
         .sample_size(20)
         .without_plots();
-    targets = bench_mock, bench_paillier
+    targets = bench_mock, bench_paillier, bench_fixed_base
 }
 criterion_main!(benches);

@@ -1,0 +1,190 @@
+//! Hot-path smoke benchmark (no criterion, single short run).
+//!
+//! Times the three inner loops this repo's performance work targets —
+//! packed dealing, packed reconstruction and Paillier encryption — at
+//! committee sizes n ∈ {32, 128, 512}, comparing the precomputed paths
+//! (warm [`EvalDomain`] caches, fixed-base [`EncryptionContext`]
+//! tables) against the naive per-call costs they replace. Prints a
+//! table of ns/op and writes the machine-readable record to
+//! `BENCH_hotpath.json` at the repo root.
+//!
+//! Acceptance targets (see DESIGN.md §perf): ≥5× on repeated packed
+//! reconstruction at n = 512, ≥2× on batched Paillier encryption.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+use rand::SeedableRng;
+use yoso_bignum::Nat;
+use yoso_field::{PrimeField, F61};
+use yoso_pss_sharing::PackedSharing;
+use yoso_the::paillier::{EncryptionContext, ThresholdPaillier};
+
+/// Committee sizes exercised; k follows the paper's k ≈ n/4 regime.
+const SIZES: [usize; 3] = [32, 128, 512];
+/// Paillier prime size — small enough for a smoke run, large enough
+/// that exponentiation dominates.
+const PRIME_BITS: usize = 256;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+/// Median-of-3 wall time of `iters` runs of `f`, in ns per iteration.
+fn time_ns<T>(iters: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut samples = Vec::with_capacity(3);
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[1]
+}
+
+struct Row {
+    n: usize,
+    k: usize,
+    share_ns: f64,
+    recon_cached_ns: f64,
+    recon_naive_ns: f64,
+    recon_speedup: f64,
+    enc_naive_ns: f64,
+    enc_batched_ns: f64,
+    enc_speedup: f64,
+}
+
+fn bench_pss(n: usize) -> (f64, f64, f64) {
+    let k = n / 4;
+    let degree = n / 2 + k - 1;
+    let mut r = rng(7);
+    let scheme = PackedSharing::<F61>::new(n, k).unwrap();
+    let secrets: Vec<F61> = (0..k).map(|_| F61::random(&mut r)).collect();
+    let shares = scheme.share(&mut r, &secrets, degree).unwrap();
+    let subset: Vec<usize> = (0..=degree).collect();
+    let selected = shares.select(&subset);
+    let iters = (20_000 / n).max(8);
+
+    let share_ns = time_ns(iters, || scheme.share(&mut r, &secrets, degree).unwrap());
+    // Warm path: the scheme's EvalDomain caches are hit on every call
+    // after the first — the steady state inside the protocol's layer
+    // loop, where one subset reconstructs a whole layer of gates.
+    scheme.reconstruct(&selected, degree).unwrap();
+    let cached_ns = time_ns(iters, || scheme.reconstruct(&selected, degree).unwrap());
+    // Naive path: a fresh scheme per call pays the full domain build
+    // (weights, master polynomial, basis rows) every time — the
+    // per-call cost before domains were cached.
+    let naive_ns = time_ns(iters, || {
+        PackedSharing::<F61>::new(n, k)
+            .unwrap()
+            .reconstruct(&selected, degree)
+            .unwrap()
+    });
+    (share_ns, cached_ns, naive_ns)
+}
+
+fn bench_paillier(batch: usize) -> (f64, f64) {
+    let mut r = rng(11);
+    let (pk, _) = ThresholdPaillier::keygen(&mut r, PRIME_BITS, 3, 1).unwrap();
+    let ms: Vec<Nat> =
+        (0..batch).map(|_| Nat::random_below(&mut r, &pk.n_mod)).collect();
+
+    let naive_total = time_ns(1, || {
+        ms.iter()
+            .map(|m| ThresholdPaillier::encrypt(&mut r, &pk, m))
+            .collect::<Vec<_>>()
+    });
+    // The batched path includes the table build: that is the real cost
+    // a committee member pays once per epoch before encrypting its
+    // batch of contributions.
+    let batched_total = time_ns(1, || {
+        let ctx = EncryptionContext::new(&mut r, &pk);
+        ctx.encrypt_batch(&mut r, &pk, &ms)
+    });
+    (naive_total / batch as f64, batched_total / batch as f64)
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    println!(
+        "{:>5} {:>5} {:>12} {:>14} {:>13} {:>8} {:>12} {:>12} {:>8}",
+        "n", "k", "share ns", "recon warm ns", "recon cold ns", "speedup", "enc ns", "enc batch ns", "speedup"
+    );
+    for n in SIZES {
+        let (share_ns, recon_cached_ns, recon_naive_ns) = bench_pss(n);
+        let (enc_naive_ns, enc_batched_ns) = bench_paillier(n);
+        let row = Row {
+            n,
+            k: n / 4,
+            share_ns,
+            recon_cached_ns,
+            recon_naive_ns,
+            recon_speedup: recon_naive_ns / recon_cached_ns,
+            enc_naive_ns,
+            enc_batched_ns,
+            enc_speedup: enc_naive_ns / enc_batched_ns,
+        };
+        println!(
+            "{:>5} {:>5} {:>12.0} {:>14.0} {:>13.0} {:>7.1}x {:>12.0} {:>12.0} {:>7.1}x",
+            row.n,
+            row.k,
+            row.share_ns,
+            row.recon_cached_ns,
+            row.recon_naive_ns,
+            row.recon_speedup,
+            row.enc_naive_ns,
+            row.enc_batched_ns,
+            row.enc_speedup
+        );
+        rows.push(row);
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"hotpath\",\n  \"field\": \"F61\",\n");
+    let _ = writeln!(json, "  \"paillier_prime_bits\": {PRIME_BITS},");
+    json.push_str("  \"configs\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"n\": {}, \"k\": {}, \"share_ns\": {:.0}, \
+             \"reconstruct_cached_ns\": {:.0}, \"reconstruct_naive_ns\": {:.0}, \
+             \"reconstruct_speedup\": {:.2}, \"paillier_encrypt_naive_ns\": {:.0}, \
+             \"paillier_encrypt_batched_ns\": {:.0}, \"paillier_speedup\": {:.2}}}",
+            r.n,
+            r.k,
+            r.share_ns,
+            r.recon_cached_ns,
+            r.recon_naive_ns,
+            r.recon_speedup,
+            r.enc_naive_ns,
+            r.enc_batched_ns,
+            r.enc_speedup
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
+    std::fs::write(path, &json).expect("write BENCH_hotpath.json");
+    println!("\nwrote {path}");
+
+    let last = rows.last().unwrap();
+    assert!(
+        last.recon_speedup >= 5.0,
+        "cached reconstruct at n=512 must be ≥5× naive (got {:.1}×)",
+        last.recon_speedup
+    );
+    // Table construction amortizes with batch size; the target applies
+    // at the protocol's operating scale, not at tiny batches.
+    assert!(
+        last.enc_speedup >= 2.0,
+        "batched Paillier encryption at n=512 must be ≥2× naive (got {:.1}×)",
+        last.enc_speedup
+    );
+    println!(
+        "acceptance: reconstruct {:.1}x (>=5x), paillier {:.1}x (>=2x) at n=512 — ok",
+        last.recon_speedup, last.enc_speedup
+    );
+}

@@ -77,7 +77,9 @@ impl MontgomeryCtx {
         }
         let out = Nat::from_limbs(acc[n..].to_vec());
         if out >= self.m {
-            &out - &self.m
+            // The branch already established out >= m; skip the second
+            // comparison a panicking `Sub` would redo.
+            out.sub_unchecked(&self.m)
         } else {
             out
         }

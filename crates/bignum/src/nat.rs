@@ -166,6 +166,16 @@ impl Nat {
         if self < rhs {
             return None;
         }
+        Some(self.sub_unchecked(rhs))
+    }
+
+    /// Subtraction whose `self >= rhs` precondition is the caller's
+    /// responsibility. The O(limbs) comparison guarding
+    /// [`Nat::checked_sub`] is only performed under `debug_assertions`
+    /// — hot reduction loops (Montgomery REDC, Karatsuba's middle
+    /// term) already know the invariant holds and call this directly.
+    pub(crate) fn sub_unchecked(&self, rhs: &Nat) -> Nat {
+        debug_assert!(self >= rhs, "sub_unchecked underflow");
         let mut out = self.limbs.clone();
         let mut borrow = 0u64;
         for (i, &r) in rhs.limbs.iter().enumerate() {
@@ -181,7 +191,7 @@ impl Nat {
             borrow = b as u64;
             i += 1;
         }
-        Some(Nat::from_limbs(out))
+        Nat::from_limbs(out)
     }
 
     /// Quotient and remainder of `self / divisor`.
@@ -370,10 +380,9 @@ impl Nat {
         let sa = &a_lo_n + &a_hi_n;
         let sb = &b_lo_n + &b_hi_n;
         let z1_full = Nat::from_limbs(Self::mul_limbs(&sa.limbs, &sb.limbs));
-        let z1 = z1_full
-            .checked_sub(&z0)
-            .and_then(|v| v.checked_sub(&z2))
-            .expect("karatsuba middle term underflow");
+        // (a_lo+a_hi)(b_lo+b_hi) >= a_lo·b_lo + a_hi·b_hi always holds,
+        // so the underflow comparison is debug-only.
+        let z1 = z1_full.sub_unchecked(&z0).sub_unchecked(&z2);
 
         let mut acc = z0;
         acc += &(z1 << (half * LIMB_BITS));

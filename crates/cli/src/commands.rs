@@ -93,11 +93,16 @@ pub fn run(opts: &Opts) -> Result<(), String> {
         adversary = adversary.with_failstops(crashes, crash_phases::ONLINE_MULT);
     }
 
+    let threads: usize = get(opts, "threads", 1)?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
     let config = if opts.contains_key("no-proofs") {
         ExecutionConfig::sweep()
     } else {
         ExecutionConfig::default()
-    };
+    }
+    .with_threads(threads);
     let engine = Engine::new(params, config);
 
     println!(

@@ -88,6 +88,8 @@ RUN OPTIONS:
   --t-mal N         malicious roles per committee (≤ t)                  [t]
   --crashes N       fail-stop roles per committee (online mult phase)    [0]
   --seed N          RNG seed                                             [7]
+  --threads N       worker threads for triple/gate fan-out
+                    (any value yields a byte-identical transcript)       [1]
   --no-proofs       skip NIZK computation (metering unchanged)
 
 PLAN OPTIONS:

@@ -27,23 +27,47 @@ pub struct ExecutionConfig {
     /// Generate the threshold key with the dealer-free DKG
     /// ([`crate::dkg`]) instead of the paper's trusted setup.
     pub dealerless_setup: bool,
+    /// Worker threads for the data-parallel protocol steps (Beaver
+    /// triple generation, per-member online share computation). `1`
+    /// (the default) runs everything inline. Any value produces
+    /// byte-identical transcripts: per-item randomness is derived from
+    /// sequentially drawn child seeds and board posts are replayed in
+    /// item order — see [`crate::parallel`].
+    pub num_threads: usize,
 }
 
 impl Default for ExecutionConfig {
     fn default() -> Self {
-        ExecutionConfig { produce_proofs: true, audit_board: true, dealerless_setup: false }
+        ExecutionConfig {
+            produce_proofs: true,
+            audit_board: true,
+            dealerless_setup: false,
+            num_threads: 1,
+        }
     }
 }
 
 impl ExecutionConfig {
     /// A configuration tuned for large parameter sweeps: metering only.
     pub fn sweep() -> Self {
-        ExecutionConfig { produce_proofs: false, audit_board: false, dealerless_setup: false }
+        ExecutionConfig {
+            produce_proofs: false,
+            audit_board: false,
+            dealerless_setup: false,
+            num_threads: 1,
+        }
     }
 
     /// Replaces the trusted dealer with the distributed key generation.
     pub fn dealerless(mut self) -> Self {
         self.dealerless_setup = true;
+        self
+    }
+
+    /// Sets the worker-thread count for the data-parallel steps
+    /// (`0` is treated as `1`).
+    pub fn with_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads.max(1);
         self
     }
 }

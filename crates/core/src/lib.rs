@@ -69,6 +69,7 @@ pub mod itbgw;
 pub mod messages;
 pub mod offline;
 pub mod online;
+pub mod parallel;
 mod params;
 pub mod setup;
 pub mod tsk;

@@ -29,11 +29,11 @@
 //! Total communication: `O(n)` ring elements per gate (measured, not
 //! estimated — see experiment E3).
 
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 
 use yoso_circuit::{BatchedCircuit, Gate, MulBatch};
 use yoso_field::{lagrange, PrimeField};
-use yoso_runtime::{Adversary, Behavior, BulletinBoard, Committee};
+use yoso_runtime::{Adversary, Behavior, BulletinBoard, Committee, RoleId};
 use yoso_the::mock::{Ciphertext, MockTe, PkePublicKey};
 use yoso_the::nizk::{self, enc_proof, verify_enc_proof, EncProof};
 
@@ -75,21 +75,46 @@ struct Contribution<F: PrimeField> {
     valid: bool,
 }
 
+/// A board post produced away from the board (e.g. on a worker
+/// thread), replayed later in deterministic item order.
+#[derive(Debug, Clone)]
+pub(crate) struct BufferedPost {
+    role: RoleId,
+    post: Post,
+    phase: &'static str,
+    elements: u64,
+}
+
+impl BufferedPost {
+    pub(crate) fn new(role: RoleId, post: Post, phase: &'static str, elements: u64) -> Self {
+        BufferedPost { role, post, phase, elements }
+    }
+}
+
+/// Replays buffered posts onto the board, in order.
+pub(crate) fn flush_posts(board: &BulletinBoard<Post>, posts: Vec<BufferedPost>) {
+    for p in posts {
+        board.post(p.role, p.post, p.phase, p.elements, messages::to_bytes(p.elements));
+    }
+}
+
 /// Collects one encrypted-randomness contribution per participating
 /// member and returns the homomorphic sum of the *valid* ones.
+/// Posts are appended to `posts` rather than sent, so the caller can
+/// run many of these concurrently and replay the posts in order.
 ///
 /// Malicious members with `WrongValue`/`AdditiveOffset` submit garbage
 /// proofs (filtered); `BadProof` submits a correct ciphertext with a
 /// garbage proof (also filtered — which is safe: sums of any subset of
 /// valid contributions that includes at least one honest one are
 /// uniform).
-fn summed_contribution<F: PrimeField, R: Rng + ?Sized>(
+fn summed_contribution_into<F: PrimeField, R: Rng + ?Sized>(
     rng: &mut R,
-    board: &BulletinBoard<Post>,
+    posts: &mut Vec<BufferedPost>,
     committee: &Committee,
     cfg: &ExecutionConfig,
     tpk: &yoso_the::mock::PublicKey<F>,
-    phase: &str,
+    phase: &'static str,
     step: ContributionStep,
 ) -> Result<Ciphertext<F>, ProtocolError> {
     let mut contributions: Vec<Contribution<F>> = Vec::new();
@@ -122,13 +147,12 @@ fn summed_contribution<F: PrimeField, R: Rng + ?Sized>(
                 (ct, ok)
             }
         };
-        board.post(
+        posts.push(BufferedPost::new(
             committee.role(i),
             Post::Contribution { step, ciphertexts: 1 },
             phase,
             CT_ELEMENTS + ENC_PROOF_ELEMENTS,
-            messages::to_bytes(CT_ELEMENTS + ENC_PROOF_ELEMENTS),
-        );
+        ));
         contributions.push(Contribution { ct, valid });
     }
     let valid: Vec<Ciphertext<F>> =
@@ -144,6 +168,22 @@ fn summed_contribution<F: PrimeField, R: Rng + ?Sized>(
     Ok(MockTe::eval(&valid, &ones)?)
 }
 
+/// [`summed_contribution_into`] posting directly to the board.
+fn summed_contribution<F: PrimeField, R: Rng + ?Sized>(
+    rng: &mut R,
+    board: &BulletinBoard<Post>,
+    committee: &Committee,
+    cfg: &ExecutionConfig,
+    tpk: &yoso_the::mock::PublicKey<F>,
+    phase: &'static str,
+    step: ContributionStep,
+) -> Result<Ciphertext<F>, ProtocolError> {
+    let mut posts = Vec::new();
+    let result = summed_contribution_into(rng, &mut posts, committee, cfg, tpk, phase, step);
+    flush_posts(board, posts);
+    result
+}
+
 /// An encrypted Beaver triple.
 #[derive(Debug, Clone, Copy)]
 pub struct EncryptedTriple<F: PrimeField> {
@@ -155,8 +195,90 @@ pub struct EncryptedTriple<F: PrimeField> {
     pub c: Ciphertext<F>,
 }
 
+/// Produces one encrypted Beaver triple, buffering its board posts.
+fn one_triple<F: PrimeField, R: Rng + ?Sized>(
+    rng: &mut R,
+    posts: &mut Vec<BufferedPost>,
+    c1: &Committee,
+    c2: &Committee,
+    cfg: &ExecutionConfig,
+    tpk: &yoso_the::mock::PublicKey<F>,
+    phase: &'static str,
+) -> Result<EncryptedTriple<F>, ProtocolError> {
+    // a-side contributions from C1.
+    let c_a = summed_contribution_into(rng, posts, c1, cfg, tpk, phase, ContributionStep::Beaver)?;
+
+    // b-side: each C2 member posts (c_b_i, c_c_i = b_i·c^a) with a
+    // proof of the joint relation.
+    let mut b_parts: Vec<Contribution<F>> = Vec::new();
+    let mut c_parts: Vec<Ciphertext<F>> = Vec::new();
+    for i in 0..c2.n() {
+        let behavior = c2.behavior(i);
+        if !behavior.participates_at(crate::engine::phase_index(phase)) {
+            continue;
+        }
+        let (cb, cc, valid) = match behavior {
+            Behavior::Honest | Behavior::Leaky | Behavior::FailStop { .. } => {
+                let b_i = F::random(rng);
+                let (cb, r) = MockTe::encrypt(rng, tpk, b_i);
+                let cc = Ciphertext { u: b_i * c_a.u, v: b_i * c_a.v };
+                let ok = if cfg.produce_proofs {
+                    let proof = beaver_b_proof(rng, tpk, &c_a, &cb, &cc, b_i, r);
+                    verify_beaver_b_proof(tpk, &c_a, &cb, &cc, &proof)
+                } else {
+                    true
+                };
+                (cb, cc, ok)
+            }
+            Behavior::Malicious(_) => {
+                let junk = F::random(rng);
+                let (cb, _) = MockTe::encrypt(rng, tpk, junk);
+                let fake = F::random(rng);
+                let cc = Ciphertext { u: fake * c_a.u, v: fake * c_a.v + F::ONE };
+                let ok = if cfg.produce_proofs {
+                    let proof = nizk::LinearProof::<F> {
+                        commitment: vec![F::random(rng); 4],
+                        response: vec![F::random(rng); 2],
+                    };
+                    verify_beaver_b_proof(tpk, &c_a, &cb, &cc, &proof)
+                } else {
+                    false
+                };
+                (cb, cc, ok)
+            }
+        };
+        let elements = 2 * CT_ELEMENTS + messages::proof_elements(4, 2);
+        posts.push(BufferedPost::new(
+            c2.role(i),
+            Post::Contribution { step: ContributionStep::Beaver, ciphertexts: 2 },
+            phase,
+            elements,
+        ));
+        if valid {
+            b_parts.push(Contribution { ct: cb, valid: true });
+            c_parts.push(cc);
+        }
+    }
+    if b_parts.is_empty() {
+        return Err(ProtocolError::NotEnoughContributions {
+            step: "beaver b-side",
+            got: 0,
+            need: 1,
+        });
+    }
+    let ones = vec![F::ONE; b_parts.len()];
+    let c_b = MockTe::eval(&b_parts.iter().map(|c| c.ct).collect::<Vec<_>>(), &ones)?;
+    let c_c = MockTe::eval(&c_parts, &ones)?;
+    Ok(EncryptedTriple { a: c_a, b: c_b, c: c_c })
+}
+
 /// Step 1: two committees produce one encrypted Beaver triple per
 /// multiplication gate (`Beaver-Triple` in the paper).
+///
+/// Triples are independent, so each one runs from its own child RNG
+/// (seeds drawn sequentially from `rng`) on up to `cfg.num_threads`
+/// workers; posts are replayed in triple order, making the transcript
+/// independent of the thread count.
 pub fn beaver_triples<F: PrimeField, R: Rng + ?Sized>(
     rng: &mut R,
     board: &BulletinBoard<Post>,
@@ -167,74 +289,17 @@ pub fn beaver_triples<F: PrimeField, R: Rng + ?Sized>(
     count: usize,
 ) -> Result<Vec<EncryptedTriple<F>>, ProtocolError> {
     let phase = "offline/1-beaver";
+    let seeds: Vec<u64> = (0..count).map(|_| rng.next_u64()).collect();
+    let results = crate::parallel::par_map(cfg.num_threads, &seeds, |_, &seed| {
+        let mut trng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut posts = Vec::new();
+        let triple = one_triple(&mut trng, &mut posts, c1, c2, cfg, tpk, phase);
+        (triple, posts)
+    });
     let mut triples = Vec::with_capacity(count);
-    for _ in 0..count {
-        // a-side contributions from C1.
-        let c_a = summed_contribution(rng, board, c1, cfg, tpk, phase, ContributionStep::Beaver)?;
-
-        // b-side: each C2 member posts (c_b_i, c_c_i = b_i·c^a) with a
-        // proof of the joint relation.
-        let mut b_parts: Vec<Contribution<F>> = Vec::new();
-        let mut c_parts: Vec<Ciphertext<F>> = Vec::new();
-        for i in 0..c2.n() {
-            let behavior = c2.behavior(i);
-            if !behavior.participates_at(crate::engine::phase_index(phase)) {
-                continue;
-            }
-            let (cb, cc, valid) = match behavior {
-                Behavior::Honest | Behavior::Leaky | Behavior::FailStop { .. } => {
-                    let b_i = F::random(rng);
-                    let (cb, r) = MockTe::encrypt(rng, tpk, b_i);
-                    let cc = Ciphertext { u: b_i * c_a.u, v: b_i * c_a.v };
-                    let ok = if cfg.produce_proofs {
-                        let proof = beaver_b_proof(rng, tpk, &c_a, &cb, &cc, b_i, r);
-                        verify_beaver_b_proof(tpk, &c_a, &cb, &cc, &proof)
-                    } else {
-                        true
-                    };
-                    (cb, cc, ok)
-                }
-                Behavior::Malicious(_) => {
-                    let junk = F::random(rng);
-                    let (cb, _) = MockTe::encrypt(rng, tpk, junk);
-                    let fake = F::random(rng);
-                    let cc = Ciphertext { u: fake * c_a.u, v: fake * c_a.v + F::ONE };
-                    let ok = if cfg.produce_proofs {
-                        let proof = nizk::LinearProof::<F> {
-                            commitment: vec![F::random(rng); 4],
-                            response: vec![F::random(rng); 2],
-                        };
-                        verify_beaver_b_proof(tpk, &c_a, &cb, &cc, &proof)
-                    } else {
-                        false
-                    };
-                    (cb, cc, ok)
-                }
-            };
-            let elements = 2 * CT_ELEMENTS + messages::proof_elements(4, 2);
-            board.post(
-                c2.role(i),
-                Post::Contribution { step: ContributionStep::Beaver, ciphertexts: 2 },
-                phase,
-                elements,
-                messages::to_bytes(elements),
-            );
-            if valid {
-                b_parts.push(Contribution { ct: cb, valid: true });
-                c_parts.push(cc);
-            }
-        }
-        if b_parts.is_empty() {
-            return Err(ProtocolError::NotEnoughContributions {
-                step: "beaver b-side",
-                got: 0,
-                need: 1,
-            });
-        }
-        let ones = vec![F::ONE; b_parts.len()];
-        let c_b = MockTe::eval(&b_parts.iter().map(|c| c.ct).collect::<Vec<_>>(), &ones)?;
-        let c_c = MockTe::eval(&c_parts, &ones)?;
-        triples.push(EncryptedTriple { a: c_a, b: c_b, c: c_c });
+    for (triple, posts) in results {
+        flush_posts(board, posts);
+        triples.push(triple?);
     }
     Ok(triples)
 }

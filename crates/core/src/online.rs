@@ -22,14 +22,15 @@
 //! - **Output**: the output committee `Re-encrypt*`s each output-wire
 //!   mask to the receiving client, who computes `v = μ + λ`.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 
 use yoso_circuit::{BatchedCircuit, Gate};
 use yoso_field::PrimeField;
 use yoso_pss_sharing::{PackedSharing, Share};
-use yoso_runtime::{ActiveAttack, Adversary, Behavior, BulletinBoard, LeakLog};
+use yoso_runtime::{ActiveAttack, Adversary, Behavior, BulletinBoard, LeakLog, RoleId};
 use yoso_the::mock::{LinearPke, PkeKeyPair, PkePublicKey};
 use yoso_the::nizk::{share_proof, verify_share_proof, ShareProof};
 
@@ -173,6 +174,10 @@ pub fn run_online<F: PrimeField, R: Rng + ?Sized>(
         }
     };
 
+    // One sharing scheme per batch width, shared across layers: the
+    // evaluation-domain caches inside `PackedSharing` make repeated
+    // `share_public`/`reconstruct` calls O(n) dot products.
+    let mut schemes: HashMap<usize, PackedSharing<F>> = HashMap::new();
     for (layer_idx, layer_batches) in batches_by_layer.iter().enumerate() {
         propagate_linear(&mut mu);
         let committee = adversary.sample_committee(rng, format!("on-mult-{layer_idx}"), n);
@@ -180,7 +185,10 @@ pub fn run_online<F: PrimeField, R: Rng + ?Sized>(
             let batch = &bc.mul_batches[b_idx];
             let shares = &offline.batch_shares[b_idx];
             let k_b = batch.gates.len();
-            let scheme = PackedSharing::<F>::new(n, k_b)?;
+            let scheme = match schemes.entry(k_b) {
+                Entry::Occupied(e) => e.into_mut(),
+                Entry::Vacant(v) => v.insert(PackedSharing::<F>::new(n, k_b)?),
+            };
             let rec_degree = params.t + 2 * (k_b - 1);
 
             // Public degree-(k_b − 1) packed sharings of the μ vectors.
@@ -197,72 +205,105 @@ pub fn run_online<F: PrimeField, R: Rng + ?Sized>(
             let mu_alpha_sh = scheme.share_public(&mu_alpha)?;
             let mu_beta_sh = scheme.share_public(&mu_beta)?;
 
-            let mut posted: Vec<Share<F>> = Vec::new();
-            for i in 0..n {
-                let behavior = committee.behavior(i);
-                if !behavior.participates_at(crate::engine::phase_index(phase_mul)) {
-                    continue;
-                }
-                let kff_pk = setup.kff_pairs[layer_idx][i].public;
-                let ma = mu_alpha_sh.share_of(i).value;
-                let mb = mu_beta_sh.share_of(i).value;
-                // Public opening coefficients of the three re-encrypted
-                // packed shares (value = a − sk·b).
-                let (a_al, b_al) = shares.alpha[i].opening_coefficients()?;
-                let (a_be, b_be) = shares.beta[i].opening_coefficients()?;
-                let (a_ga, b_ga) = shares.gamma[i].opening_coefficients()?;
-                let offset = ma * mb + ma * a_be + mb * a_al + a_ga;
-                let slope = ma * b_be + mb * b_al + b_ga;
+            // Per-member share computation is independent: fan out on
+            // child RNGs seeded sequentially (one per member, drawn
+            // whether or not the member participates, so the seed
+            // stream is behavior- and thread-count-independent), then
+            // replay posts and leak records in member order.
+            struct MemberOut<F: PrimeField> {
+                share: Option<Share<F>>,
+                posts: Vec<crate::offline::BufferedPost>,
+                leaks: Vec<(RoleId, String, usize)>,
+            }
+            let seeds: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+            let member_results = crate::parallel::par_map(
+                cfg.num_threads,
+                &seeds,
+                |i, &seed| -> Result<MemberOut<F>, ProtocolError> {
+                    let mut mrng = rand::rngs::StdRng::seed_from_u64(seed);
+                    let mut out =
+                        MemberOut { share: None, posts: Vec::new(), leaks: Vec::new() };
+                    let behavior = committee.behavior(i);
+                    if !behavior.participates_at(crate::engine::phase_index(phase_mul)) {
+                        return Ok(out);
+                    }
+                    let kff_pk = setup.kff_pairs[layer_idx][i].public;
+                    let ma = mu_alpha_sh.share_of(i).value;
+                    let mb = mu_beta_sh.share_of(i).value;
+                    // Public opening coefficients of the three
+                    // re-encrypted packed shares (value = a − sk·b).
+                    let (a_al, b_al) = shares.alpha[i].opening_coefficients()?;
+                    let (a_be, b_be) = shares.beta[i].opening_coefficients()?;
+                    let (a_ga, b_ga) = shares.gamma[i].opening_coefficients()?;
+                    let offset = ma * mb + ma * a_be + mb * a_al + a_ga;
+                    let slope = ma * b_be + mb * b_al + b_ga;
 
-                if matches!(behavior, Behavior::Malicious(_) | Behavior::Leaky) {
-                    // The corrupted role's KFF opens all three of its
-                    // packed shares — record the exposure.
-                    for which in ["alpha", "beta", "gamma"] {
-                        leak.record(committee.role(i), format!("batch{b_idx}/{which}"), i);
+                    if matches!(behavior, Behavior::Malicious(_) | Behavior::Leaky) {
+                        // The corrupted role's KFF opens all three of
+                        // its packed shares — record the exposure.
+                        for which in ["alpha", "beta", "gamma"] {
+                            out.leaks.push((
+                                committee.role(i),
+                                format!("batch{b_idx}/{which}"),
+                                i,
+                            ));
+                        }
                     }
+                    let (value, valid) = match behavior {
+                        Behavior::Honest | Behavior::Leaky | Behavior::FailStop { .. } => {
+                            // Recover the KFF secret via the role key,
+                            // then compute the share honestly.
+                            let kff_sk = kff_prime[layer_idx * n + i]
+                                .open(role_keys[layer_idx][i].secret.scalar)?;
+                            let value = offset - kff_sk * slope;
+                            let ok = if cfg.produce_proofs {
+                                let proof =
+                                    share_proof(&mut mrng, &kff_pk, slope, offset, value, kff_sk);
+                                verify_share_proof(&kff_pk, slope, offset, value, &proof)
+                            } else {
+                                true
+                            };
+                            (value, ok)
+                        }
+                        Behavior::Malicious(attack) => {
+                            let kff_sk = kff_prime[layer_idx * n + i]
+                                .open(role_keys[layer_idx][i].secret.scalar)?;
+                            let honest = offset - kff_sk * slope;
+                            let value = match attack {
+                                ActiveAttack::BadProof => honest,
+                                ActiveAttack::AdditiveOffset => honest + F::ONE,
+                                _ => F::random(&mut mrng),
+                            };
+                            let ok = if cfg.produce_proofs {
+                                let proof = ShareProof::<F>::garbage(&mut mrng);
+                                verify_share_proof(&kff_pk, slope, offset, value, &proof)
+                            } else {
+                                false
+                            };
+                            (value, ok)
+                        }
+                    };
+                    out.posts.push(crate::offline::BufferedPost::new(
+                        committee.role(i),
+                        Post::MulShare,
+                        phase_mul,
+                        1 + MULSHARE_PROOF_ELEMENTS,
+                    ));
+                    if valid {
+                        out.share = Some(Share { party: i, value });
+                    }
+                    Ok(out)
+                },
+            );
+            let mut posted: Vec<Share<F>> = Vec::new();
+            for result in member_results {
+                let out = result?;
+                crate::offline::flush_posts(board, out.posts);
+                for (role, object, piece) in out.leaks {
+                    leak.record(role, object, piece);
                 }
-                let (value, valid) = match behavior {
-                    Behavior::Honest | Behavior::Leaky | Behavior::FailStop { .. } => {
-                        // Recover the KFF secret via the role key, then
-                        // compute the share honestly.
-                        let kff_sk =
-                            kff_prime[layer_idx * n + i].open(role_keys[layer_idx][i].secret.scalar)?;
-                        let value = offset - kff_sk * slope;
-                        let ok = if cfg.produce_proofs {
-                            let proof = share_proof(rng, &kff_pk, slope, offset, value, kff_sk);
-                            verify_share_proof(&kff_pk, slope, offset, value, &proof)
-                        } else {
-                            true
-                        };
-                        (value, ok)
-                    }
-                    Behavior::Malicious(attack) => {
-                        let kff_sk =
-                            kff_prime[layer_idx * n + i].open(role_keys[layer_idx][i].secret.scalar)?;
-                        let honest = offset - kff_sk * slope;
-                        let value = match attack {
-                            ActiveAttack::BadProof => honest,
-                            ActiveAttack::AdditiveOffset => honest + F::ONE,
-                            _ => F::random(rng),
-                        };
-                        let ok = if cfg.produce_proofs {
-                            let proof = ShareProof::<F>::garbage(rng);
-                            verify_share_proof(&kff_pk, slope, offset, value, &proof)
-                        } else {
-                            false
-                        };
-                        (value, ok)
-                    }
-                };
-                board.post(
-                    committee.role(i),
-                    Post::MulShare,
-                    phase_mul,
-                    1 + MULSHARE_PROOF_ELEMENTS,
-                    messages::to_bytes(1 + MULSHARE_PROOF_ELEMENTS),
-                );
-                if valid {
-                    posted.push(Share { party: i, value });
+                if let Some(share) = out.share {
+                    posted.push(share);
                 }
             }
 

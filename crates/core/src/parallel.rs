@@ -1,0 +1,102 @@
+//! Deterministic fan-out of independent protocol work.
+//!
+//! The engine's hot loops — one Beaver triple per multiplication gate
+//! offline, one share computation per committee member online — are
+//! data-parallel, but the naive loop threads a single RNG through every
+//! iteration, serializing them. The engine instead derives one child
+//! seed per work item *sequentially* from the caller's RNG (so the seed
+//! sequence, and therefore every result, is independent of thread
+//! count), runs the items on a scoped thread pool, and replays their
+//! board posts in item-index order. Transcripts are byte-identical
+//! whether `num_threads` is 1 or 16.
+//!
+//! Compiled without the `parallel` feature, [`par_map`] degrades to a
+//! sequential loop over the same per-item seeds — results are still
+//! identical, only wall-clock changes.
+
+/// Maps `f` over `items`, preserving order, using up to `num_threads`
+/// worker threads.
+///
+/// `f` receives `(index, &item)` and must be pure per item (any
+/// randomness comes from a per-item seed inside `item`). With
+/// `num_threads <= 1`, a single item, or the `parallel` feature
+/// disabled, runs inline on the caller's thread.
+pub fn par_map<T, U, F>(num_threads: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    #[cfg(feature = "parallel")]
+    {
+        let workers = num_threads.min(items.len());
+        if workers > 1 {
+            return par_map_threaded(workers, items, &f);
+        }
+    }
+    let _ = num_threads;
+    items.iter().enumerate().map(|(i, item)| f(i, item)).collect()
+}
+
+#[cfg(feature = "parallel")]
+fn par_map_threaded<T, U, F>(workers: usize, items: &[T], f: &F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let out = f(i, &items[i]);
+                *results[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("every work item produced a result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_values() {
+        let items: Vec<u64> = (0..100).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        for threads in [0, 1, 2, 7, 64] {
+            assert_eq!(par_map(threads, &items, |_, &x| x * x), expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn index_matches_item_position() {
+        let items: Vec<usize> = (0..50).collect();
+        let got = par_map(4, &items, |i, &x| (i, x));
+        for (i, &(gi, gx)) in got.iter().enumerate() {
+            assert_eq!((gi, gx), (i, i));
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(par_map(8, &[] as &[u32], |_, &x| x), Vec::<u32>::new());
+        assert_eq!(par_map(8, &[5u32], |_, &x| x + 1), vec![6]);
+    }
+}

@@ -1,0 +1,115 @@
+//! The parallel engine must be a pure wall-clock optimization: for a
+//! fixed seed, every board posting, output and leak record must be
+//! byte-identical whatever `num_threads` is.
+
+use rand::SeedableRng;
+use yoso_circuit::generators;
+use yoso_core::messages::Post;
+use yoso_core::offline::run_offline;
+use yoso_core::online::run_online;
+use yoso_core::setup::run_setup;
+use yoso_core::{Engine, ExecutionConfig, ProtocolParams};
+use yoso_field::F61;
+use yoso_runtime::{ActiveAttack, Adversary, BulletinBoard, LeakLog};
+
+fn f(v: u64) -> F61 {
+    F61::from(v)
+}
+
+/// Runs the full pipeline on its own board and renders the complete
+/// posting log as a string (round, author, message for every post).
+fn run_transcript(
+    num_threads: usize,
+    adversary: &Adversary,
+) -> (String, Vec<Vec<F61>>, Vec<F61>) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4242);
+    let params = ProtocolParams::new(10, 2, 3).unwrap();
+    let cfg = ExecutionConfig::default().with_threads(num_threads);
+    let circuit = generators::inner_product::<F61>(6).unwrap();
+    let inputs: Vec<Vec<F61>> =
+        vec![(1..=6u64).map(f).collect(), (10..16u64).map(f).collect()];
+    let board: BulletinBoard<Post> = BulletinBoard::new();
+    let bc = circuit.batched(params.k);
+    let leak = LeakLog::new();
+    let mut setup =
+        run_setup::<F61, _>(&mut rng, &params, &board, circuit.mul_depth(), circuit.clients())
+            .unwrap();
+    setup.tsk.set_leak_log(leak.clone());
+    let offline =
+        run_offline(&mut rng, &params, &board, adversary, &cfg, &bc, &setup).unwrap();
+    let online = run_online(
+        &mut rng, &params, &board, adversary, &cfg, &bc, &setup, offline, &inputs, &leak,
+    )
+    .unwrap();
+    let mut transcript = String::new();
+    for p in board.postings() {
+        transcript.push_str(&format!("{}|{}|{:?}\n", p.round, p.from, p.message));
+    }
+    (transcript, online.outputs, online.mu)
+}
+
+#[test]
+fn transcript_identical_across_thread_counts_honest() {
+    let adv = Adversary::none();
+    let (t1, out1, mu1) = run_transcript(1, &adv);
+    assert!(!t1.is_empty());
+    for threads in [2, 4, 8] {
+        let (tn, outn, mun) = run_transcript(threads, &adv);
+        assert_eq!(t1, tn, "posting log must not depend on num_threads={threads}");
+        assert_eq!(out1, outn);
+        assert_eq!(mu1, mun);
+    }
+}
+
+#[test]
+fn transcript_identical_across_thread_counts_adversarial() {
+    // Malicious and leaky members exercise the buffered leak-record
+    // and garbage-proof paths.
+    let adv = Adversary::active(2, ActiveAttack::WrongValue);
+    let (t1, out1, _) = run_transcript(1, &adv);
+    let (t4, out4, _) = run_transcript(4, &adv);
+    assert_eq!(t1, t4);
+    assert_eq!(out1, out4);
+}
+
+#[test]
+fn parallel_engine_matches_cleartext_evaluation() {
+    let circuit = generators::inner_product::<F61>(5).unwrap();
+    let x: Vec<F61> = (1..=5u64).map(f).collect();
+    let y: Vec<F61> = (7..12u64).map(f).collect();
+    let expect = circuit.evaluate(&[x.clone(), y.clone()]).unwrap();
+    let engine = Engine::new(
+        ProtocolParams::new(10, 2, 3).unwrap(),
+        ExecutionConfig::default().with_threads(4),
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let run = engine.run(&mut rng, &circuit, &[x, y], &Adversary::none()).unwrap();
+    assert_eq!(run.outputs, expect);
+}
+
+#[test]
+fn engine_results_identical_across_thread_counts() {
+    let circuit = generators::inner_product::<F61>(4).unwrap();
+    let x: Vec<F61> = (1..=4u64).map(f).collect();
+    let y: Vec<F61> = (5..=8u64).map(f).collect();
+    let params = ProtocolParams::new(8, 1, 2).unwrap();
+    let mut runs = Vec::new();
+    for threads in [1usize, 3] {
+        let engine = Engine::new(params, ExecutionConfig::default().with_threads(threads));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let run = engine.run(&mut rng, &circuit, &[x.clone(), y.clone()], &Adversary::none())
+            .unwrap();
+        runs.push((run.outputs, run.mu, run.rounds, run.phases));
+    }
+    assert_eq!(runs[0].0, runs[1].0);
+    assert_eq!(runs[0].1, runs[1].1);
+    assert_eq!(runs[0].2, runs[1].2);
+    // Identical per-phase communication metering, entry for entry.
+    let stats = |phases: &[(String, yoso_runtime::PhaseStats)]| {
+        phases
+            .iter()
+            .map(|(k, s)| format!("{k}:{}e/{}b/{}m", s.elements, s.bytes, s.messages))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(stats(&runs[0].3), stats(&runs[1].3));
+}

@@ -1,0 +1,390 @@
+//! Precomputed evaluation domains for fast repeated interpolation.
+//!
+//! The protocol interpolates and recombines over the *same* node sets
+//! thousands of times: every share dealt, every μ-reconstruction and
+//! every homomorphic packing step reuses one of a handful of point
+//! sets (secret slots ∪ party points). [`EvalDomain`] does the
+//! node-dependent work once —
+//!
+//! - barycentric weights `w_j = 1 / Π_{m≠j}(x_j − x_m)`,
+//! - the master polynomial `N(x) = Π_j (x − x_j)`,
+//! - a cache of recombination (Lagrange basis) vectors keyed by
+//!   target point
+//!
+//! — after which [`basis_at`](EvalDomain::basis_at) costs `O(n)` per
+//! fresh target (one batch inversion) and `O(1)` per repeated target,
+//! and [`interpolate`](EvalDomain::interpolate) costs `O(n²)` instead
+//! of the naive `O(n³)`.
+//!
+//! All arithmetic is exact field arithmetic over canonical
+//! representations, so every fast path returns *bit-identical* results
+//! to the reference implementations in [`lagrange`](crate::lagrange);
+//! property tests in `tests/proptests.rs` pin this down.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use crate::{lagrange, FieldError, Poly, PrimeField};
+
+/// A fixed set of pairwise-distinct evaluation points with
+/// precomputed barycentric data and a recombination-vector cache.
+#[derive(Debug)]
+pub struct EvalDomain<F: PrimeField> {
+    points: Vec<F>,
+    /// Barycentric weights `w_j = 1 / Π_{m≠j}(x_j − x_m)`.
+    weights: Vec<F>,
+    /// Master polynomial `N(x) = Π_j (x − x_j)` (monic, degree `n`).
+    master: Poly<F>,
+    /// Recombination vectors keyed by the canonical `u64` of the
+    /// target point.
+    basis_cache: RwLock<HashMap<u64, Arc<Vec<F>>>>,
+    /// Lazily-built quotient polynomials `N(x)/(x − x_j)`, shared by
+    /// batched interpolation.
+    quotients: RwLock<Option<Arc<Vec<Vec<F>>>>>,
+}
+
+impl<F: PrimeField> Clone for EvalDomain<F> {
+    fn clone(&self) -> Self {
+        // Clones share nothing mutable; warmed cache entries are
+        // carried over as cheap `Arc` copies.
+        let basis = read_lock(&self.basis_cache).clone();
+        let quotients = read_lock(&self.quotients).clone();
+        EvalDomain {
+            points: self.points.clone(),
+            weights: self.weights.clone(),
+            master: self.master.clone(),
+            basis_cache: RwLock::new(basis),
+            quotients: RwLock::new(quotients),
+        }
+    }
+}
+
+fn read_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn write_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl<F: PrimeField> EvalDomain<F> {
+    /// Builds a domain over `points`.
+    ///
+    /// Costs `O(n²)` multiplications (weights + master polynomial);
+    /// intended to be done once per node set and reused.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FieldError::DuplicatePoint`] if any two points
+    /// coincide.
+    pub fn new(points: Vec<F>) -> Result<Self, FieldError> {
+        let mut keys: Vec<u64> = points.iter().map(PrimeField::as_u64).collect();
+        keys.sort_unstable();
+        if keys.windows(2).any(|w| w[0] == w[1]) {
+            return Err(FieldError::DuplicatePoint);
+        }
+        let master = Poly::from_roots(&points);
+        let mut denoms = Vec::with_capacity(points.len());
+        for (j, &xj) in points.iter().enumerate() {
+            let mut d = F::ONE;
+            for (m, &xm) in points.iter().enumerate() {
+                if m != j {
+                    d *= xj - xm;
+                }
+            }
+            denoms.push(d);
+        }
+        // Denominators are products of differences of distinct points,
+        // hence non-zero; inversion cannot fail.
+        let weights = lagrange::batch_invert(&denoms)?;
+        Ok(EvalDomain {
+            points,
+            weights,
+            master,
+            basis_cache: RwLock::new(HashMap::new()),
+            quotients: RwLock::new(None),
+        })
+    }
+
+    /// The domain's evaluation points, in construction order.
+    pub fn points(&self) -> &[F] {
+        &self.points
+    }
+
+    /// Number of points in the domain.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The recombination vector `(l_1(x), …, l_n(x))` for this node
+    /// set: coefficients with `f(x) = Σ_j l_j(x)·f(x_j)` for every
+    /// polynomial `f` of degree `< n`.
+    ///
+    /// First call per target is `O(n)`; repeats are a cache hit.
+    /// Bit-identical to [`lagrange::basis_at`] on the same inputs.
+    pub fn basis_at(&self, x: F) -> Arc<Vec<F>> {
+        let key = x.as_u64();
+        if let Some(hit) = read_lock(&self.basis_cache).get(&key) {
+            return Arc::clone(hit);
+        }
+        let row = Arc::new(self.basis_row_uncached(x));
+        Arc::clone(write_lock(&self.basis_cache).entry(key).or_insert(row))
+    }
+
+    fn basis_row_uncached(&self, x: F) -> Vec<F> {
+        // Target on a node: the basis row is an indicator vector.
+        if let Some(pos) = self.points.iter().position(|&xj| xj == x) {
+            let mut out = vec![F::ZERO; self.points.len()];
+            out[pos] = F::ONE;
+            return out;
+        }
+        // First barycentric form: l_j(x) = N(x) · w_j / (x − x_j).
+        let diffs: Vec<F> = self.points.iter().map(|&xj| x - xj).collect();
+        let n_at_x: F = diffs.iter().copied().product();
+        let inv = lagrange::batch_invert(&diffs)
+            .expect("diffs are non-zero: x is not a node");
+        self.weights
+            .iter()
+            .zip(inv)
+            .map(|(&w, d)| n_at_x * w * d)
+            .collect()
+    }
+
+    /// Recombination vectors for many targets (cache-backed rows).
+    pub fn basis_rows(&self, targets: &[F]) -> Vec<Arc<Vec<F>>> {
+        targets.iter().map(|&t| self.basis_at(t)).collect()
+    }
+
+    /// Evaluates the interpolating polynomial through
+    /// `(points[j], ys[j])` at every target, without constructing the
+    /// polynomial: one cached recombination vector and an `O(n)` dot
+    /// product per target.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FieldError::LengthMismatch`] if `ys` does not match
+    /// the domain size.
+    pub fn eval_many(&self, ys: &[F], targets: &[F]) -> Result<Vec<F>, FieldError> {
+        self.check_len(ys)?;
+        Ok(targets
+            .iter()
+            .map(|&t| {
+                let row = self.basis_at(t);
+                row.iter().zip(ys).map(|(&b, &y)| b * y).sum()
+            })
+            .collect())
+    }
+
+    /// Interpolates the unique polynomial of degree `< n` through
+    /// `(points[j], ys[j])` in `O(n²)` via synthetic division of the
+    /// master polynomial, instead of the naive `O(n³)`.
+    ///
+    /// Bit-identical to [`lagrange::interpolate`] on the same inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FieldError::LengthMismatch`] if `ys` does not match
+    /// the domain size.
+    pub fn interpolate(&self, ys: &[F]) -> Result<Poly<F>, FieldError> {
+        self.check_len(ys)?;
+        let n = self.points.len();
+        if n == 0 {
+            return Ok(Poly::zero());
+        }
+        let master = self.master.coeffs();
+        let mut acc = vec![F::ZERO; n];
+        let mut quotient = vec![F::ZERO; n];
+        for (j, (&xj, &yj)) in self.points.iter().zip(ys).enumerate() {
+            let c = yj * self.weights[j];
+            if c.is_zero() {
+                continue;
+            }
+            synthetic_quotient(master, xj, &mut quotient);
+            for (a, &q) in acc.iter_mut().zip(&quotient) {
+                *a += c * q;
+            }
+        }
+        Ok(Poly::new(acc))
+    }
+
+    /// Interpolates one polynomial per row of `batches`, sharing the
+    /// per-node quotient polynomials `N(x)/(x − x_j)` across the whole
+    /// batch (they are computed once per domain and memoised).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FieldError::LengthMismatch`] if any row does not
+    /// match the domain size.
+    pub fn interpolate_many(&self, batches: &[Vec<F>]) -> Result<Vec<Poly<F>>, FieldError> {
+        for ys in batches {
+            self.check_len(ys)?;
+        }
+        let n = self.points.len();
+        if n == 0 {
+            return Ok(batches.iter().map(|_| Poly::zero()).collect());
+        }
+        let quotients = self.quotient_polys();
+        Ok(batches
+            .iter()
+            .map(|ys| {
+                let mut acc = vec![F::ZERO; n];
+                for (j, &yj) in ys.iter().enumerate() {
+                    let c = yj * self.weights[j];
+                    if c.is_zero() {
+                        continue;
+                    }
+                    for (a, &q) in acc.iter_mut().zip(&quotients[j]) {
+                        *a += c * q;
+                    }
+                }
+                Poly::new(acc)
+            })
+            .collect())
+    }
+
+    fn quotient_polys(&self) -> Arc<Vec<Vec<F>>> {
+        if let Some(q) = read_lock(&self.quotients).as_ref() {
+            return Arc::clone(q);
+        }
+        let n = self.points.len();
+        let master = self.master.coeffs();
+        let mut all = Vec::with_capacity(n);
+        let mut quotient = vec![F::ZERO; n];
+        for &xj in &self.points {
+            synthetic_quotient(master, xj, &mut quotient);
+            all.push(quotient.clone());
+        }
+        let arc = Arc::new(all);
+        let mut slot = write_lock(&self.quotients);
+        if let Some(existing) = slot.as_ref() {
+            return Arc::clone(existing);
+        }
+        *slot = Some(Arc::clone(&arc));
+        arc
+    }
+
+    fn check_len(&self, ys: &[F]) -> Result<(), FieldError> {
+        if ys.len() != self.points.len() {
+            return Err(FieldError::LengthMismatch { xs: self.points.len(), ys: ys.len() });
+        }
+        Ok(())
+    }
+}
+
+/// Writes the coefficients of `master / (x − root)` into `out`
+/// (`out.len() == deg(master)`); exact since `root` is a root of the
+/// monic master polynomial.
+fn synthetic_quotient<F: PrimeField>(master: &[F], root: F, out: &mut [F]) {
+    let n = out.len();
+    debug_assert_eq!(master.len(), n + 1);
+    out[n - 1] = master[n];
+    for i in (0..n - 1).rev() {
+        out[i] = master[i + 1] + root * out[i + 1];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::F61;
+    use rand::SeedableRng;
+
+    fn f(v: u64) -> F61 {
+        F61::from(v)
+    }
+
+    fn domain(points: &[u64]) -> EvalDomain<F61> {
+        EvalDomain::new(points.iter().copied().map(f).collect()).unwrap()
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let err = EvalDomain::new(vec![f(1), f(2), f(1)]).unwrap_err();
+        assert_eq!(err, FieldError::DuplicatePoint);
+    }
+
+    #[test]
+    fn basis_matches_reference() {
+        let d = domain(&[1, 2, 3, 4, 5, 6, 7]);
+        for x in [f(0), f(3), f(99), F61::from_i64(-4)] {
+            let fast = d.basis_at(x);
+            let slow = lagrange::basis_at(d.points(), x).unwrap();
+            assert_eq!(*fast, slow);
+        }
+        // Second call hits the cache and returns the same row.
+        let again = d.basis_at(f(99));
+        assert_eq!(*again, *d.basis_at(f(99)));
+    }
+
+    #[test]
+    fn interpolate_matches_reference() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let d = domain(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let p = Poly::<F61>::random(&mut rng, 8);
+        let ys = p.eval_many(d.points());
+        let fast = d.interpolate(&ys).unwrap();
+        let slow = lagrange::interpolate(d.points(), &ys).unwrap();
+        assert_eq!(fast, slow);
+        assert_eq!(fast, p);
+    }
+
+    #[test]
+    fn interpolate_many_matches_single() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(32);
+        let d = domain(&[3, 1, 4, 15, 9, 2, 6]);
+        let batches: Vec<Vec<F61>> = (0..5)
+            .map(|_| Poly::<F61>::random(&mut rng, 6).eval_many(d.points()))
+            .collect();
+        let many = d.interpolate_many(&batches).unwrap();
+        for (ys, got) in batches.iter().zip(&many) {
+            assert_eq!(got, &d.interpolate(ys).unwrap());
+        }
+    }
+
+    #[test]
+    fn eval_many_transports_values() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+        let d = domain(&[1, 2, 3, 4, 5]);
+        let p = Poly::<F61>::random(&mut rng, 4);
+        let ys = p.eval_many(d.points());
+        let targets = [f(0), f(7), F61::from_i64(-2), f(3)];
+        let got = d.eval_many(&ys, &targets).unwrap();
+        for (&t, &g) in targets.iter().zip(&got) {
+            assert_eq!(g, p.eval(t));
+        }
+    }
+
+    #[test]
+    fn length_mismatch_is_reported() {
+        let d = domain(&[1, 2, 3]);
+        assert_eq!(
+            d.interpolate(&[f(1)]).unwrap_err(),
+            FieldError::LengthMismatch { xs: 3, ys: 1 }
+        );
+        assert_eq!(
+            d.eval_many(&[f(1), f(2)], &[f(0)]).unwrap_err(),
+            FieldError::LengthMismatch { xs: 3, ys: 2 }
+        );
+    }
+
+    #[test]
+    fn empty_domain_behaves() {
+        let d = EvalDomain::<F61>::new(Vec::new()).unwrap();
+        assert!(d.is_empty());
+        assert!(d.interpolate(&[]).unwrap().is_zero());
+        assert_eq!(d.eval_many(&[], &[f(5)]).unwrap(), vec![F61::ZERO]);
+    }
+
+    #[test]
+    fn clone_keeps_cache_entries() {
+        let d = domain(&[1, 2, 3, 4]);
+        let row = d.basis_at(f(9));
+        let c = d.clone();
+        assert_eq!(*c.basis_at(f(9)), *row);
+    }
+}

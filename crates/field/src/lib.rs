@@ -32,11 +32,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod domain;
 mod element;
 pub mod lagrange;
 mod poly;
 mod smallfp;
 
+pub use domain::EvalDomain;
 pub use element::{F61, PrimeField};
 pub use poly::Poly;
 pub use smallfp::Fp;

@@ -2,7 +2,7 @@
 //! Lagrange interpolation.
 
 use proptest::prelude::*;
-use yoso_field::{lagrange, F61, Poly, PrimeField};
+use yoso_field::{lagrange, EvalDomain, F61, Poly, PrimeField};
 
 fn felt() -> impl Strategy<Value = F61> {
     any::<u64>().prop_map(F61::from_u64)
@@ -95,5 +95,104 @@ proptest! {
         for (v, i) in vals.iter().zip(&inv) {
             prop_assert_eq!(*v * *i, F61::ONE);
         }
+    }
+}
+
+/// Pairwise-distinct evaluation points (1 ≤ n < 24).
+fn distinct_points() -> impl Strategy<Value = Vec<F61>> {
+    prop::collection::vec(felt(), 1..24).prop_map(|mut xs| {
+        xs.sort_by_key(PrimeField::as_u64);
+        xs.dedup();
+        xs
+    })
+}
+
+// Bit-identity of the EvalDomain fast paths against the naive
+// reference implementations: exact field arithmetic over canonical
+// representations means the cached/barycentric code must agree with
+// `lagrange::{basis_at, interpolate}` on every bit, not just up to
+// rounding.
+proptest! {
+    #[test]
+    fn domain_basis_bit_identical_to_naive(xs in distinct_points(), x in felt()) {
+        let domain = EvalDomain::new(xs.clone()).unwrap();
+        let naive = lagrange::basis_at(&xs, x).unwrap();
+        // Cold cache, then warm cache: both must equal the reference.
+        prop_assert_eq!(&*domain.basis_at(x), &naive);
+        prop_assert_eq!(&*domain.basis_at(x), &naive);
+    }
+
+    #[test]
+    fn domain_basis_at_node_bit_identical(xs in distinct_points(), pick in any::<prop::sample::Index>()) {
+        let domain = EvalDomain::new(xs.clone()).unwrap();
+        let x = xs[pick.index(xs.len())];
+        let naive = lagrange::basis_at(&xs, x).unwrap();
+        prop_assert_eq!(&*domain.basis_at(x), &naive);
+    }
+
+    #[test]
+    fn domain_interpolate_bit_identical_to_naive(xs in distinct_points(), seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let ys: Vec<F61> = xs.iter().map(|_| F61::random(&mut rng)).collect();
+        let domain = EvalDomain::new(xs.clone()).unwrap();
+        let naive = lagrange::interpolate(&xs, &ys).unwrap();
+        prop_assert_eq!(domain.interpolate(&ys).unwrap(), naive.clone());
+        // Batched interpolation shares quotient polynomials; still
+        // bit-identical.
+        let many = domain.interpolate_many(&[ys.clone(), ys]).unwrap();
+        prop_assert_eq!(&many[0], &naive);
+        prop_assert_eq!(&many[1], &naive);
+    }
+
+    #[test]
+    fn domain_eval_many_bit_identical_to_naive(
+        xs in distinct_points(),
+        targets in prop::collection::vec(felt(), 1..8),
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let ys: Vec<F61> = xs.iter().map(|_| F61::random(&mut rng)).collect();
+        let domain = EvalDomain::new(xs.clone()).unwrap();
+        let got = domain.eval_many(&ys, &targets).unwrap();
+        for (&t, &g) in targets.iter().zip(&got) {
+            prop_assert_eq!(g, lagrange::eval_at(&xs, &ys, t).unwrap());
+        }
+    }
+
+    #[test]
+    fn domain_duplicate_points_rejected_like_naive(xs in distinct_points(), dup in any::<prop::sample::Index>()) {
+        // Inject a duplicate node; both paths must report it.
+        let mut bad = xs.clone();
+        bad.push(xs[dup.index(xs.len())]);
+        let ys = vec![F61::ZERO; bad.len()];
+        prop_assert_eq!(
+            EvalDomain::new(bad.clone()).unwrap_err(),
+            lagrange::interpolate(&bad, &ys).unwrap_err()
+        );
+    }
+
+    #[test]
+    fn domain_length_mismatch_rejected(xs in distinct_points(), extra in 1usize..4) {
+        let domain = EvalDomain::new(xs.clone()).unwrap();
+        let ys = vec![F61::ZERO; xs.len() + extra];
+        prop_assert_eq!(
+            domain.interpolate(&ys).unwrap_err(),
+            lagrange::interpolate(&xs, &ys).unwrap_err()
+        );
+    }
+
+    #[test]
+    fn zero_element_inversion_rejected(vals in prop::collection::vec(felt(), 1..16), at in any::<prop::sample::Index>()) {
+        // batch_invert underlies both the naive and the cached paths;
+        // a zero element must surface as ZeroInverse, not a wrong row.
+        let mut vals = vals;
+        let pos = at.index(vals.len());
+        vals[pos] = F61::ZERO;
+        prop_assert_eq!(
+            lagrange::batch_invert(&vals).unwrap_err(),
+            yoso_field::FieldError::ZeroInverse
+        );
     }
 }

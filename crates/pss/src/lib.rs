@@ -42,10 +42,13 @@
 
 pub mod shamir;
 
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use yoso_field::{lagrange, FieldError, Poly, PrimeField};
+use yoso_field::{EvalDomain, FieldError, Poly, PrimeField};
 
 /// Errors produced by sharing operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -221,13 +224,40 @@ impl<F: PrimeField> PackedShares<F> {
 /// per sharing.
 ///
 /// Precomputes the secret points `e_j = −(j−1)` and the party points
-/// `1..=n`.
+/// `1..=n`, plus [`EvalDomain`]s for every node set the scheme
+/// touches: dealing domains per sharing degree and reconstruction
+/// domains per party subset. Domains memoise their recombination
+/// vectors, so after the first deal/reconstruct at a given
+/// degree/subset every further one is a plain matrix–vector product —
+/// no interpolation. Clones share the caches.
 #[derive(Debug, Clone)]
 pub struct PackedSharing<F: PrimeField> {
     n: usize,
     k: usize,
     party_points: Vec<F>,
     secret_points: Vec<F>,
+    /// Domain over the secret points (deterministic public sharings).
+    secret_domain: Arc<EvalDomain<F>>,
+    /// Dealing domains (secret points ∪ leading party points) keyed by
+    /// sharing degree.
+    share_domains: Arc<RwLock<HashMap<usize, Arc<EvalDomain<F>>>>>,
+    /// Reconstruction domains keyed by the ordered party subset.
+    recon_domains: ReconDomainCache<F>,
+}
+
+/// Reconstruction-domain cache: ordered party subset → shared domain.
+type ReconDomainCache<F> = Arc<RwLock<HashMap<Vec<usize>, Arc<EvalDomain<F>>>>>;
+
+fn dot<F: PrimeField>(row: &[F], ys: &[F]) -> F {
+    row.iter().zip(ys).map(|(&r, &y)| r * y).sum()
+}
+
+fn read_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn write_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 impl<F: PrimeField> PackedSharing<F> {
@@ -241,9 +271,47 @@ impl<F: PrimeField> PackedSharing<F> {
         if k == 0 || k > n || n == 0 || (n + k) as u64 >= F::MODULUS {
             return Err(PssError::BadParameters { n, k });
         }
-        let party_points = (1..=n as u64).map(F::from_u64).collect();
-        let secret_points = (0..k as i64).map(|j| F::from_i64(-j)).collect();
-        Ok(PackedSharing { n, k, party_points, secret_points })
+        let party_points: Vec<F> = (1..=n as u64).map(F::from_u64).collect();
+        let secret_points: Vec<F> = (0..k as i64).map(|j| F::from_i64(-j)).collect();
+        let secret_domain = Arc::new(EvalDomain::new(secret_points.clone())?);
+        Ok(PackedSharing {
+            n,
+            k,
+            party_points,
+            secret_points,
+            secret_domain,
+            share_domains: Arc::new(RwLock::new(HashMap::new())),
+            recon_domains: Arc::new(RwLock::new(HashMap::new())),
+        })
+    }
+
+    /// The dealing domain for `degree`: secret points followed by the
+    /// first `degree + 1 − k` party points.
+    fn share_domain(&self, degree: usize) -> Result<Arc<EvalDomain<F>>, PssError> {
+        if let Some(hit) = read_lock(&self.share_domains).get(&degree) {
+            return Ok(Arc::clone(hit));
+        }
+        let extra = degree + 1 - self.k;
+        let mut points = self.secret_points.clone();
+        points.extend_from_slice(&self.party_points[..extra]);
+        let domain = Arc::new(EvalDomain::new(points)?);
+        Ok(Arc::clone(
+            write_lock(&self.share_domains).entry(degree).or_insert(domain),
+        ))
+    }
+
+    /// The reconstruction domain over the given ordered party subset.
+    fn recon_domain(&self, parties: &[usize]) -> Result<Arc<EvalDomain<F>>, PssError> {
+        if let Some(hit) = read_lock(&self.recon_domains).get(parties) {
+            return Ok(Arc::clone(hit));
+        }
+        let points: Vec<F> = parties.iter().map(|&i| self.party_points[i]).collect();
+        let domain = Arc::new(EvalDomain::new(points)?);
+        Ok(Arc::clone(
+            write_lock(&self.recon_domains)
+                .entry(parties.to_vec())
+                .or_insert(domain),
+        ))
     }
 
     /// Committee size `n`.
@@ -276,6 +344,13 @@ impl<F: PrimeField> PackedSharing<F> {
     /// Deals a fresh uniformly random degree-`degree` sharing of
     /// `secrets`.
     ///
+    /// The dealt polynomial is pinned by the `k` secrets plus
+    /// `degree + 1 − k` random values at the first party points — the
+    /// result is uniform among degree-`degree` polynomials with the
+    /// prescribed secrets. Party shares are produced directly through
+    /// the dealing domain's cached recombination vectors, so repeated
+    /// deals at the same degree never re-interpolate.
+    ///
     /// # Errors
     ///
     /// Returns [`PssError::SecretCountMismatch`] or
@@ -290,19 +365,57 @@ impl<F: PrimeField> PackedSharing<F> {
             return Err(PssError::SecretCountMismatch { got: secrets.len(), expected: self.k });
         }
         self.check_degree(degree)?;
-        // Interpolate through the k secrets plus (degree + 1 − k) random
-        // values at the first party points; the result is uniform among
-        // degree-`degree` polynomials with the prescribed secrets.
+        let domain = self.share_domain(degree)?;
         let extra = degree + 1 - self.k;
-        let mut xs = self.secret_points.clone();
         let mut ys = secrets.to_vec();
-        for i in 0..extra {
-            xs.push(self.party_points[i]);
+        for _ in 0..extra {
             ys.push(F::random(rng));
         }
-        let poly = lagrange::interpolate(&xs, &ys)?;
-        debug_assert!(poly.degree().unwrap_or(0) <= degree);
-        Ok(PackedShares { degree, values: poly.eval_many(&self.party_points) })
+        Ok(PackedShares { degree, values: self.values_from_domain(&domain, &ys) })
+    }
+
+    /// Deals one sharing per row of `secrets_batch` — a whole layer of
+    /// gates in one call. Randomness is drawn row by row in the same
+    /// order as repeated [`Self::share`] calls, so a batched deal is
+    /// reproducible against a sequential one under the same RNG.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::share`], checked per row.
+    pub fn share_batch<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        secrets_batch: &[Vec<F>],
+        degree: usize,
+    ) -> Result<Vec<PackedShares<F>>, PssError> {
+        self.check_degree(degree)?;
+        let domain = self.share_domain(degree)?;
+        let extra = degree + 1 - self.k;
+        secrets_batch
+            .iter()
+            .map(|secrets| {
+                if secrets.len() != self.k {
+                    return Err(PssError::SecretCountMismatch {
+                        got: secrets.len(),
+                        expected: self.k,
+                    });
+                }
+                let mut ys = secrets.clone();
+                for _ in 0..extra {
+                    ys.push(F::random(rng));
+                }
+                Ok(PackedShares { degree, values: self.values_from_domain(&domain, &ys) })
+            })
+            .collect()
+    }
+
+    /// Evaluates the polynomial pinned by `ys` on `domain` at every
+    /// party point via cached recombination vectors.
+    fn values_from_domain(&self, domain: &EvalDomain<F>, ys: &[F]) -> Vec<F> {
+        self.party_points
+            .iter()
+            .map(|&p| dot(&domain.basis_at(p), ys))
+            .collect()
     }
 
     /// The *deterministic* degree-`(k−1)` sharing of a public vector
@@ -318,8 +431,10 @@ impl<F: PrimeField> PackedSharing<F> {
         if c.len() != self.k {
             return Err(PssError::SecretCountMismatch { got: c.len(), expected: self.k });
         }
-        let poly = lagrange::interpolate(&self.secret_points, c)?;
-        Ok(PackedShares { degree: self.k - 1, values: poly.eval_many(&self.party_points) })
+        Ok(PackedShares {
+            degree: self.k - 1,
+            values: self.values_from_domain(&self.secret_domain, c),
+        })
     }
 
     /// Multiplies a public vector into a sharing:
@@ -361,19 +476,37 @@ impl<F: PrimeField> PackedSharing<F> {
             }
             seen[s.party] = true;
         }
-        let xs: Vec<F> = shares[..degree + 1].iter().map(|s| self.party_points[s.party]).collect();
+        let parties: Vec<usize> = shares[..degree + 1].iter().map(|s| s.party).collect();
+        let domain = self.recon_domain(&parties)?;
         let ys: Vec<F> = shares[..degree + 1].iter().map(|s| s.value).collect();
-        let poly = lagrange::interpolate(&xs, &ys)?;
-        // Error detection: every surplus share must be on the polynomial.
+        // Error detection: every surplus share must agree with the
+        // polynomial pinned by the first degree + 1 shares. The cached
+        // recombination vector evaluates it without interpolating.
         for s in &shares[degree + 1..] {
-            if poly.eval(self.party_points[s.party]) != s.value {
+            if dot(&domain.basis_at(self.party_points[s.party]), &ys) != s.value {
                 return Err(PssError::Inconsistent);
             }
         }
-        if poly.degree().unwrap_or(0) > degree {
-            return Err(PssError::Inconsistent);
-        }
-        Ok(poly.eval_many(&self.secret_points))
+        Ok(self
+            .secret_points
+            .iter()
+            .map(|&e| dot(&domain.basis_at(e), &ys))
+            .collect())
+    }
+
+    /// Reconstructs a whole layer of sharings in one call. All rows
+    /// must use the same degree; rows opened by the same party subset
+    /// share one cached reconstruction domain.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::reconstruct`], checked per row.
+    pub fn reconstruct_batch(
+        &self,
+        batch: &[Vec<Share<F>>],
+        degree: usize,
+    ) -> Result<Vec<Vec<F>>, PssError> {
+        batch.iter().map(|shares| self.reconstruct(shares, degree)).collect()
     }
 
     /// Reconstructs the full polynomial (used by tests and the runtime
@@ -387,9 +520,10 @@ impl<F: PrimeField> PackedSharing<F> {
         if shares.len() < degree + 1 {
             return Err(PssError::NotEnoughShares { got: shares.len(), need: degree + 1 });
         }
-        let xs: Vec<F> = shares[..degree + 1].iter().map(|s| self.party_points[s.party]).collect();
+        let parties: Vec<usize> = shares[..degree + 1].iter().map(|s| s.party).collect();
+        let domain = self.recon_domain(&parties)?;
         let ys: Vec<F> = shares[..degree + 1].iter().map(|s| s.value).collect();
-        Ok(lagrange::interpolate(&xs, &ys)?)
+        Ok(domain.interpolate(&ys)?)
     }
 
     /// The recombination vector taking shares of parties `parties`
@@ -401,8 +535,8 @@ impl<F: PrimeField> PackedSharing<F> {
     ///
     /// Propagates field errors on duplicate parties.
     pub fn recombination_vector(&self, parties: &[usize], j: usize) -> Result<Vec<F>, PssError> {
-        let xs: Vec<F> = parties.iter().map(|&i| self.party_points[i]).collect();
-        Ok(lagrange::basis_at(&xs, self.secret_points[j])?)
+        let domain = self.recon_domain(parties)?;
+        Ok(domain.basis_at(self.secret_points[j]).to_vec())
     }
 }
 
@@ -561,9 +695,9 @@ mod tests {
         let mut xs: Vec<F61> = observed.iter().map(|s| scheme.party_point(s.party)).collect();
         let mut ys: Vec<F61> = observed.iter().map(|s| s.value).collect();
         let fake_secrets = [f(9), f(8), f(7)];
-        for j in 0..3 {
+        for (j, &fake) in fake_secrets.iter().enumerate() {
             xs.push(scheme.secret_point(j));
-            ys.push(fake_secrets[j]);
+            ys.push(fake);
         }
         let poly = yoso_field::lagrange::interpolate(&xs, &ys).unwrap();
         assert!(poly.degree().unwrap() <= d, "a consistent fake completion exists");
@@ -576,14 +710,14 @@ mod tests {
         let secrets = [f(42), f(43), f(44)];
         let shares = scheme.share(&mut rng, &secrets, 6).unwrap();
         let parties: Vec<usize> = (0..7).collect();
-        for j in 0..3 {
+        for (j, &secret) in secrets.iter().enumerate() {
             let w = scheme.recombination_vector(&parties, j).unwrap();
             let got: F61 = w
                 .iter()
                 .zip(&parties)
                 .map(|(&wi, &p)| wi * shares.share_of(p).value)
                 .sum();
-            assert_eq!(got, secrets[j]);
+            assert_eq!(got, secret);
         }
     }
 

@@ -5,9 +5,11 @@
 //! committees (`TKRes`/`TKRec`). The secret lives at point `0`; party
 //! `i` (0-based) holds the evaluation at `i + 1`.
 
+use std::collections::HashMap;
+
 use rand::Rng;
 
-use yoso_field::{lagrange, Poly, PrimeField};
+use yoso_field::{lagrange, EvalDomain, Poly, PrimeField};
 
 use crate::{PssError, Share};
 
@@ -50,6 +52,44 @@ pub fn share<F: PrimeField, R: Rng + ?Sized>(
 /// - [`PssError::Inconsistent`] if shares disagree with a single
 ///   degree-`t` polynomial.
 pub fn reconstruct<F: PrimeField>(shares: &[Share<F>], t: usize) -> Result<F, PssError> {
+    let domain = check_and_domain(shares, t)?;
+    reconstruct_on(&domain, shares, t)
+}
+
+/// Reconstructs many sharings opened by (possibly) the same parties —
+/// e.g. a committee's partial decryptions across an epoch. Items with
+/// identical provider subsets share one evaluation domain, so the
+/// per-item cost after the first is a single `O(t)` dot product.
+///
+/// # Errors
+///
+/// Same conditions as [`reconstruct`], checked per item.
+pub fn reconstruct_batch<F: PrimeField>(
+    batch: &[Vec<Share<F>>],
+    t: usize,
+) -> Result<Vec<F>, PssError> {
+    let mut domains: HashMap<Vec<usize>, EvalDomain<F>> = HashMap::new();
+    batch
+        .iter()
+        .map(|shares| {
+            let key: Vec<usize> = shares.iter().map(|s| s.party).collect();
+            if let Some(domain) = domains.get(&key) {
+                return reconstruct_on(domain, shares, t);
+            }
+            let domain = check_and_domain(shares, t)?;
+            let out = reconstruct_on(&domain, shares, t);
+            domains.insert(key, domain);
+            out
+        })
+        .collect()
+}
+
+/// Validates a share set and builds the evaluation domain over the
+/// first `t + 1` provider points.
+fn check_and_domain<F: PrimeField>(
+    shares: &[Share<F>],
+    t: usize,
+) -> Result<EvalDomain<F>, PssError> {
     if shares.len() < t + 1 {
         return Err(PssError::NotEnoughShares { got: shares.len(), need: t + 1 });
     }
@@ -60,17 +100,24 @@ pub fn reconstruct<F: PrimeField>(shares: &[Share<F>], t: usize) -> Result<F, Ps
         }
     }
     let xs: Vec<F> = shares[..t + 1].iter().map(|s| F::from_u64(s.party as u64 + 1)).collect();
+    Ok(EvalDomain::new(xs)?)
+}
+
+fn reconstruct_on<F: PrimeField>(
+    domain: &EvalDomain<F>,
+    shares: &[Share<F>],
+    t: usize,
+) -> Result<F, PssError> {
     let ys: Vec<F> = shares[..t + 1].iter().map(|s| s.value).collect();
-    let poly = lagrange::interpolate(&xs, &ys)?;
     for s in &shares[t + 1..] {
-        if poly.eval(F::from_u64(s.party as u64 + 1)) != s.value {
+        let row = domain.basis_at(F::from_u64(s.party as u64 + 1));
+        let expect: F = row.iter().zip(&ys).map(|(&b, &y)| b * y).sum();
+        if expect != s.value {
             return Err(PssError::Inconsistent);
         }
     }
-    if poly.degree().unwrap_or(0) > t {
-        return Err(PssError::Inconsistent);
-    }
-    Ok(poly.eval(F::ZERO))
+    let row = domain.basis_at(F::ZERO);
+    Ok(row.iter().zip(&ys).map(|(&b, &y)| b * y).sum())
 }
 
 /// Re-shares a share: party `i` deals a degree-`t` sub-sharing of its

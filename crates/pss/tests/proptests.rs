@@ -108,4 +108,39 @@ proptest! {
         }
         prop_assert_eq!(shamir::reconstruct(&shares[..t + 1], t).unwrap(), secret);
     }
+
+    #[test]
+    fn share_batch_matches_sequential((n, k, d) in params(), seed in any::<u64>(), rows in 1usize..5) {
+        let scheme = PackedSharing::<F61>::new(n, k).unwrap();
+        let mut srng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xa5a5);
+        let batch: Vec<Vec<F61>> =
+            (0..rows).map(|_| (0..k).map(|_| F61::random(&mut srng)).collect()).collect();
+        // Same RNG stream, batched vs one-at-a-time: identical shares.
+        let mut rng_a = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng_b = rand::rngs::StdRng::seed_from_u64(seed);
+        let batched = scheme.share_batch(&mut rng_a, &batch, d).unwrap();
+        for (row, got) in batch.iter().zip(&batched) {
+            let expect = scheme.share(&mut rng_b, row, d).unwrap();
+            prop_assert_eq!(got, &expect);
+        }
+        // And the batched reconstruct inverts the batched deal.
+        let subset: Vec<usize> = (0..=d).collect();
+        let opened: Vec<Vec<_>> = batched.iter().map(|s| s.select(&subset)).collect();
+        let secrets = scheme.reconstruct_batch(&opened, d).unwrap();
+        prop_assert_eq!(secrets, batch);
+    }
+
+    #[test]
+    fn shamir_reconstruct_batch_matches_single(secret in felt(), seed in any::<u64>(), n in 2usize..16, rows in 1usize..5) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let t = (n - 1) / 2;
+        let batch: Vec<Vec<_>> = (0..rows)
+            .map(|i| shamir::share(&mut rng, secret + F61::from_u64(i as u64), n, t).unwrap())
+            .collect();
+        let got = shamir::reconstruct_batch(&batch, t).unwrap();
+        for (i, shares) in batch.iter().enumerate() {
+            prop_assert_eq!(got[i], shamir::reconstruct(shares, t).unwrap());
+            prop_assert_eq!(got[i], secret + F61::from_u64(i as u64));
+        }
+    }
 }

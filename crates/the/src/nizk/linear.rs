@@ -253,7 +253,7 @@ mod tests {
         let mut r = rng();
         let z: Vec<F61> = (0..2).map(|_| yoso_field::PrimeField::random(&mut r)).collect();
         let e = f(99);
-        let mz = vec![
+        let mz = [
             st.matrix[0][0] * z[0] + st.matrix[0][1] * z[1],
             st.matrix[1][0] * z[0] + st.matrix[1][1] * z[1],
             st.matrix[2][0] * z[0] + st.matrix[2][1] * z[1],

@@ -364,10 +364,10 @@ mod tests {
         let commitments: Vec<F61> = coeffs.iter().map(|&a| a * pk.g).collect();
         let mut cts = Vec::new();
         let mut rands = Vec::new();
-        for m in 0..n {
+        for (m, rpk) in recipient_pks.iter().enumerate() {
             let x = F61::from(m as u64 + 1);
             let sub = coeffs[0] + coeffs[1] * x;
-            let (ct, rr) = LinearPke::encrypt(&mut r, &recipient_pks[m], sub);
+            let (ct, rr) = LinearPke::encrypt(&mut r, rpk, sub);
             cts.push(ct);
             rands.push(rr);
         }

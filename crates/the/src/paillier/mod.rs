@@ -30,13 +30,16 @@
 //! security tests is implemented on the mock scheme, where simulation
 //! is perfect — see DESIGN.md §3.
 
+pub mod fixed_base;
 pub mod nizk;
 pub mod packing;
+
+pub use fixed_base::{EncryptionContext, FixedBaseTable};
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use yoso_bignum::{prime, Int, Nat, Sign};
+use yoso_bignum::{prime, Int, MontgomeryCtx, Nat, Sign};
 
 use crate::TeError;
 
@@ -125,6 +128,19 @@ pub(crate) fn pow_signed(base: &Nat, e: &Int, m: &Nat) -> Nat {
             .mod_inv(m)
             .expect("pow_signed: base not invertible")
             .mod_pow(e.magnitude(), m),
+    }
+}
+
+/// [`pow_signed`] against a prebuilt Montgomery context — used by the
+/// batched operations to amortize the context setup for `N²`.
+pub(crate) fn pow_signed_ctx(ctx: &MontgomeryCtx, base: &Nat, e: &Int) -> Nat {
+    match e.sign() {
+        Sign::Zero => Nat::one(),
+        Sign::Positive => ctx.mod_pow(base, e.magnitude()),
+        Sign::Negative => ctx.mod_pow(
+            &base.mod_inv(ctx.modulus()).expect("pow_signed: base not invertible"),
+            e.magnitude(),
+        ),
     }
 }
 
@@ -268,6 +284,24 @@ impl ThresholdPaillier {
         PartialDec { party: share.party, value: pow_signed(&ct.value, &exp, &pk.n_sq) }
     }
 
+    /// `TPDec` over a batch of ciphertexts: computes the (large) shared
+    /// exponent `2Δ·s_i` and the Montgomery context for `N²` once and
+    /// reuses both for every ciphertext of the epoch.
+    pub fn partial_decrypt_batch(
+        pk: &PublicKey,
+        share: &KeyShare,
+        cts: &[Ciphertext],
+    ) -> Vec<PartialDec> {
+        let exp = share.value.mul_nat(&(&pk.delta * &Nat::from(2u64)));
+        let ctx = MontgomeryCtx::new(&pk.n_sq);
+        cts.iter()
+            .map(|ct| PartialDec {
+                party: share.party,
+                value: pow_signed_ctx(&ctx, &ct.value, &exp),
+            })
+            .collect()
+    }
+
     /// `TDec`: combines at least `t+1` partial decryptions produced by
     /// shares at the given `scale`.
     ///
@@ -340,6 +374,40 @@ impl ThresholdPaillier {
         let commitments = coeffs.iter().map(|b| pow_signed(&pk.v, b, &pk.n_sq)).collect();
         let subshares = (0..pk.parties).map(|j| poly_eval_int(&coeffs, j as u64 + 1)).collect();
         ReshareMsg { from: share.party, commitments, subshares }
+    }
+
+    /// `TKRes` for a whole committee handover: every member of `shares`
+    /// deals its sub-sharing, with one fixed-base table for the
+    /// verification base `v` shared across all `(t+1)·|shares|`
+    /// commitments.
+    ///
+    /// Draws randomness in the same order as sequential [`Self::reshare`]
+    /// calls, so under the same RNG stream the messages are identical.
+    pub fn reshare_batch<R: Rng + ?Sized>(
+        rng: &mut R,
+        pk: &PublicKey,
+        shares: &[KeyShare],
+    ) -> Vec<ReshareMsg> {
+        let bound = &(&pk.n_sq * &pk.delta) << 64;
+        // The constant term Δ·s_i can outgrow the random coefficients
+        // after repeated handovers (scale grows by Δ² each time); size
+        // the table generously and let `pow` fall back beyond it.
+        let exp_bits = bound.bit_len()
+            + shares.iter().map(|s| s.value.magnitude().bit_len()).max().unwrap_or(0);
+        let v_table = FixedBaseTable::new(&pk.v, &pk.n_sq, exp_bits);
+        shares
+            .iter()
+            .map(|share| {
+                let mut coeffs: Vec<Int> = vec![share.value.mul_nat(&pk.delta)];
+                for _ in 0..pk.threshold {
+                    coeffs.push(Int::from_nat(Nat::random_below(rng, &bound)));
+                }
+                let commitments = coeffs.iter().map(|b| v_table.pow_signed(b)).collect();
+                let subshares =
+                    (0..pk.parties).map(|j| poly_eval_int(&coeffs, j as u64 + 1)).collect();
+                ReshareMsg { from: share.party, commitments, subshares }
+            })
+            .collect()
     }
 
     /// Verifies the Feldman-style consistency of a subshare received
@@ -585,6 +653,39 @@ mod tests {
         assert!(ThresholdPaillier::reshare_subshare_is_valid(&pk, &msg, 1));
         msg.subshares[1] = &msg.subshares[1] + &Int::one();
         assert!(!ThresholdPaillier::reshare_subshare_is_valid(&pk, &msg, 1));
+    }
+
+    #[test]
+    fn partial_decrypt_batch_matches_single() {
+        let (pk, shares, mut r) = setup(4, 1);
+        let cts: Vec<Ciphertext> = (0..5u64)
+            .map(|m| ThresholdPaillier::encrypt(&mut r, &pk, &Nat::from(m)).0)
+            .collect();
+        for share in &shares {
+            let batch = ThresholdPaillier::partial_decrypt_batch(&pk, share, &cts);
+            for (ct, pd) in cts.iter().zip(&batch) {
+                assert_eq!(pd, &ThresholdPaillier::partial_decrypt(&pk, share, ct));
+            }
+        }
+    }
+
+    #[test]
+    fn reshare_batch_matches_sequential() {
+        let (pk, shares, r) = setup(4, 1);
+        let mut r_a = r.clone();
+        let mut r_b = r;
+        let batch = ThresholdPaillier::reshare_batch(&mut r_a, &pk, &shares);
+        for (share, msg) in shares.iter().zip(&batch) {
+            assert_eq!(msg, &ThresholdPaillier::reshare(&mut r_b, &pk, share));
+        }
+        // And the batched messages drive a full handover.
+        let chosen: Vec<&ReshareMsg> = vec![&batch[0], &batch[2]];
+        let new_shares: Vec<_> = (0..4)
+            .map(|j| ThresholdPaillier::recombine_key(&pk, j, &chosen, &Nat::one()).unwrap())
+            .collect();
+        let m = Nat::from(31_337u64);
+        let (ct, _) = ThresholdPaillier::encrypt(&mut r_a, &pk, &m);
+        assert_eq!(ThresholdPaillier::decrypt_with_shares(&pk, &ct, &new_shares).unwrap(), m);
     }
 
     #[test]

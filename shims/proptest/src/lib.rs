@@ -1,0 +1,192 @@
+//! Offline subset of `proptest`.
+//!
+//! Re-implements the slice of the proptest API this workspace uses —
+//! `proptest!`, `prop_assert*`/`prop_assume`, `prop_oneof!`, `any`,
+//! range/tuple/collection strategies, `prop_map`/`prop_flat_map`,
+//! `sample::{select, Index}` — on top of a deterministic per-test RNG.
+//! Unlike real proptest there is no shrinking: a failing case panics
+//! with the assertion message. Inputs are deterministic per test name,
+//! so failures reproduce exactly across runs.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a proptest-based test file needs, matching
+/// `proptest::prelude::*` for the API subset the workspace uses.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    // Real proptest exposes the crate as `prop` inside its prelude so
+    // call sites can write `prop::collection::vec`, `prop::sample::select`.
+    pub use crate as prop;
+}
+
+/// Defines property tests.
+///
+/// Supports the standard form used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn name(x in strategy_expr, (a, b) in other_strategy) { body }
+/// }
+/// ```
+///
+/// Each test runs `config.cases` sampled inputs; `prop_assume!`
+/// rejections re-sample (bounded), assertion failures panic.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_body!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_body {
+    ( ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block
+    )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                    module_path!(),
+                    "::",
+                    stringify!($name)
+                ));
+                let mut passed: u32 = 0;
+                let mut rejected: u32 = 0;
+                let max_rejects = config.cases.saturating_mul(64).max(1024);
+                while passed < config.cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => passed += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(why)) => {
+                            rejected += 1;
+                            assert!(
+                                rejected < max_rejects,
+                                "proptest {}: too many inputs rejected by prop_assume ({}): {}",
+                                stringify!($name),
+                                rejected,
+                                why,
+                            );
+                        }
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest {} failed after {} passing case(s): {}",
+                                stringify!($name),
+                                passed,
+                                msg,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case with a message if the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case if the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+                    left, right,
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `left == right`: {}\n  left: `{:?}`\n right: `{:?}`",
+                    ::std::format!($($fmt)+), left, right,
+                ),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `left != right`\n  both: `{:?}`",
+                    left,
+                ),
+            ));
+        }
+    }};
+}
+
+/// Rejects the current case (re-samples new inputs) if the condition
+/// does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between several strategies producing the same value
+/// type (unweighted form only).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

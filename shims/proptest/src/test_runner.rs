@@ -1,0 +1,116 @@
+//! Test-runner types: per-test deterministic RNG, run configuration,
+//! and the case-level error channel used by `prop_assert!`/`prop_assume!`.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Run configuration. Only `cases` is consulted by the shim runner.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of passing cases required per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` successful cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Input rejected by `prop_assume!`; the runner re-samples.
+    Reject(String),
+    /// Assertion failure; the runner panics with the message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// An assertion failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// An input rejection.
+    pub fn reject(why: impl Into<String>) -> Self {
+        TestCaseError::Reject(why.into())
+    }
+}
+
+/// Deterministic RNG driving strategy sampling.
+///
+/// Seeded from a hash of the fully-qualified test name, so each test
+/// sees a stable input sequence across runs and machines (no
+/// time/env entropy), while distinct tests see distinct streams.
+#[derive(Debug)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// RNG seeded deterministically from `name` (FNV-1a).
+    pub fn deterministic(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(hash))
+    }
+
+    /// Next 64 uniform random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "TestRng::below: zero bound");
+        // Rejection sampling over the widest multiple of `bound`.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let raw = self.next_u64();
+            if raw < zone {
+                return raw % bound;
+            }
+        }
+    }
+
+    /// Uniform value in the inclusive range `[lo, hi]`.
+    pub fn in_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.below(span + 1)
+    }
+
+    /// Uniform value in the inclusive range `[lo, hi]` over `u128`.
+    pub fn in_range_u128(&mut self, lo: u128, hi: u128) -> u128 {
+        debug_assert!(lo <= hi);
+        let span = hi - lo;
+        if span == u128::MAX {
+            return (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64());
+        }
+        let bound = span + 1;
+        let zone = u128::MAX - (u128::MAX % bound);
+        loop {
+            let raw = (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64());
+            if raw < zone {
+                return lo + raw % bound;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}

@@ -1,0 +1,32 @@
+//! Offline subset of `serde`.
+//!
+//! The workspace only uses serde as derive annotations and trait
+//! bounds (no wire format is exercised anywhere — there is no
+//! `serde_json`/`bincode` in the dependency tree), so this shim
+//! provides marker traits with blanket implementations and no-op
+//! derive macros. Swapping the real `serde` back in requires no source
+//! changes in the workspace.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`; blanket-implemented.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Minimal `serde::de` namespace for `DeserializeOwned` imports.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}
