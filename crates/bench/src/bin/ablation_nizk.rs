@@ -10,6 +10,8 @@
 //! cargo run --release -p yoso-bench --bin ablation_nizk
 //! ```
 
+#![forbid(unsafe_code)]
+
 use yoso_bench::{gap_params, random_inputs, rng, workload};
 use yoso_core::messages::{
     proof_elements, reshare_elements, CT_ELEMENTS, ENC_PDEC_PROOF_ELEMENTS, ENC_PROOF_ELEMENTS,

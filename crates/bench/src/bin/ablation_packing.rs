@@ -15,6 +15,8 @@
 //! cargo run --release -p yoso-bench --bin ablation_packing
 //! ```
 
+#![forbid(unsafe_code)]
+
 use yoso_bench::measure_packed;
 use yoso_core::ProtocolParams;
 

@@ -12,6 +12,8 @@
 //! cargo run --release -p yoso-bench --bin failstop
 //! ```
 
+#![forbid(unsafe_code)]
+
 use yoso_bench::{random_inputs, rng, workload};
 use yoso_core::failstop::FailstopTradeoff;
 use yoso_core::{crash_phases, Engine, ExecutionConfig, ProtocolParams};

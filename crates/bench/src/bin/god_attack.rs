@@ -11,6 +11,8 @@
 //! cargo run --release -p yoso-bench --bin god_attack
 //! ```
 
+#![forbid(unsafe_code)]
+
 use yoso_bench::{random_inputs, rng};
 use yoso_circuit::generators;
 use yoso_core::{Engine, ExecutionConfig, ProtocolParams};

@@ -11,6 +11,8 @@
 //! Acceptance targets (see DESIGN.md §perf): ≥5× on repeated packed
 //! reconstruction at n = 512, ≥2× on batched Paillier encryption.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;

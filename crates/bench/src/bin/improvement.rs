@@ -17,6 +17,8 @@
 //! cargo run --release -p yoso-bench --bin improvement
 //! ```
 
+#![forbid(unsafe_code)]
+
 use yoso_bench::{gap_params, measure_baseline, measure_packed};
 use yoso_core::ProtocolParams;
 use yoso_sortition::{GapAnalysis, SecurityParams};

@@ -16,6 +16,8 @@
 //! cargo run --release -p yoso-bench --bin it_comparison
 //! ```
 
+#![forbid(unsafe_code)]
+
 use yoso_bench::{gap_params, measure_packed, rng};
 use yoso_core::itbgw::{simd_workload, ItEngine};
 use yoso_core::ProtocolParams;

@@ -7,6 +7,8 @@
 //! cargo run --release -p yoso-bench --bin offline_comm
 //! ```
 
+#![forbid(unsafe_code)]
+
 use yoso_bench::{gap_params, measure_packed};
 
 fn main() {

@@ -11,6 +11,8 @@
 //! cargo run --release -p yoso-bench --bin online_comm
 //! ```
 
+#![forbid(unsafe_code)]
+
 use yoso_bench::{gap_params, measure_baseline, measure_packed};
 use yoso_core::ProtocolParams;
 

@@ -10,6 +10,8 @@
 //! cargo run --release -p yoso-bench --bin sortition_mc
 //! ```
 
+#![forbid(unsafe_code)]
+
 use yoso_bench::rng;
 use yoso_sortition::{montecarlo, SecurityParams};
 

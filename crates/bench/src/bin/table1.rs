@@ -5,6 +5,8 @@
 //! cargo run --release -p yoso-bench --bin table1
 //! ```
 
+#![forbid(unsafe_code)]
+
 use yoso_sortition::table1;
 
 fn main() {

@@ -17,6 +17,8 @@
 //! | `ablation_packing` | A1 | packing factor `k` as the design dial |
 //! | `ablation_nizk` | A2 | NIZK share of posted traffic |
 
+#![forbid(unsafe_code)]
+
 use rand::SeedableRng;
 
 use yoso_circuit::{generators, Circuit};

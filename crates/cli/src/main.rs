@@ -9,6 +9,8 @@
 //! yoso help
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::collections::HashMap;
 use std::process::ExitCode;
 

@@ -65,6 +65,18 @@ impl<F: PrimeField> BaselineResult<F> {
     }
 }
 
+/// Fetches the ciphertext already computed for wire `w`. The circuit is
+/// topologically ordered, so operands precede their gate; a `None` here
+/// is a driver bug surfaced as a typed error rather than a panic.
+fn wire_ct<F: PrimeField>(
+    cts: &[Option<Ciphertext<F>>],
+    w: usize,
+) -> Result<Ciphertext<F>, ProtocolError> {
+    cts.get(w).copied().flatten().ok_or(ProtocolError::Invariant(
+        "baseline reached a gate before its operand wire was evaluated",
+    ))
+}
+
 /// The CDN-style baseline engine.
 #[derive(Debug, Clone, Copy)]
 pub struct BaselineEngine {
@@ -159,16 +171,20 @@ impl BaselineEngine {
             let ct = match *gate {
                 Gate::Input { .. } => continue,
                 Gate::Const(c) => Ciphertext { u: F::ZERO, v: c },
-                Gate::Add(a, b) => {
-                    MockTe::eval(&[cts[a.0].unwrap(), cts[b.0].unwrap()], &[F::ONE, F::ONE])?
-                }
-                Gate::Sub(a, b) => {
-                    MockTe::eval(&[cts[a.0].unwrap(), cts[b.0].unwrap()], &[F::ONE, -F::ONE])?
-                }
-                Gate::MulConst(a, c) => MockTe::eval(&[cts[a.0].unwrap()], &[c])?,
-                Gate::Output(a, _) => cts[a.0].unwrap(),
+                Gate::Add(a, b) => MockTe::eval(
+                    &[wire_ct(&cts, a.0)?, wire_ct(&cts, b.0)?],
+                    &[F::ONE, F::ONE],
+                )?,
+                Gate::Sub(a, b) => MockTe::eval(
+                    &[wire_ct(&cts, a.0)?, wire_ct(&cts, b.0)?],
+                    &[F::ONE, -F::ONE],
+                )?,
+                Gate::MulConst(a, c) => MockTe::eval(&[wire_ct(&cts, a.0)?], &[c])?,
+                Gate::Output(a, _) => wire_ct(&cts, a.0)?,
                 Gate::Mul(a, b) => {
-                    let layer = gate_layer[w].expect("mul gate has a layer");
+                    let layer = gate_layer[w].ok_or(ProtocolError::Invariant(
+                        "mul gate missing from the layer index",
+                    ))?;
                     if layer != current_layer {
                         // New layer: fresh committee takes over tsk.
                         let committee =
@@ -190,9 +206,9 @@ impl BaselineEngine {
                     }
                     let tr = &triples[triple_of[w]];
                     let c_eps =
-                        MockTe::eval(&[cts[a.0].unwrap(), tr.a], &[F::ONE, F::ONE])?;
+                        MockTe::eval(&[wire_ct(&cts, a.0)?, tr.a], &[F::ONE, F::ONE])?;
                     let c_del =
-                        MockTe::eval(&[cts[b.0].unwrap(), tr.b], &[F::ONE, F::ONE])?;
+                        MockTe::eval(&[wire_ct(&cts, b.0)?, tr.b], &[F::ONE, F::ONE])?;
                     let opened = tsk.decrypt(
                         rng,
                         &board,
@@ -219,8 +235,8 @@ impl BaselineEngine {
         let out_items: Vec<(PkePublicKey<F>, Ciphertext<F>)> = circuit
             .outputs()
             .iter()
-            .map(|&(w, client)| (client_keys[client].public, cts[w.0].unwrap()))
-            .collect();
+            .map(|&(w, client)| Ok((client_keys[client].public, wire_ct(&cts, w.0)?)))
+            .collect::<Result<_, ProtocolError>>()?;
         let out_vals = tsk.reencrypt(rng, &board, &out_committee, cfg, phase_out, &out_items);
         let mut outputs: Vec<Vec<F>> = vec![Vec::new(); circuit.clients()];
         for (&(_, client), rv) in circuit.outputs().iter().zip(&out_vals) {

@@ -211,6 +211,18 @@ impl<F: PrimeField> ItRunResult<F> {
     }
 }
 
+/// Fetches the still-live shares in SSA slot `slot`. `LaneProgram::
+/// validate` guarantees every operand is defined before use and live at
+/// its use sites, so a miss is a driver bug surfaced as a typed error.
+fn live<F: PrimeField>(
+    state: &[Option<PackedShares<F>>],
+    slot: usize,
+) -> Result<&PackedShares<F>, ProtocolError> {
+    state.get(slot).and_then(|s| s.as_ref()).ok_or(ProtocolError::Invariant(
+        "validated lane program referenced a dead or undefined SSA slot",
+    ))
+}
+
 /// The information-theoretic semi-honest engine.
 #[derive(Debug, Clone, Copy)]
 pub struct ItEngine {
@@ -303,25 +315,20 @@ impl ItEngine {
                     );
                     Some(shares)
                 }
-                LaneOp::Add(a, b) => Some(
-                    state[a].as_ref().unwrap().add(state[b].as_ref().unwrap()),
-                ),
-                LaneOp::Sub(a, b) => Some(
-                    state[a].as_ref().unwrap().sub(state[b].as_ref().unwrap()),
-                ),
+                LaneOp::Add(a, b) => Some(live(&state, a)?.add(live(&state, b)?)),
+                LaneOp::Sub(a, b) => Some(live(&state, a)?.sub(live(&state, b)?)),
                 LaneOp::Mul(a, b) => {
                     // Share-wise product (degree 2d), then re-share /
                     // degree-reduce to the next committee, carrying all
                     // still-live vectors along.
-                    let product =
-                        state[a].as_ref().unwrap().mul_elementwise(state[b].as_ref().unwrap());
+                    let product = live(&state, a)?.mul_elementwise(live(&state, b)?);
                     let reduced = self.reshare_vector(rng, &board, &scheme, &product, committee_idx)?;
                     self.handover_live(rng, &board, &scheme, &mut state, &last_use, pos, committee_idx)?;
                     committee_idx += 1;
                     Some(reduced)
                 }
                 LaneOp::SumLanes(a) => {
-                    let shares = state[a].as_ref().unwrap();
+                    let shares = live(&state, a)?;
                     let summed =
                         self.sum_lanes_vector(rng, &board, &scheme, shares, committee_idx)?;
                     self.handover_live(rng, &board, &scheme, &mut state, &last_use, pos, committee_idx)?;
@@ -331,7 +338,7 @@ impl ItEngine {
                 LaneOp::Output(a, client) => {
                     // Members post their shares (encrypted to the
                     // client): n elements.
-                    let shares = state[a].as_ref().unwrap();
+                    let shares = live(&state, a)?;
                     board.post(
                         RoleId::new(format!("it-committee-{committee_idx}"), 0),
                         Post::Contribution {
@@ -382,12 +389,10 @@ impl ItEngine {
             let s_i = source.share_of(i).value;
             let vector: Vec<F> = (0..self.params.k)
                 .map(|j| {
-                    let w = scheme
-                        .recombination_vector(&parties, j)
-                        .expect("full-committee recombination");
-                    w[i] * s_i
+                    let w = scheme.recombination_vector(&parties, j)?;
+                    Ok(w[i] * s_i)
                 })
-                .collect();
+                .collect::<Result<_, ProtocolError>>()?;
             let dealt = scheme.share(rng, &vector, d)?;
             board.post(
                 RoleId::new(format!("it-committee-{committee_idx}"), i),
@@ -404,7 +409,7 @@ impl ItEngine {
                 Some(a) => a.add(&dealt),
             });
         }
-        Ok(acc.expect("n >= 1"))
+        acc.ok_or(ProtocolError::Invariant("committee size n is zero"))
     }
 
     /// Cross-lane sum re-share: member `i` deals a sharing of the
@@ -425,13 +430,10 @@ impl ItEngine {
         let mut acc: Option<PackedShares<F>> = None;
         for i in 0..n {
             let s_i = source.share_of(i).value;
-            let c_i: F = (0..self.params.k)
-                .map(|j| {
-                    scheme
-                        .recombination_vector(&parties, j)
-                        .expect("full-committee recombination")[i]
-                })
-                .sum();
+            let mut c_i = F::ZERO;
+            for j in 0..self.params.k {
+                c_i += scheme.recombination_vector(&parties, j)?[i];
+            }
             let vector = vec![c_i * s_i; self.params.k];
             let dealt = scheme.share(rng, &vector, d)?;
             board.post(
@@ -449,7 +451,7 @@ impl ItEngine {
                 Some(a) => a.add(&dealt),
             });
         }
-        Ok(acc.expect("n >= 1"))
+        acc.ok_or(ProtocolError::Invariant("committee size n is zero"))
     }
 
     /// Re-shares every still-live vector to the next committee.

@@ -102,6 +102,11 @@ pub enum ProtocolError {
     Pss(PssError),
     /// An underlying circuit error.
     Circuit(CircuitError),
+    /// An internal invariant did not hold. Reaching this is a bug in the
+    /// protocol driver, not a property of the inputs; it exists so broken
+    /// invariants surface as typed errors instead of panics (the YOSO
+    /// model cannot tolerate a committee member aborting mid-epoch).
+    Invariant(&'static str),
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -114,6 +119,9 @@ impl std::fmt::Display for ProtocolError {
             ProtocolError::Te(e) => write!(f, "threshold encryption error: {e}"),
             ProtocolError::Pss(e) => write!(f, "secret sharing error: {e}"),
             ProtocolError::Circuit(e) => write!(f, "circuit error: {e}"),
+            ProtocolError::Invariant(msg) => {
+                write!(f, "internal invariant broken (bug): {msg}")
+            }
         }
     }
 }

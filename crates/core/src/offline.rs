@@ -473,7 +473,11 @@ pub fn run_offline<F: PrimeField, R: Rng + ?Sized>(
         for &gw in layer {
             let (a, b) = match circuit.gates()[gw.0] {
                 Gate::Mul(a, b) => (a, b),
-                _ => unreachable!("mul layer contains non-mul gate"),
+                _ => {
+                    return Err(ProtocolError::Invariant(
+                        "mul layer contains a non-mul gate",
+                    ))
+                }
             };
             let tr = &triples[triple_of[gw.0]];
             eps_delta.push(MockTe::eval(&[lambda_cts[a.0], tr.a], &[F::ONE, F::ONE])?);
@@ -483,7 +487,11 @@ pub fn run_offline<F: PrimeField, R: Rng + ?Sized>(
         for (j, &gw) in layer.iter().enumerate() {
             let (_, b) = match circuit.gates()[gw.0] {
                 Gate::Mul(a, b) => (a, b),
-                _ => unreachable!(),
+                _ => {
+                    return Err(ProtocolError::Invariant(
+                        "mul layer contains a non-mul gate",
+                    ))
+                }
             };
             let tr = &triples[triple_of[gw.0]];
             let eps = opened[2 * j];
@@ -527,13 +535,16 @@ pub fn run_offline<F: PrimeField, R: Rng + ?Sized>(
         };
         let alpha = pack_one(alpha_wires.iter().map(|w| lambda_cts[w.0]).collect())?;
         let beta = pack_one(beta_wires.iter().map(|w| lambda_cts[w.0]).collect())?;
-        let gamma = pack_one(
-            batch
-                .gates
-                .iter()
-                .map(|w| gamma_cts[w.0].expect("gamma computed in step 3"))
-                .collect(),
-        )?;
+        let gamma_in: Vec<Ciphertext<F>> = batch
+            .gates
+            .iter()
+            .map(|w| {
+                gamma_cts[w.0].ok_or(ProtocolError::Invariant(
+                    "Γ ciphertext missing for a mul gate after step 3",
+                ))
+            })
+            .collect::<Result<_, _>>()?;
+        let gamma = pack_one(gamma_in)?;
         packed.push((alpha, beta, gamma));
     }
 

@@ -22,8 +22,11 @@
 //! - **Output**: the output committee `Re-encrypt*`s each output-wire
 //!   mask to the receiving client, who computes `v = μ + λ`.
 
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+// BTreeMap (not HashMap): wire and width keys are iterated below, and the
+// posting order must never depend on hasher state — the engine promises
+// byte-identical transcripts for every `--threads` value.
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
 
 use rand::{Rng, SeedableRng};
 
@@ -113,7 +116,7 @@ pub fn run_online<F: PrimeField, R: Rng + ?Sized>(
     // ---- Input: clients publish μ = v − λ per input wire.
     let phase_in = "online/2-input";
     let mut mu: Vec<Option<F>> = vec![None; circuit.wire_count()];
-    let mut input_reenc_by_wire: HashMap<usize, &ReencryptedValue<F>> = HashMap::new();
+    let mut input_reenc_by_wire: BTreeMap<usize, &ReencryptedValue<F>> = BTreeMap::new();
     for (w, _client, rv) in &offline.input_reenc {
         input_reenc_by_wire.insert(*w, rv);
     }
@@ -121,7 +124,9 @@ pub fn run_online<F: PrimeField, R: Rng + ?Sized>(
         for (idx, w) in wires.iter().enumerate() {
             let rv = input_reenc_by_wire
                 .get(&w.0)
-                .expect("offline re-encrypted every input wire");
+                .ok_or(ProtocolError::Invariant(
+                    "offline phase re-encrypted no mask for an input wire",
+                ))?;
             let lambda = rv.open(client_kff_sk[client])?;
             let v = inputs[client][idx];
             mu[w.0] = Some(v - lambda);
@@ -177,7 +182,7 @@ pub fn run_online<F: PrimeField, R: Rng + ?Sized>(
     // One sharing scheme per batch width, shared across layers: the
     // evaluation-domain caches inside `PackedSharing` make repeated
     // `share_public`/`reconstruct` calls O(n) dot products.
-    let mut schemes: HashMap<usize, PackedSharing<F>> = HashMap::new();
+    let mut schemes: BTreeMap<usize, PackedSharing<F>> = BTreeMap::new();
     for (layer_idx, layer_batches) in batches_by_layer.iter().enumerate() {
         propagate_linear(&mut mu);
         let committee = adversary.sample_committee(rng, format!("on-mult-{layer_idx}"), n);
@@ -195,13 +200,21 @@ pub fn run_online<F: PrimeField, R: Rng + ?Sized>(
             let mu_alpha: Vec<F> = batch
                 .left_wires(circuit)
                 .iter()
-                .map(|w| mu[w.0].expect("mu of mul input known"))
-                .collect();
+                .map(|w| {
+                    mu[w.0].ok_or(ProtocolError::Invariant(
+                        "mul-gate left input μ not propagated before its layer",
+                    ))
+                })
+                .collect::<Result<_, _>>()?;
             let mu_beta: Vec<F> = batch
                 .right_wires(circuit)
                 .iter()
-                .map(|w| mu[w.0].expect("mu of mul input known"))
-                .collect();
+                .map(|w| {
+                    mu[w.0].ok_or(ProtocolError::Invariant(
+                        "mul-gate right input μ not propagated before its layer",
+                    ))
+                })
+                .collect::<Result<_, _>>()?;
             let mu_alpha_sh = scheme.share_public(&mu_alpha)?;
             let mu_beta_sh = scheme.share_public(&mu_beta)?;
 
@@ -336,7 +349,9 @@ pub fn run_online<F: PrimeField, R: Rng + ?Sized>(
     let mut outputs: Vec<Vec<F>> = vec![Vec::new(); clients];
     for ((&(w, client), rv), _) in circuit.outputs().iter().zip(&out_vals).zip(0..) {
         let lambda = rv.open(client_role_keys[client].secret.scalar)?;
-        let mu_w = mu[w.0].expect("output wire mu known");
+        let mu_w = mu[w.0].ok_or(ProtocolError::Invariant(
+            "output-wire μ not propagated by the final sweep",
+        ))?;
         outputs[client].push(mu_w + lambda);
     }
 

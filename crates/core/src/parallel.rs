@@ -67,6 +67,10 @@ where
         .map(|slot| {
             slot.into_inner()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
+                // lint:allow(panic): provable — the scope above joins all
+                // workers before returning, every index < len is claimed
+                // exactly once, and a worker panic propagates at scope
+                // exit, so each slot is Some here.
                 .expect("every work item produced a result")
         })
         .collect()

@@ -144,6 +144,8 @@ pub struct PostedReshare<F: PrimeField> {
 
 /// The threshold key's custody state: the public key (with the current
 /// committee's verification keys) plus each current member's share.
+// lint:redact: the derived Debug delegates to KeyShare's redacted impl
+// (party index only), so no share values are printed.
 #[derive(Debug, Clone)]
 pub struct TskChain<F: PrimeField> {
     /// The threshold public key (vks track the current committee).

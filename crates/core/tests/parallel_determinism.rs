@@ -22,6 +22,17 @@ fn run_transcript(
     num_threads: usize,
     adversary: &Adversary,
 ) -> (String, Vec<Vec<F61>>, Vec<F61>) {
+    let (transcript, outputs, mu, _) = run_transcript_phases(num_threads, adversary);
+    (transcript, outputs, mu)
+}
+
+/// Like [`run_transcript`] but additionally returns the posting log
+/// sliced by phase label, so individual pipeline steps can be checked
+/// for thread-count independence in isolation.
+fn run_transcript_phases(
+    num_threads: usize,
+    adversary: &Adversary,
+) -> (String, Vec<Vec<F61>>, Vec<F61>, std::collections::BTreeMap<String, String>) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(4242);
     let params = ProtocolParams::new(10, 2, 3).unwrap();
     let cfg = ExecutionConfig::default().with_threads(num_threads);
@@ -42,10 +53,13 @@ fn run_transcript(
     )
     .unwrap();
     let mut transcript = String::new();
+    let mut by_phase = std::collections::BTreeMap::<String, String>::new();
     for p in board.postings() {
-        transcript.push_str(&format!("{}|{}|{:?}\n", p.round, p.from, p.message));
+        let line = format!("{}|{}|{}|{:?}\n", p.round, p.from, p.phase, p.message);
+        transcript.push_str(&line);
+        by_phase.entry(p.phase.clone()).or_default().push_str(&line);
     }
-    (transcript, online.outputs, online.mu)
+    (transcript, online.outputs, online.mu, by_phase)
 }
 
 #[test]
@@ -58,6 +72,31 @@ fn transcript_identical_across_thread_counts_honest() {
         assert_eq!(t1, tn, "posting log must not depend on num_threads={threads}");
         assert_eq!(out1, outn);
         assert_eq!(mu1, mun);
+    }
+}
+
+#[test]
+fn reenc_shares_phase_transcript_identical_across_thread_counts() {
+    // `offline/6-reenc-shares` is the widest re-encryption fan-out in
+    // the offline pipeline (one item per mul-gate share vector), so it
+    // is the phase most likely to expose scheduling-dependent posting
+    // order. Slice the log down to exactly that phase and require the
+    // slice to be byte-identical at 1, 2 and 8 worker threads.
+    const PHASE: &str = "offline/6-reenc-shares";
+    let adv = Adversary::none();
+    let (_, _, _, phases1) = run_transcript_phases(1, &adv);
+    let slice1 = phases1.get(PHASE).expect("phase must appear in the posting log");
+    assert!(
+        slice1.lines().count() > 1,
+        "{PHASE} must carry real fan-out traffic, got:\n{slice1}"
+    );
+    for threads in [2, 8] {
+        let (_, _, _, phasesn) = run_transcript_phases(threads, &adv);
+        let slicen = phasesn.get(PHASE).expect("phase must appear in the posting log");
+        assert_eq!(
+            slice1, slicen,
+            "{PHASE} posting log must not depend on num_threads={threads}"
+        );
     }
 }
 

@@ -36,9 +36,18 @@ pub struct PublicKey {
 }
 
 /// A PKE secret key.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+// lint:redact: Debug is implemented manually below and prints nothing of
+// the exponent; Serialize is required so parties can persist role keys.
+#[derive(Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SecretKey {
     exponent: u64,
+}
+
+// lint:redact: the secret exponent is never printed.
+impl std::fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SecretKey").field("exponent", &"<redacted>").finish()
+    }
 }
 
 /// A hybrid ciphertext: ephemeral group element plus masked payload
@@ -58,6 +67,8 @@ impl Ciphertext {
 }
 
 /// A PKE key pair.
+// lint:redact: the derived Debug delegates to SecretKey's redacted impl,
+// so no exponent is printed; Serialize is required for key persistence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct KeyPair {
     /// The public portion.
@@ -97,6 +108,8 @@ fn derive_tag(shared: u64, ephemeral: u64, masked: &[u8]) -> [u8; 16] {
     h.update(&ephemeral.to_le_bytes());
     h.update(masked);
     let d = h.finalize();
+    // lint:allow(panic): infallible — a 16-byte slice of a 32-byte SHA-256
+    // digest always converts into [u8; 16].
     d[..16].try_into().expect("16 bytes")
 }
 

@@ -92,6 +92,8 @@ impl Transcript {
     /// Squeezes a field element challenge.
     pub fn challenge_field<F: PrimeField>(&mut self, label: &[u8]) -> F {
         let bytes = self.challenge_bytes(label);
+        // lint:allow(panic): infallible — an 8-byte slice of a 32-byte
+        // digest always converts into [u8; 8].
         let v = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
         F::from_u64(v)
     }

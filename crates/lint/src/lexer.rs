@@ -1,0 +1,449 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The workspace builds offline from vendored shims, so `syn`/`proc-macro2`
+//! are unavailable; the lint rules only need a token stream with line
+//! numbers plus the comment text (for `lint:allow` markers), which a few
+//! hundred lines of lexer provide. The lexer is intentionally forgiving:
+//! on unexpected input it emits a `Punct` token and keeps going, because a
+//! linter must never panic on the code it is judging.
+
+/// Token kind. Only the distinctions the rules need are kept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`foo`, `unsafe`, `r#type`).
+    Ident,
+    /// Single punctuation character (`.`, `[`, `!`, ...).
+    Punct,
+    /// String, byte-string or raw-string literal (content stored unquoted).
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'a`), stored without the quote.
+    Lifetime,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// Token text. For `Str` this is the literal's *content* (no quotes),
+    /// for `Punct` the single character, for `Ident` the identifier.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+impl Token {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// One `//` or `/* */` comment with its 1-based starting line and full text
+/// (delimiters stripped, leading `/`s and `*`s of doc comments kept out).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// Comment body without the `//` / `/*` delimiters.
+    pub text: String,
+}
+
+/// Lexer output: tokens and comments, both line-annotated.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// Set of lines that contain at least one token (i.e. code lines).
+    pub fn code_lines(&self) -> std::collections::BTreeSet<usize> {
+        self.tokens.iter().map(|t| t.line).collect()
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenize `src`. Never fails: malformed input degrades to `Punct` tokens.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor { src: src.as_bytes(), pos: 0, line: 1 };
+    let mut out = Lexed::default();
+
+    while let Some(b) = cur.peek() {
+        let line = cur.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => {
+                let start = cur.pos + 2;
+                while let Some(c) = cur.peek() {
+                    if c == b'\n' {
+                        break;
+                    }
+                    cur.bump();
+                }
+                let text = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
+                out.comments.push(Comment { line, text });
+            }
+            b'/' if cur.peek_at(1) == Some(b'*') => {
+                cur.bump();
+                cur.bump();
+                let start = cur.pos;
+                let mut depth = 1usize;
+                let mut end = cur.pos;
+                while depth > 0 {
+                    match (cur.peek(), cur.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            end = cur.pos;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => {
+                            end = cur.pos;
+                            break;
+                        }
+                    }
+                }
+                let text = String::from_utf8_lossy(&cur.src[start..end]).into_owned();
+                out.comments.push(Comment { line, text });
+            }
+            b'"' => {
+                let text = lex_string(&mut cur);
+                out.tokens.push(Token { kind: TokKind::Str, text, line });
+            }
+            b'\'' => {
+                lex_quote(&mut cur, &mut out, line);
+            }
+            b'0'..=b'9' => {
+                let start = cur.pos;
+                while let Some(c) = cur.peek() {
+                    if c.is_ascii_alphanumeric() || c == b'_' || c == b'.' {
+                        // Stop before a method call like `1.max(2)` / range `0..n`.
+                        if c == b'.'
+                            && !cur.peek_at(1).map(|n| n.is_ascii_digit()).unwrap_or(false)
+                        {
+                            break;
+                        }
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                let text = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
+                out.tokens.push(Token { kind: TokKind::Num, text, line });
+            }
+            _ if is_ident_start(b) => {
+                // r"..." / r#"..."# raw strings and b"..." byte strings lex as
+                // string literals, r#ident as a raw identifier.
+                if (b == b'r' || b == b'b')
+                    && matches!(cur.peek_at(1), Some(b'"') | Some(b'#'))
+                    && raw_or_byte_string(&mut cur, &mut out, line)
+                {
+                    continue;
+                }
+                let start = cur.pos;
+                while let Some(c) = cur.peek() {
+                    if is_ident_continue(c) {
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                let text = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
+                out.tokens.push(Token { kind: TokKind::Ident, text, line });
+            }
+            _ => {
+                cur.bump();
+                out.tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text: (b as char).to_string(),
+                    line,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Lex a `"`-delimited string starting at the opening quote; returns the
+/// content with escapes left verbatim.
+fn lex_string(cur: &mut Cursor<'_>) -> String {
+    cur.bump(); // opening quote
+    let start = cur.pos;
+    let mut end;
+    loop {
+        end = cur.pos;
+        match cur.bump() {
+            None => break,
+            Some(b'\\') => {
+                cur.bump();
+            }
+            Some(b'"') => break,
+            Some(_) => {}
+        }
+    }
+    String::from_utf8_lossy(&cur.src[start..end]).into_owned()
+}
+
+/// Disambiguate `'a` (lifetime) from `'x'` / `'\n'` (char literal).
+fn lex_quote(cur: &mut Cursor<'_>, out: &mut Lexed, line: usize) {
+    cur.bump(); // opening quote
+    // Lifetime: identifier chars followed by anything but a closing quote.
+    if cur.peek().map(is_ident_start).unwrap_or(false) {
+        let start = cur.pos;
+        let mut probe = cur.pos;
+        while probe < cur.src.len() && is_ident_continue(cur.src[probe]) {
+            probe += 1;
+        }
+        if cur.src.get(probe) != Some(&b'\'') {
+            while cur.pos < probe {
+                cur.bump();
+            }
+            let text = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
+            out.tokens.push(Token { kind: TokKind::Lifetime, text, line });
+            return;
+        }
+    }
+    // Char literal: consume to the closing quote, honoring escapes.
+    let start = cur.pos;
+    let mut end;
+    loop {
+        end = cur.pos;
+        match cur.bump() {
+            None => break,
+            Some(b'\\') => {
+                cur.bump();
+            }
+            Some(b'\'') => break,
+            Some(_) => {}
+        }
+    }
+    let text = String::from_utf8_lossy(&cur.src[start..end]).into_owned();
+    out.tokens.push(Token { kind: TokKind::Char, text, line });
+}
+
+/// Handle `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`. Returns true if a string was
+/// consumed; false means "not actually a raw/byte string, lex as ident".
+fn raw_or_byte_string(cur: &mut Cursor<'_>, out: &mut Lexed, line: usize) -> bool {
+    let save_pos = cur.pos;
+    let save_line = cur.line;
+    let mut prefix_len = 1usize;
+    if cur.peek() == Some(b'b') && matches!(cur.peek_at(1), Some(b'r')) {
+        prefix_len = 2;
+    }
+    let mut p = cur.pos + prefix_len;
+    let mut hashes = 0usize;
+    while cur.src.get(p) == Some(&b'#') {
+        hashes += 1;
+        p += 1;
+    }
+    if cur.src.get(p) != Some(&b'"') {
+        // `r#ident` raw identifier or plain ident starting with r/b.
+        if hashes == 1 && cur.src.get(p).map(|&c| is_ident_start(c)).unwrap_or(false) {
+            // Consume `r#` then let the caller's ident path... simpler: lex
+            // the raw identifier here.
+            for _ in 0..(prefix_len + 1) {
+                cur.bump();
+            }
+            let start = cur.pos;
+            while let Some(c) = cur.peek() {
+                if is_ident_continue(c) {
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            let text = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
+            out.tokens.push(Token { kind: TokKind::Ident, text, line });
+            return true;
+        }
+        cur.pos = save_pos;
+        cur.line = save_line;
+        return false;
+    }
+    // It is a (raw/byte) string. Advance past prefix, hashes, opening quote.
+    for _ in 0..(prefix_len + hashes + 1) {
+        cur.bump();
+    }
+    let start = cur.pos;
+    let mut end;
+    if hashes == 0 && prefix_len >= 1 && cur.src.get(save_pos) == Some(&b'b') && prefix_len == 1 {
+        // b"..." — escapes are honored.
+        loop {
+            end = cur.pos;
+            match cur.bump() {
+                None => break,
+                Some(b'\\') => {
+                    cur.bump();
+                }
+                Some(b'"') => break,
+                Some(_) => {}
+            }
+        }
+    } else {
+        // Raw string: ends at `"` followed by `hashes` hash marks. Plain
+        // r"..." has hashes == 0 and no escape processing.
+        loop {
+            end = cur.pos;
+            match cur.bump() {
+                None => break,
+                Some(b'"') => {
+                    let mut ok = true;
+                    for i in 0..hashes {
+                        if cur.peek_at(i) != Some(b'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        for _ in 0..hashes {
+                            cur.bump();
+                        }
+                        break;
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    let text = String::from_utf8_lossy(&cur.src[start..end]).into_owned();
+    out.tokens.push(Token { kind: TokKind::Str, text, line });
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_and_puncts() {
+        let lx = lex("fn main() { x.unwrap(); }");
+        let idents: Vec<_> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["fn", "main", "x", "unwrap"]);
+    }
+
+    #[test]
+    fn comments_are_captured_not_tokenized() {
+        let lx = lex("let a = 1; // lint:allow(panic): fine\n/* block\ncomment */ let b = 2;");
+        assert_eq!(lx.comments.len(), 2);
+        assert!(lx.comments[0].text.contains("lint:allow(panic)"));
+        assert_eq!(lx.comments[0].line, 1);
+        assert_eq!(lx.comments[1].line, 2);
+        assert!(lx.tokens.iter().any(|t| t.is_ident("b")));
+        // The word "comment" must not appear as a token.
+        assert!(!lx.tokens.iter().any(|t| t.is_ident("comment")));
+    }
+
+    #[test]
+    fn strings_do_not_leak_tokens() {
+        let lx = lex(r#"let s = "unsafe { unwrap }";"#);
+        assert!(!lx.tokens.iter().any(|t| t.is_ident("unsafe")));
+        assert_eq!(
+            lx.tokens.iter().filter(|t| t.kind == TokKind::Str).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let lx = lex(r##"let a = r#"un"safe"#; let b = b"bytes"; let c = r"plain";"##);
+        let strs: Vec<_> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, [r#"un"safe"#, "bytes", "plain"]);
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let lx = lex("fn f<'a>(x: &'a u8) { let c = 'x'; let nl = '\\n'; }");
+        assert!(lx
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "a"));
+        assert_eq!(
+            lx.tokens.iter().filter(|t| t.kind == TokKind::Char).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lx = lex("/* a /* b */ c */ let x = 1;");
+        assert_eq!(lx.comments.len(), 1);
+        assert!(lx.tokens.iter().any(|t| t.is_ident("x")));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let lx = lex("a\nb\n\nc");
+        let lines: Vec<_> = lx.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let lx = lex("let r#type = 1;");
+        assert!(lx.tokens.iter().any(|t| t.is_ident("type")));
+    }
+}

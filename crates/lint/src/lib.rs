@@ -1,0 +1,56 @@
+//! `yoso-lint` — dependency-free static analysis for the yoso-pss
+//! workspace.
+//!
+//! The workspace builds offline from vendored shims, so the analyzer
+//! tokenizes Rust sources with a hand-rolled lexer (no `syn`) and enforces
+//! four rule families over the token stream:
+//!
+//! 1. **panic-freedom** (`panic`, `index`) — no `unwrap`/`expect`/
+//!    `panic!`-family macros and no unchecked slice indexing in non-test
+//!    code of the protocol crates; a YOSO committee member that aborts
+//!    mid-epoch kills the run for everyone.
+//! 2. **secret hygiene** (`secret-debug`, `secret-serialize`,
+//!    `secret-format`) — secret-registry types must not leak through
+//!    `Debug`/`Display`/`Serialize` or format-macro interpolation.
+//! 3. **transcript determinism** (`determinism`) — no `HashMap`/`HashSet`,
+//!    `std::time`, `thread_rng` or thread-identity dependence in
+//!    transcript-affecting modules; the engine promises byte-identical
+//!    transcripts at every `--threads` value.
+//! 4. **unsafe policy** (`unsafe-policy`) — every crate root carries
+//!    `#![forbid(unsafe_code)]` and no `unsafe` token appears outside the
+//!    shims.
+//!
+//! Escape hatch: `// lint:allow(<rule>): <justification>` (justification
+//! mandatory) or, for redacted secret impls, `// lint:redact: <why>`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allow;
+pub mod config;
+pub mod findings;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+pub use config::{Level, LintConfig, RuleId};
+pub use findings::{Finding, Report};
+pub use rules::{lint_source, FileMeta};
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Lint every workspace `.rs` file under `root` with `cfg`.
+pub fn lint_root(root: &Path, cfg: &LintConfig) -> io::Result<Report> {
+    let mut report = Report::default();
+    for (abs, meta) in walk::collect(root)? {
+        let source = fs::read_to_string(&abs)?;
+        report.findings.extend(rules::lint_source(&meta, &source, cfg));
+        report.files_checked += 1;
+    }
+    report
+        .findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok(report)
+}

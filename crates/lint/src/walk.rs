@@ -1,0 +1,131 @@
+//! Workspace traversal and per-file classification.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::config::{PROTOCOL_CRATES, TRANSCRIPT_MODULES};
+use crate::rules::FileMeta;
+
+/// Directories never descended into: build output, vendored shims, test
+/// and fixture trees (test code is exempt by design — the rules carve out
+/// `#[cfg(test)]` for inline tests, and integration-test trees are skipped
+/// wholesale), and the git store.
+const SKIP_DIRS: [&str; 8] = [
+    "target",
+    "shims",
+    ".git",
+    "tests",
+    "benches",
+    "examples",
+    "fixtures",
+    "related",
+];
+
+/// Collect every lintable `.rs` file under `root`, classified.
+pub fn collect(root: &Path) -> io::Result<Vec<(PathBuf, FileMeta)>> {
+    let mut files = Vec::new();
+    walk_dir(root, root, &mut files)?;
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    let metas = files
+        .into_iter()
+        .map(|(abs, rel)| {
+            let meta = classify(&rel);
+            (abs, meta)
+        })
+        .collect();
+    Ok(metas)
+}
+
+fn walk_dir(
+    root: &Path,
+    dir: &Path,
+    out: &mut Vec<(PathBuf, String)>,
+) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk_dir(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push((path, rel));
+        }
+    }
+    Ok(())
+}
+
+/// Derive a [`FileMeta`] from a `/`-separated workspace-relative path.
+pub fn classify(rel: &str) -> FileMeta {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let crate_name = if parts.len() >= 2 && parts[0] == "crates" {
+        Some(parts[1].to_string())
+    } else {
+        None
+    };
+    let is_protocol = crate_name
+        .as_deref()
+        .map(|c| PROTOCOL_CRATES.contains(&c))
+        .unwrap_or(false);
+    let is_transcript = TRANSCRIPT_MODULES.contains(&rel);
+    // Crate roots: crates/<c>/src/lib.rs, crates/<c>/src/main.rs,
+    // crates/<c>/src/bin/<b>.rs (each bin is its own crate), and the
+    // umbrella src/lib.rs.
+    let is_crate_root = matches!(
+        parts.as_slice(),
+        ["crates", _, "src", "lib.rs"]
+            | ["crates", _, "src", "main.rs"]
+            | ["crates", _, "src", "bin", _]
+            | ["src", "lib.rs"]
+    );
+    FileMeta {
+        rel_path: rel.to_string(),
+        crate_name,
+        is_protocol,
+        is_transcript,
+        is_crate_root,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_protocol_module() {
+        let m = classify("crates/core/src/online.rs");
+        assert_eq!(m.crate_name.as_deref(), Some("core"));
+        assert!(m.is_protocol);
+        assert!(m.is_transcript);
+        assert!(!m.is_crate_root);
+    }
+
+    #[test]
+    fn classify_roots() {
+        assert!(classify("crates/pss/src/lib.rs").is_crate_root);
+        assert!(classify("crates/cli/src/main.rs").is_crate_root);
+        assert!(classify("crates/bench/src/bin/hotpath.rs").is_crate_root);
+        assert!(classify("src/lib.rs").is_crate_root);
+        assert!(!classify("crates/core/src/engine.rs").is_crate_root);
+    }
+
+    #[test]
+    fn classify_non_protocol() {
+        let m = classify("crates/bench/src/lib.rs");
+        assert!(!m.is_protocol);
+        let m = classify("crates/field/src/poly.rs");
+        assert!(!m.is_protocol);
+    }
+}

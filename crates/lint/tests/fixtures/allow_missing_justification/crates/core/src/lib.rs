@@ -1,0 +1,6 @@
+//! Seeded violation: allow marker without a justification.
+#![forbid(unsafe_code)]
+
+pub fn f(v: Option<u64>) -> u64 {
+    v.unwrap() // lint:allow(panic):
+}

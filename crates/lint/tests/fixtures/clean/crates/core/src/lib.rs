@@ -1,0 +1,17 @@
+//! Clean fixture: panic-free protocol code, redaction in order.
+#![forbid(unsafe_code)]
+
+/// Adds checked.
+pub fn add(a: &[u64]) -> Option<u64> {
+    a.iter().copied().try_fold(0u64, u64::checked_add)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_ok() {
+        // unwrap in test code is exempt by design.
+        let v: Result<u64, ()> = Ok(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,3 @@
+//! Fixture crate root.
+#![forbid(unsafe_code)]
+pub mod online;

@@ -1,0 +1,6 @@
+//! Seeded violation: HashMap in a transcript-affecting module.
+use std::collections::HashMap;
+
+pub fn schemes() -> HashMap<usize, u64> {
+    HashMap::new()
+}

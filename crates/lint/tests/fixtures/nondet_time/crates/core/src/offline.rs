@@ -1,0 +1,7 @@
+//! Seeded violation: wall-clock time in a transcript-affecting module.
+pub fn stamp() -> u128 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0)
+}

@@ -1,0 +1,6 @@
+//! Seeded violation: unchecked slice indexing (deny via --deny index).
+#![forbid(unsafe_code)]
+
+pub fn first(v: &[u64]) -> u64 {
+    v[0]
+}

@@ -1,0 +1,13 @@
+//! Seeded violation: unwrap/expect/panic! in protocol code.
+#![forbid(unsafe_code)]
+
+pub fn f(v: Option<u64>) -> u64 {
+    v.unwrap()
+}
+
+pub fn g(v: Option<u64>) -> u64 {
+    match v {
+        Some(x) => x,
+        None => panic!("no value"),
+    }
+}

@@ -1,0 +1,8 @@
+//! Seeded violation: secret type derives Debug without a redact marker.
+#![forbid(unsafe_code)]
+
+#[derive(Debug, Clone)]
+pub struct SecretKeyShare {
+    pub party: usize,
+    pub value: u64,
+}

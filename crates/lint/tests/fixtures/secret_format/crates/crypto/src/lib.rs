@@ -1,0 +1,6 @@
+//! Seeded violation: format macro interpolating a secret binding.
+#![forbid(unsafe_code)]
+
+pub fn leak(sk: u64) -> String {
+    format!("debugging with key {sk}")
+}

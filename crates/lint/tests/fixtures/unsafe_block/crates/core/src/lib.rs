@@ -1,0 +1,6 @@
+//! Seeded violation: an `unsafe` block despite the workspace policy.
+#![forbid(unsafe_code)]
+
+pub fn read(p: *const u64) -> u64 {
+    unsafe { *p }
+}

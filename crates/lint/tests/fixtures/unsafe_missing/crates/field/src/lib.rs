@@ -1,0 +1,5 @@
+//! Seeded violation: crate root without `#![forbid(unsafe_code)]`.
+
+pub fn id(x: u64) -> u64 {
+    x
+}

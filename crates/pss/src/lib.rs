@@ -139,11 +139,25 @@ pub struct Share<F: PrimeField> {
 
 /// A complete degree-`d` packed sharing: the dealer-side view holding
 /// all `n` share values.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+// lint:redact: Debug is implemented manually below and prints no share
+// values (the full vector reconstructs the packed secrets); Serialize is
+// required because dealt sharings cross the wire.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
 #[serde(bound = "")]
 pub struct PackedShares<F: PrimeField> {
     degree: usize,
     values: Vec<F>,
+}
+
+// lint:redact: prints the degree and share count only — the values
+// together reconstruct every packed secret, so none are shown.
+impl<F: PrimeField> std::fmt::Debug for PackedShares<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PackedShares")
+            .field("degree", &self.degree)
+            .field("values", &format_args!("<{} redacted>", self.values.len()))
+            .finish()
+    }
 }
 
 impl<F: PrimeField> PackedShares<F> {
@@ -728,5 +742,21 @@ mod tests {
         let shares = scheme.share(&mut rng, &[f(99)], 3).unwrap();
         let got = scheme.reconstruct(&shares.select(&[1, 3, 5, 6]), 3).unwrap();
         assert_eq!(got, vec![f(99)]);
+    }
+
+    #[test]
+    fn debug_output_redacts_share_values() {
+        let mut rng = rng();
+        let scheme = PackedSharing::<F61>::new(12, 4).unwrap();
+        let secrets = [f(1), f(22), f(333), f(4444)];
+        let shares = scheme.share(&mut rng, &secrets, 7).unwrap();
+        let rendered = format!("{:?}", shares);
+        assert!(rendered.contains("redacted"), "{rendered}");
+        // Evaluations of a random-coefficient polynomial are ~19-digit
+        // field elements; none may appear in the Debug output.
+        for v in &shares.values {
+            let digits = v.as_u64().to_string();
+            assert!(!rendered.contains(&digits), "Debug leaks a share value: {rendered}");
+        }
     }
 }

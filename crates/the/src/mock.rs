@@ -53,13 +53,26 @@ pub struct PublicKey<F: PrimeField> {
 }
 
 /// A party's share of the threshold secret key.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+// lint:redact: Debug is implemented manually below and prints the party
+// index only; Serialize is required because shares cross the wire
+// (transport encryption is the protocol layer's responsibility).
+#[derive(Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 #[serde(bound = "")]
 pub struct KeyShare<F: PrimeField> {
     /// 0-based party index.
     pub party: usize,
     /// The Shamir share `s_i = f(party + 1)`.
     pub value: F,
+}
+
+// lint:redact: prints the party index only, never the share value.
+impl<F: PrimeField> std::fmt::Debug for KeyShare<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KeyShare")
+            .field("party", &self.party)
+            .field("value", &"<redacted>")
+            .finish()
+    }
 }
 
 /// A ciphertext `(u, v) = (r·g, m + r·h)`.
@@ -93,7 +106,10 @@ pub struct PartialDec<F: PrimeField> {
 /// In the YOSO protocol the subshares are additionally encrypted to the
 /// recipients; encryption happens at the protocol layer so that this
 /// module stays a clean algebra layer.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+// lint:redact: Debug is implemented manually below and prints no
+// subshares; Serialize is required because re-share messages cross the
+// wire (recipient-side encryption happens at the protocol layer).
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
 #[serde(bound = "")]
 pub struct ReshareMsg<F: PrimeField> {
     /// 0-based index of the re-sharing (previous-committee) party.
@@ -103,6 +119,18 @@ pub struct ReshareMsg<F: PrimeField> {
     pub commitments: Vec<F>,
     /// `subshares[m] = g_i(m + 1)`, the subshare for recipient `m`.
     pub subshares: Vec<F>,
+}
+
+// lint:redact: prints the sender, the (public) Feldman commitments and
+// the subshare count — never the subshares themselves.
+impl<F: PrimeField> std::fmt::Debug for ReshareMsg<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReshareMsg")
+            .field("from", &self.from)
+            .field("commitments", &self.commitments)
+            .field("subshares", &format_args!("<{} redacted>", self.subshares.len()))
+            .finish()
+    }
 }
 
 /// The mock threshold encryption scheme with fixed `(n, t)`.
@@ -481,14 +509,26 @@ pub struct PkePublicKey<F: PrimeField> {
 }
 
 /// Secret key of [`LinearPke`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+// lint:redact: Debug is implemented manually below and prints nothing of
+// the scalar; Serialize is required so clients can persist their keys.
+#[derive(Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 #[serde(bound = "")]
 pub struct PkeSecretKey<F: PrimeField> {
     /// The secret scalar.
     pub scalar: F,
 }
 
+// lint:redact: the secret scalar is never printed.
+impl<F: PrimeField> std::fmt::Debug for PkeSecretKey<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PkeSecretKey").field("scalar", &"<redacted>").finish()
+    }
+}
+
 /// A [`LinearPke`] key pair.
+// lint:redact: the derived Debug delegates to PkeSecretKey's redacted
+// impl, so no secret scalar is printed; Serialize is required so clients
+// can persist their keys.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 #[serde(bound = "")]
 pub struct PkeKeyPair<F: PrimeField> {
@@ -730,5 +770,31 @@ mod tests {
         let corrupt: Vec<_> =
             shares[..2].iter().map(|s| Te::partial_decrypt(s, &ct)).collect();
         assert!(Te::sim_partial_decrypt(&mut r, &pk, &ct, f(0), &corrupt, &[3]).is_err());
+    }
+
+    #[test]
+    fn debug_output_redacts_key_material() {
+        let (pk, shares, mut r) = setup(4, 1);
+        // Key shares are random 61-bit field elements: their decimal
+        // rendering is ~19 digits, far too long to collide with the
+        // party index or struct framing.
+        let rendered = format!("{:?}", shares[0]);
+        assert!(rendered.contains("redacted"), "{rendered}");
+        let digits = shares[0].value.as_u64().to_string();
+        assert!(!rendered.contains(&digits), "Debug leaks the share value: {rendered}");
+
+        let msg = Te::reshare(&mut r, &pk, &shares[0]);
+        let rendered = format!("{:?}", msg);
+        assert!(rendered.contains("redacted"), "{rendered}");
+        for sub in &msg.subshares {
+            let digits = sub.as_u64().to_string();
+            assert!(!rendered.contains(&digits), "Debug leaks a subshare: {rendered}");
+        }
+
+        let kp = LinearPke::<F61>::keygen(&mut r);
+        let rendered = format!("{:?}", kp);
+        assert!(rendered.contains("redacted"), "{rendered}");
+        let digits = kp.secret.scalar.as_u64().to_string();
+        assert!(!rendered.contains(&digits), "Debug leaks the PKE scalar: {rendered}");
     }
 }

@@ -151,6 +151,9 @@ impl FixedBaseTable {
             Sign::Negative => self
                 .pow(e.magnitude())
                 .mod_inv(self.ctx.modulus())
+                // lint:allow(panic): documented `# Panics` contract — the
+                // table base lives in Z_{N²}^*, so inversion fails only
+                // if N has been factored.
                 .expect("fixed-base pow_signed: base not invertible"),
         }
     }

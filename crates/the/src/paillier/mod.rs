@@ -67,7 +67,10 @@ pub struct PublicKey {
 /// `value` is `f(party+1)` for the current integer sharing polynomial
 /// `f` with `f(0) = scale·d`. Freshly generated keys have `scale = 1`;
 /// each re-sharing multiplies `scale` by `Δ²`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+// lint:redact: Debug is implemented manually below and prints no limb
+// data; Serialize is required because shares cross the wire (transport
+// encryption is the protocol layer's responsibility).
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct KeyShare {
     /// 0-based party index.
     pub party: usize,
@@ -75,6 +78,18 @@ pub struct KeyShare {
     pub value: Int,
     /// The accumulated scaling factor of the shared secret.
     pub scale: Nat,
+}
+
+// lint:redact: prints the party index and share width only — never the
+// share limbs themselves.
+impl std::fmt::Debug for KeyShare {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KeyShare")
+            .field("party", &self.party)
+            .field("value", &format_args!("<redacted {} bits>", self.value.magnitude().bit_len()))
+            .field("scale_bits", &self.scale.bit_len())
+            .finish()
+    }
 }
 
 /// A Paillier ciphertext (an element of `Z_{N²}^*`).
@@ -99,7 +114,10 @@ pub struct PartialDec {
 /// In a real deployment the subshares travel encrypted to their
 /// recipients; this algebra layer exposes them in the clear and the
 /// protocol layer handles confidentiality.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+// lint:redact: Debug is implemented manually below and prints no
+// subshare limbs; Serialize is required because re-share messages cross
+// the wire (recipient-side encryption is the protocol layer's job).
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ReshareMsg {
     /// 0-based index of the re-sharing party.
     pub from: usize,
@@ -108,6 +126,19 @@ pub struct ReshareMsg {
     pub commitments: Vec<Nat>,
     /// `subshares[j] = g(j+1)` for recipient `j`.
     pub subshares: Vec<Int>,
+}
+
+// lint:redact: prints the sender, commitment count and subshare count —
+// the commitments are public verification values, the subshares are not
+// printed.
+impl std::fmt::Debug for ReshareMsg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReshareMsg")
+            .field("from", &self.from)
+            .field("commitments", &self.commitments.len())
+            .field("subshares", &format_args!("<{} redacted>", self.subshares.len()))
+            .finish()
+    }
 }
 
 /// The threshold Paillier scheme (stateless; all state in keys).
@@ -126,6 +157,9 @@ pub(crate) fn pow_signed(base: &Nat, e: &Int, m: &Nat) -> Nat {
         Sign::Positive => base.mod_pow(e.magnitude(), m),
         Sign::Negative => base
             .mod_inv(m)
+            // lint:allow(panic): documented `# Panics` contract — callers
+            // pass bases in Z_{N²}^*, where inversion cannot fail unless
+            // the caller has already factored N.
             .expect("pow_signed: base not invertible")
             .mod_pow(e.magnitude(), m),
     }
@@ -138,6 +172,8 @@ pub(crate) fn pow_signed_ctx(ctx: &MontgomeryCtx, base: &Nat, e: &Int) -> Nat {
         Sign::Zero => Nat::one(),
         Sign::Positive => ctx.mod_pow(base, e.magnitude()),
         Sign::Negative => ctx.mod_pow(
+            // lint:allow(panic): same contract as `pow_signed` — bases
+            // live in Z_{N²}^*, so inversion fails only if N is factored.
             &base.mod_inv(ctx.modulus()).expect("pow_signed: base not invertible"),
             e.magnitude(),
         ),
@@ -194,6 +230,8 @@ impl ThresholdPaillier {
         let one = Nat::one();
         let lambda = (&p - &one).lcm(&(&q - &one));
         // d ≡ 0 mod λ, d ≡ 1 mod N:  d = λ·(λ^{-1} mod N).
+        // lint:allow(panic): gcd(λ, N) = 1 by construction — λ divides
+        // (p−1)(q−1) and N = p·q for distinct primes p, q just generated.
         let lambda_inv = lambda.mod_inv(&n_mod).expect("gcd(λ, N) = 1 by construction");
         let d = &lambda * &lambda_inv;
 
@@ -700,5 +738,24 @@ mod tests {
             acc = &acc + &(&mu * &f(points[j] as i64));
         }
         assert_eq!(acc, Int::from(7i64).mul_nat(&delta));
+    }
+
+    #[test]
+    fn debug_output_redacts_key_material() {
+        let (pk, shares, mut r) = setup(3, 1);
+        let rendered = format!("{:?}", shares[0]);
+        assert!(rendered.contains("redacted"), "{rendered}");
+        // The share value has >= 128 bits, so its decimal rendering is
+        // far too long to appear by coincidence.
+        let digits = format!("{}", shares[0].value.magnitude());
+        assert!(!rendered.contains(&digits), "Debug leaks the share value: {rendered}");
+
+        let msg = ThresholdPaillier::reshare(&mut r, &pk, &shares[0]);
+        let rendered = format!("{:?}", msg);
+        assert!(rendered.contains("redacted"), "{rendered}");
+        for sub in &msg.subshares {
+            let digits = format!("{}", sub.magnitude());
+            assert!(!rendered.contains(&digits), "Debug leaks a subshare: {rendered}");
+        }
     }
 }

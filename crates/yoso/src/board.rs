@@ -19,6 +19,8 @@ pub struct Posting<M> {
     pub round: u64,
     /// The author role.
     pub from: RoleId,
+    /// The protocol phase the post was metered under.
+    pub phase: String,
     /// The message payload.
     pub message: M,
 }
@@ -95,7 +97,7 @@ impl<M: Clone> BulletinBoard<M> {
         }
         let mut g = self.inner.write();
         let round = g.round;
-        g.postings.push(Posting { round, from, message });
+        g.postings.push(Posting { round, from, phase: phase.to_string(), message });
     }
 
     /// Number of postings so far.
