@@ -1,15 +1,23 @@
 //! Hot-path smoke benchmark (no criterion, single short run).
 //!
-//! Times the three inner loops this repo's performance work targets —
-//! packed dealing, packed reconstruction and Paillier encryption — at
-//! committee sizes n ∈ {32, 128, 512}, comparing the precomputed paths
-//! (warm [`EvalDomain`] caches, fixed-base [`EncryptionContext`]
-//! tables) against the naive per-call costs they replace. Prints a
-//! table of ns/op and writes the machine-readable record to
-//! `BENCH_hotpath.json` at the repo root.
+//! Times the inner loops this repo's performance work targets — packed
+//! dealing, packed reconstruction, Paillier encryption, committee
+//! re-encryption and verified threshold decryption — at committee
+//! sizes n ∈ {32, 128, 512}, comparing the optimized paths (warm
+//! [`EvalDomain`] caches, fixed-base [`EncryptionContext`] tables, the
+//! parallel buffer-and-replay re-encryption pipeline, Straus/Pippenger
+//! multi-exponentiation) against the naive per-call costs they
+//! replace. Prints tables of ns/op and writes the machine-readable
+//! record to `BENCH_hotpath.json` at the repo root.
+//!
+//! With `--smoke`, runs a single tiny config (n = 16) and skips the
+//! acceptance assertions — the CI mode that keeps the bench path from
+//! rotting without paying for a full run.
 //!
 //! Acceptance targets (see DESIGN.md §perf): ≥5× on repeated packed
-//! reconstruction at n = 512, ≥2× on batched Paillier encryption.
+//! reconstruction at n = 512, ≥2× on batched Paillier encryption, ≥2×
+//! on the multi-exp verified-decryption pipeline, and — on hosts with
+//! ≥8 hardware threads — ≥3× on 8-thread re-encryption.
 
 #![forbid(unsafe_code)]
 
@@ -19,15 +27,23 @@ use std::time::Instant;
 
 use rand::SeedableRng;
 use yoso_bignum::Nat;
+use yoso_core::messages::Post;
+use yoso_core::tsk::TskChain;
+use yoso_core::ExecutionConfig;
 use yoso_field::{PrimeField, F61};
 use yoso_pss_sharing::PackedSharing;
-use yoso_the::paillier::{EncryptionContext, ThresholdPaillier};
+use yoso_runtime::{BulletinBoard, Committee};
+use yoso_the::mock::{LinearPke, MockTe, PkePublicKey};
+use yoso_the::paillier::nizk::{prove_pdec, verify_pdec, verify_pdec_batch, PdecProof};
+use yoso_the::paillier::{Ciphertext, EncryptionContext, PartialDec, ThresholdPaillier};
 
 /// Committee sizes exercised; k follows the paper's k ≈ n/4 regime.
 const SIZES: [usize; 3] = [32, 128, 512];
 /// Paillier prime size — small enough for a smoke run, large enough
 /// that exponentiation dominates.
 const PRIME_BITS: usize = 256;
+/// Worker threads for the parallel re-encryption column.
+const PAR_THREADS: usize = 8;
 
 fn rng(seed: u64) -> rand::rngs::StdRng {
     rand::rngs::StdRng::seed_from_u64(seed)
@@ -57,6 +73,12 @@ struct Row {
     enc_naive_ns: f64,
     enc_batched_ns: f64,
     enc_speedup: f64,
+    reenc_seq_ns: f64,
+    reenc_par_ns: f64,
+    reenc_speedup: f64,
+    pdec_naive_ns: f64,
+    pdec_multiexp_ns: f64,
+    pdec_speedup: f64,
 }
 
 fn bench_pss(n: usize) -> (f64, f64, f64) {
@@ -109,15 +131,120 @@ fn bench_paillier(batch: usize) -> (f64, f64) {
     (naive_total / batch as f64, batched_total / batch as f64)
 }
 
+/// Committee re-encryption of k = n/4 items at 1 vs `PAR_THREADS`
+/// worker threads (the buffer-and-replay pipeline in
+/// [`TskChain::reencrypt`]). Returns ns per item.
+fn bench_reenc(n: usize) -> (f64, f64) {
+    let k = (n / 4).max(1);
+    let t = (n / 4).max(1);
+    let mut r = rng(13);
+    let chain = TskChain::<F61>::keygen(&mut r, n, t).unwrap();
+    let committee = Committee::honest("bench", n);
+    let items: Vec<(PkePublicKey<F61>, yoso_the::mock::Ciphertext<F61>)> = (0..k)
+        .map(|_| {
+            let target = LinearPke::<F61>::keygen(&mut r);
+            let m = F61::random(&mut r);
+            let (ct, _) = MockTe::encrypt(&mut r, &chain.pk, m);
+            (target.public, ct)
+        })
+        .collect();
+    let iters = (1024 / n).max(1);
+    let phase = "offline/6-reenc-shares";
+    let seq_cfg = ExecutionConfig::default().with_threads(1);
+    let par_cfg = ExecutionConfig::default().with_threads(PAR_THREADS);
+    let seq_total = time_ns(iters, || {
+        let board: BulletinBoard<Post> = BulletinBoard::new();
+        chain.reencrypt(&mut r, &board, &committee, &seq_cfg, phase, &items)
+    });
+    let par_total = time_ns(iters, || {
+        let board: BulletinBoard<Post> = BulletinBoard::new();
+        chain.reencrypt(&mut r, &board, &committee, &par_cfg, phase, &items)
+    });
+    (seq_total / k as f64, par_total / k as f64)
+}
+
+/// The verified threshold-decryption pipeline over a batch of
+/// ciphertexts: t+1 partial decryptions per ciphertext, NIZK
+/// verification of every partial, and the Lagrange combine. Naive =
+/// per-ciphertext loop ([`ThresholdPaillier::partial_decrypt`] +
+/// [`verify_pdec`] + [`ThresholdPaillier::combine`]); multiexp =
+/// the batched pipeline ([`ThresholdPaillier::partial_decrypt_batch`]
+/// + [`verify_pdec_batch`] + [`ThresholdPaillier::combine_batch`]).
+///
+/// Proofs are generated outside the timed region — both columns
+/// measure the decrypting side only. Returns ns per ciphertext.
+fn bench_pdec(batch: usize) -> (f64, f64) {
+    let mut r = rng(17);
+    let (pk, shares) = ThresholdPaillier::keygen(&mut r, PRIME_BITS, 3, 1).unwrap();
+    let subset = &shares[..pk.threshold + 1];
+    let cts: Vec<Ciphertext> = (0..batch)
+        .map(|_| {
+            let m = Nat::random_below(&mut r, &pk.n_mod);
+            ThresholdPaillier::encrypt(&mut r, &pk, &m).0
+        })
+        .collect();
+    // proofs[si][ci] proves subset[si]'s partial decryption of cts[ci].
+    let proofs: Vec<Vec<PdecProof>> = subset
+        .iter()
+        .map(|share| {
+            cts.iter()
+                .map(|ct| {
+                    let pd = ThresholdPaillier::partial_decrypt(&pk, share, ct);
+                    prove_pdec(&mut r, &pk, ct, share, &pd)
+                })
+                .collect()
+        })
+        .collect();
+
+    let naive_total = time_ns(1, || {
+        let mut out = Vec::with_capacity(batch);
+        for (ci, ct) in cts.iter().enumerate() {
+            let mut partials = Vec::with_capacity(subset.len());
+            for (si, share) in subset.iter().enumerate() {
+                let pd = ThresholdPaillier::partial_decrypt(&pk, share, ct);
+                assert!(verify_pdec(&pk, ct, &pd, &proofs[si][ci]));
+                partials.push(pd);
+            }
+            out.push(ThresholdPaillier::combine(&pk, &partials, &Nat::one()).unwrap());
+        }
+        out
+    });
+    let multiexp_total = time_ns(1, || {
+        let per_share: Vec<Vec<PartialDec>> = subset
+            .iter()
+            .map(|share| ThresholdPaillier::partial_decrypt_batch(&pk, share, &cts))
+            .collect();
+        let mut items: Vec<(&Ciphertext, &PartialDec, &PdecProof)> =
+            Vec::with_capacity(subset.len() * batch);
+        for (si, pds) in per_share.iter().enumerate() {
+            for (ci, ct) in cts.iter().enumerate() {
+                items.push((ct, &pds[ci], &proofs[si][ci]));
+            }
+        }
+        assert!(verify_pdec_batch(&mut r, &pk, &items));
+        let sets: Vec<Vec<PartialDec>> = (0..batch)
+            .map(|ci| per_share.iter().map(|pds| pds[ci].clone()).collect())
+            .collect();
+        ThresholdPaillier::combine_batch(&pk, &sets, &Nat::one()).unwrap()
+    });
+    (naive_total / batch as f64, multiexp_total / batch as f64)
+}
+
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sizes: Vec<usize> = if smoke { vec![16] } else { SIZES.to_vec() };
+    let host_threads =
+        std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
     let mut rows = Vec::new();
     println!(
         "{:>5} {:>5} {:>12} {:>14} {:>13} {:>8} {:>12} {:>12} {:>8}",
         "n", "k", "share ns", "recon warm ns", "recon cold ns", "speedup", "enc ns", "enc batch ns", "speedup"
     );
-    for n in SIZES {
+    for &n in &sizes {
         let (share_ns, recon_cached_ns, recon_naive_ns) = bench_pss(n);
         let (enc_naive_ns, enc_batched_ns) = bench_paillier(n);
+        let (reenc_seq_ns, reenc_par_ns) = bench_reenc(n);
+        let (pdec_naive_ns, pdec_multiexp_ns) = bench_pdec(n);
         let row = Row {
             n,
             k: n / 4,
@@ -128,6 +255,12 @@ fn main() {
             enc_naive_ns,
             enc_batched_ns,
             enc_speedup: enc_naive_ns / enc_batched_ns,
+            reenc_seq_ns,
+            reenc_par_ns,
+            reenc_speedup: reenc_seq_ns / reenc_par_ns,
+            pdec_naive_ns,
+            pdec_multiexp_ns,
+            pdec_speedup: pdec_naive_ns / pdec_multiexp_ns,
         };
         println!(
             "{:>5} {:>5} {:>12.0} {:>14.0} {:>13.0} {:>7.1}x {:>12.0} {:>12.0} {:>7.1}x",
@@ -143,9 +276,28 @@ fn main() {
         );
         rows.push(row);
     }
+    println!(
+        "\n{:>5} {:>5} {:>13} {:>13} {:>8} {:>14} {:>16} {:>8}",
+        "n", "k", "reenc seq ns", "reenc par ns", "speedup", "pdec naive ns", "pdec multiexp ns", "speedup"
+    );
+    for row in &rows {
+        println!(
+            "{:>5} {:>5} {:>13.0} {:>13.0} {:>7.1}x {:>14.0} {:>16.0} {:>7.1}x",
+            row.n,
+            row.k,
+            row.reenc_seq_ns,
+            row.reenc_par_ns,
+            row.reenc_speedup,
+            row.pdec_naive_ns,
+            row.pdec_multiexp_ns,
+            row.pdec_speedup
+        );
+    }
 
     let mut json = String::from("{\n  \"bench\": \"hotpath\",\n  \"field\": \"F61\",\n");
     let _ = writeln!(json, "  \"paillier_prime_bits\": {PRIME_BITS},");
+    let _ = writeln!(json, "  \"host_parallelism\": {host_threads},");
+    let _ = writeln!(json, "  \"reenc_par_threads\": {PAR_THREADS},");
     json.push_str("  \"configs\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
@@ -153,7 +305,10 @@ fn main() {
             "    {{\"n\": {}, \"k\": {}, \"share_ns\": {:.0}, \
              \"reconstruct_cached_ns\": {:.0}, \"reconstruct_naive_ns\": {:.0}, \
              \"reconstruct_speedup\": {:.2}, \"paillier_encrypt_naive_ns\": {:.0}, \
-             \"paillier_encrypt_batched_ns\": {:.0}, \"paillier_speedup\": {:.2}}}",
+             \"paillier_encrypt_batched_ns\": {:.0}, \"paillier_speedup\": {:.2}, \
+             \"reenc_seq_ns\": {:.0}, \"reenc_par_ns\": {:.0}, \
+             \"reenc_speedup\": {:.2}, \"partial_decrypt_naive_ns\": {:.0}, \
+             \"partial_decrypt_multiexp_ns\": {:.0}, \"partial_decrypt_speedup\": {:.2}}}",
             r.n,
             r.k,
             r.share_ns,
@@ -162,7 +317,13 @@ fn main() {
             r.recon_speedup,
             r.enc_naive_ns,
             r.enc_batched_ns,
-            r.enc_speedup
+            r.enc_speedup,
+            r.reenc_seq_ns,
+            r.reenc_par_ns,
+            r.reenc_speedup,
+            r.pdec_naive_ns,
+            r.pdec_multiexp_ns,
+            r.pdec_speedup
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
@@ -172,6 +333,10 @@ fn main() {
     std::fs::write(path, &json).expect("write BENCH_hotpath.json");
     println!("\nwrote {path}");
 
+    if smoke {
+        println!("smoke mode: acceptance assertions skipped");
+        return;
+    }
     let last = rows.last().unwrap();
     assert!(
         last.recon_speedup >= 5.0,
@@ -185,8 +350,30 @@ fn main() {
         "batched Paillier encryption at n=512 must be ≥2× naive (got {:.1}×)",
         last.enc_speedup
     );
-    println!(
-        "acceptance: reconstruct {:.1}x (>=5x), paillier {:.1}x (>=2x) at n=512 — ok",
-        last.recon_speedup, last.enc_speedup
+    assert!(
+        last.pdec_speedup >= 2.0,
+        "multi-exp verified decryption at n=512 must be ≥2× the per-ciphertext loop (got {:.1}×)",
+        last.pdec_speedup
     );
+    // The re-encryption target needs real hardware parallelism: the
+    // pipeline is correct at any thread count (the determinism tests
+    // pin that), but an 8-thread wall-clock win cannot materialize on
+    // fewer than 8 hardware threads.
+    if host_threads >= PAR_THREADS {
+        assert!(
+            last.reenc_speedup >= 3.0,
+            "8-thread re-encryption at n=512 must be ≥3× sequential (got {:.1}×)",
+            last.reenc_speedup
+        );
+        println!(
+            "acceptance: reconstruct {:.1}x (>=5x), paillier {:.1}x (>=2x), pdec {:.1}x (>=2x), reenc {:.1}x (>=3x) at n=512 — ok",
+            last.recon_speedup, last.enc_speedup, last.pdec_speedup, last.reenc_speedup
+        );
+    } else {
+        println!(
+            "acceptance: reconstruct {:.1}x (>=5x), paillier {:.1}x (>=2x), pdec {:.1}x (>=2x) at n=512 — ok; \
+             reenc {:.1}x recorded but not asserted (host has {host_threads} hardware threads, needs {PAR_THREADS})",
+            last.recon_speedup, last.enc_speedup, last.pdec_speedup, last.reenc_speedup
+        );
+    }
 }

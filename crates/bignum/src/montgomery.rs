@@ -100,6 +100,22 @@ impl MontgomeryCtx {
         self.redc(&(a * b))
     }
 
+    /// Squares a Montgomery-form value via the dedicated [`Nat::sqr`]
+    /// (the off-diagonal limb products are computed once and doubled).
+    /// Squaring chains dominate `mod_pow` and the multi-exponentiation
+    /// routines built on this context, so the ~25–40% saving per square
+    /// compounds across every exponent bit.
+    pub fn mont_sqr(&self, a: &Nat) -> Nat {
+        self.redc(&a.sqr())
+    }
+
+    /// The Montgomery form of `1` (the neutral element for
+    /// [`Self::mont_mul`]) — the natural accumulator seed for
+    /// externally driven exponentiation loops.
+    pub fn one_mont(&self) -> Nat {
+        self.r1.clone()
+    }
+
     /// Modular exponentiation `base^exp mod m` (operands in normal
     /// form) via 4-bit windowed Montgomery ladder.
     pub fn mod_pow(&self, base: &Nat, exp: &Nat) -> Nat {
@@ -119,7 +135,7 @@ impl MontgomeryCtx {
         let mut acc = self.r1.clone();
         for w in (0..windows).rev() {
             for _ in 0..4 {
-                acc = self.mont_mul(&acc, &acc);
+                acc = self.mont_sqr(&acc);
             }
             let mut digit = 0usize;
             for b in 0..4 {
@@ -172,6 +188,20 @@ mod tests {
             let got = ctx.from_mont(&ctx.mont_mul(&ctx.to_mont(&a), &ctx.to_mont(&b)));
             assert_eq!(got, a.mod_mul(&b, &m));
         }
+    }
+
+    #[test]
+    fn mont_sqr_matches_mont_mul() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let p = crate::prime::generate_prime(&mut rng, 128);
+        let q = crate::prime::generate_prime(&mut rng, 128);
+        let m = &p * &q;
+        let ctx = MontgomeryCtx::new(&m);
+        for _ in 0..50 {
+            let a = ctx.to_mont(&Nat::random_below(&mut rng, &m));
+            assert_eq!(ctx.mont_sqr(&a), ctx.mont_mul(&a, &a));
+        }
+        assert_eq!(ctx.mont_sqr(&ctx.one_mont()), ctx.one_mont());
     }
 
     #[test]

@@ -389,6 +389,87 @@ impl Nat {
         acc += &(z2 << (2 * half * LIMB_BITS));
         acc.limbs
     }
+
+    /// Squares `self` — the same value as `self * self`, but the
+    /// off-diagonal limb products `aᵢ·aⱼ` (i ≠ j) are computed once and
+    /// doubled, roughly halving the multiplication work. Squarings
+    /// dominate every modular exponentiation chain, which makes this
+    /// the single hottest bignum primitive for threshold Paillier.
+    pub fn sqr(&self) -> Nat {
+        Nat::from_limbs(Self::sqr_limbs(&self.limbs))
+    }
+
+    /// Karatsuba-style squaring on limb slices: `a² = a₁²·B² +
+    /// ((a₁+a₀)² − a₁² − a₀²)·B + a₀²` recurses into three squarings.
+    fn sqr_limbs(a: &[u64]) -> Vec<u64> {
+        if a.len() < KARATSUBA_THRESHOLD {
+            return Self::sqr_schoolbook(a);
+        }
+        let half = a.len() / 2;
+        let (a_lo, a_hi) = a.split_at(half);
+        let a_lo_n = Nat::from_limbs(a_lo.to_vec());
+        let a_hi_n = Nat::from_limbs(a_hi.to_vec());
+        let z0 = Nat::from_limbs(Self::sqr_limbs(&a_lo_n.limbs));
+        let z2 = Nat::from_limbs(Self::sqr_limbs(&a_hi_n.limbs));
+        let s = &a_lo_n + &a_hi_n;
+        let z1_full = Nat::from_limbs(Self::sqr_limbs(&s.limbs));
+        // (a_lo + a_hi)² >= a_lo² + a_hi², so the subtractions cannot
+        // underflow; the debug-only comparison inside sub_unchecked
+        // re-checks this.
+        let z1 = z1_full.sub_unchecked(&z0).sub_unchecked(&z2);
+        let mut acc = z0;
+        acc += &(z1 << (half * LIMB_BITS));
+        acc += &(z2 << (2 * half * LIMB_BITS));
+        acc.limbs
+    }
+
+    /// Schoolbook squaring: accumulate the strict upper triangle,
+    /// double it, then add the diagonal `aᵢ²` terms.
+    fn sqr_schoolbook(a: &[u64]) -> Vec<u64> {
+        let n = a.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut out = vec![0u64; 2 * n];
+        for (i, &ai) in a.iter().enumerate() {
+            if ai == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for (j, &aj) in a.iter().enumerate().skip(i + 1) {
+                let cur = out[i + j] as u128 + ai as u128 * aj as u128 + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut idx = i + n;
+            while carry != 0 {
+                let cur = out[idx] as u128 + carry;
+                out[idx] = cur as u64;
+                carry = cur >> 64;
+                idx += 1;
+            }
+        }
+        // Double the cross terms (top bit of the triangle sum is always
+        // free: the sum is < 2^(128n−1)).
+        let mut carry_bit = 0u64;
+        for d in out.iter_mut() {
+            let top = *d >> 63;
+            *d = (*d << 1) | carry_bit;
+            carry_bit = top;
+        }
+        // Add the diagonal.
+        let mut carry = 0u128;
+        for (i, &ai) in a.iter().enumerate() {
+            let sq = ai as u128 * ai as u128;
+            let lo = out[2 * i] as u128 + (sq as u64) as u128 + carry;
+            out[2 * i] = lo as u64;
+            let hi = out[2 * i + 1] as u128 + (sq >> 64) + (lo >> 64);
+            out[2 * i + 1] = hi as u64;
+            carry = hi >> 64;
+        }
+        debug_assert_eq!(carry, 0, "a² fits in 2·len limbs");
+        out
+    }
 }
 
 impl From<u64> for Nat {
@@ -720,6 +801,22 @@ mod tests {
             let kar = &a * &b;
             let school = Nat::from_limbs(Nat::mul_schoolbook(a.limbs(), b.limbs()));
             assert_eq!(kar, school);
+        }
+    }
+
+    #[test]
+    fn sqr_matches_mul() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        assert_eq!(Nat::zero().sqr(), Nat::zero());
+        assert_eq!(Nat::one().sqr(), Nat::one());
+        assert_eq!(n(u64::MAX as u128).sqr(), &n(u64::MAX as u128) * &n(u64::MAX as u128));
+        // Bit lengths straddling the Karatsuba threshold, plus odd
+        // widths to exercise carry chains.
+        for bits in [1usize, 63, 64, 65, 640, 64 * 23, 64 * 24, 64 * 30 + 17, 64 * 50 + 5] {
+            for _ in 0..3 {
+                let a = Nat::random_bits(&mut rng, bits);
+                assert_eq!(a.sqr(), &a * &a, "bits={bits}");
+            }
         }
     }
 

@@ -28,7 +28,9 @@ pub struct ExecutionConfig {
     /// ([`crate::dkg`]) instead of the paper's trusted setup.
     pub dealerless_setup: bool,
     /// Worker threads for the data-parallel protocol steps (Beaver
-    /// triple generation, per-member online share computation). `1`
+    /// triple generation, per-item re-encryption in the offline
+    /// packing, KFF key-distribution and output phases, per-member
+    /// online share computation). `1`
     /// (the default) runs everything inline. Any value produces
     /// byte-identical transcripts: per-item randomness is derived from
     /// sequentially drawn child seeds and board posts are replayed in

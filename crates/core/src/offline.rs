@@ -33,11 +33,12 @@ use rand::{Rng, SeedableRng};
 
 use yoso_circuit::{BatchedCircuit, Gate, MulBatch};
 use yoso_field::{lagrange, PrimeField};
-use yoso_runtime::{Adversary, Behavior, BulletinBoard, Committee, RoleId};
+use yoso_runtime::{Adversary, Behavior, BulletinBoard, Committee};
 use yoso_the::mock::{Ciphertext, MockTe, PkePublicKey};
 use yoso_the::nizk::{self, enc_proof, verify_enc_proof, EncProof};
 
 use crate::messages::{self, ContributionStep, Post, CT_ELEMENTS, ENC_PROOF_ELEMENTS};
+use crate::parallel::PostBuffer;
 use crate::setup::SetupArtifacts;
 use crate::tsk::{ReencryptedValue, TskChain};
 use crate::{ExecutionConfig, ProtocolError};
@@ -75,29 +76,6 @@ struct Contribution<F: PrimeField> {
     valid: bool,
 }
 
-/// A board post produced away from the board (e.g. on a worker
-/// thread), replayed later in deterministic item order.
-#[derive(Debug, Clone)]
-pub(crate) struct BufferedPost {
-    role: RoleId,
-    post: Post,
-    phase: &'static str,
-    elements: u64,
-}
-
-impl BufferedPost {
-    pub(crate) fn new(role: RoleId, post: Post, phase: &'static str, elements: u64) -> Self {
-        BufferedPost { role, post, phase, elements }
-    }
-}
-
-/// Replays buffered posts onto the board, in order.
-pub(crate) fn flush_posts(board: &BulletinBoard<Post>, posts: Vec<BufferedPost>) {
-    for p in posts {
-        board.post(p.role, p.post, p.phase, p.elements, messages::to_bytes(p.elements));
-    }
-}
-
 /// Collects one encrypted-randomness contribution per participating
 /// member and returns the homomorphic sum of the *valid* ones.
 /// Posts are appended to `posts` rather than sent, so the caller can
@@ -110,7 +88,7 @@ pub(crate) fn flush_posts(board: &BulletinBoard<Post>, posts: Vec<BufferedPost>)
 /// uniform).
 fn summed_contribution_into<F: PrimeField, R: Rng + ?Sized>(
     rng: &mut R,
-    posts: &mut Vec<BufferedPost>,
+    posts: &mut PostBuffer,
     committee: &Committee,
     cfg: &ExecutionConfig,
     tpk: &yoso_the::mock::PublicKey<F>,
@@ -147,12 +125,12 @@ fn summed_contribution_into<F: PrimeField, R: Rng + ?Sized>(
                 (ct, ok)
             }
         };
-        posts.push(BufferedPost::new(
+        posts.record(
             committee.role(i),
             Post::Contribution { step, ciphertexts: 1 },
             phase,
             CT_ELEMENTS + ENC_PROOF_ELEMENTS,
-        ));
+        );
         contributions.push(Contribution { ct, valid });
     }
     let valid: Vec<Ciphertext<F>> =
@@ -178,9 +156,9 @@ fn summed_contribution<F: PrimeField, R: Rng + ?Sized>(
     phase: &'static str,
     step: ContributionStep,
 ) -> Result<Ciphertext<F>, ProtocolError> {
-    let mut posts = Vec::new();
+    let mut posts = PostBuffer::new();
     let result = summed_contribution_into(rng, &mut posts, committee, cfg, tpk, phase, step);
-    flush_posts(board, posts);
+    posts.flush(board);
     result
 }
 
@@ -198,7 +176,7 @@ pub struct EncryptedTriple<F: PrimeField> {
 /// Produces one encrypted Beaver triple, buffering its board posts.
 fn one_triple<F: PrimeField, R: Rng + ?Sized>(
     rng: &mut R,
-    posts: &mut Vec<BufferedPost>,
+    posts: &mut PostBuffer,
     c1: &Committee,
     c2: &Committee,
     cfg: &ExecutionConfig,
@@ -248,12 +226,12 @@ fn one_triple<F: PrimeField, R: Rng + ?Sized>(
             }
         };
         let elements = 2 * CT_ELEMENTS + messages::proof_elements(4, 2);
-        posts.push(BufferedPost::new(
+        posts.record(
             c2.role(i),
             Post::Contribution { step: ContributionStep::Beaver, ciphertexts: 2 },
             phase,
             elements,
-        ));
+        );
         if valid {
             b_parts.push(Contribution { ct: cb, valid: true });
             c_parts.push(cc);
@@ -292,13 +270,13 @@ pub fn beaver_triples<F: PrimeField, R: Rng + ?Sized>(
     let seeds: Vec<u64> = (0..count).map(|_| rng.next_u64()).collect();
     let results = crate::parallel::par_map(cfg.num_threads, &seeds, |_, &seed| {
         let mut trng = rand::rngs::StdRng::seed_from_u64(seed);
-        let mut posts = Vec::new();
+        let mut posts = PostBuffer::new();
         let triple = one_triple(&mut trng, &mut posts, c1, c2, cfg, tpk, phase);
         (triple, posts)
     });
     let mut triples = Vec::with_capacity(count);
     for (triple, posts) in results {
-        flush_posts(board, posts);
+        posts.flush(board);
         triples.push(triple?);
     }
     Ok(triples)

@@ -225,7 +225,7 @@ pub fn run_online<F: PrimeField, R: Rng + ?Sized>(
             // replay posts and leak records in member order.
             struct MemberOut<F: PrimeField> {
                 share: Option<Share<F>>,
-                posts: Vec<crate::offline::BufferedPost>,
+                posts: crate::parallel::PostBuffer,
                 leaks: Vec<(RoleId, String, usize)>,
             }
             let seeds: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
@@ -234,8 +234,11 @@ pub fn run_online<F: PrimeField, R: Rng + ?Sized>(
                 &seeds,
                 |i, &seed| -> Result<MemberOut<F>, ProtocolError> {
                     let mut mrng = rand::rngs::StdRng::seed_from_u64(seed);
-                    let mut out =
-                        MemberOut { share: None, posts: Vec::new(), leaks: Vec::new() };
+                    let mut out = MemberOut {
+                        share: None,
+                        posts: crate::parallel::PostBuffer::new(),
+                        leaks: Vec::new(),
+                    };
                     let behavior = committee.behavior(i);
                     if !behavior.participates_at(crate::engine::phase_index(phase_mul)) {
                         return Ok(out);
@@ -296,12 +299,12 @@ pub fn run_online<F: PrimeField, R: Rng + ?Sized>(
                             (value, ok)
                         }
                     };
-                    out.posts.push(crate::offline::BufferedPost::new(
+                    out.posts.record(
                         committee.role(i),
                         Post::MulShare,
                         phase_mul,
                         1 + MULSHARE_PROOF_ELEMENTS,
-                    ));
+                    );
                     if valid {
                         out.share = Some(Share { party: i, value });
                     }
@@ -311,7 +314,7 @@ pub fn run_online<F: PrimeField, R: Rng + ?Sized>(
             let mut posted: Vec<Share<F>> = Vec::new();
             for result in member_results {
                 let out = result?;
-                crate::offline::flush_posts(board, out.posts);
+                out.posts.flush(board);
                 for (role, object, piece) in out.leaks {
                     leak.record(role, object, piece);
                 }

@@ -14,6 +14,61 @@
 //! sequential loop over the same per-item seeds — results are still
 //! identical, only wall-clock changes.
 
+use yoso_runtime::{BulletinBoard, RoleId};
+
+use crate::messages::{self, Post};
+
+/// A single board post produced away from the board (e.g. on a worker
+/// thread), replayed later in deterministic item order.
+///
+/// Holds only public accounting data — the posting role, the post
+/// kind, the phase label, and the element count. Message *payloads*
+/// never enter the buffer (the board model tracks sizes, not bytes),
+/// so the derived `Debug` cannot leak secrets.
+#[derive(Debug, Clone)]
+struct BufferedPost {
+    role: RoleId,
+    post: Post,
+    phase: &'static str,
+    elements: u64,
+}
+
+/// An append-only buffer of board posts owned by one parallel worker.
+///
+/// Workers must not touch the shared [`BulletinBoard`] directly — the
+/// transcript order would then depend on thread scheduling. Instead
+/// each worker records into its own `PostBuffer` and the coordinator
+/// replays the buffers in item-index order ([`Self::flush`]), keeping
+/// transcripts byte-identical at any thread count.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PostBuffer {
+    posts: Vec<BufferedPost>,
+}
+
+impl PostBuffer {
+    pub(crate) fn new() -> Self {
+        PostBuffer { posts: Vec::new() }
+    }
+
+    /// Records one post for later replay.
+    pub(crate) fn record(
+        &mut self,
+        role: RoleId,
+        post: Post,
+        phase: &'static str,
+        elements: u64,
+    ) {
+        self.posts.push(BufferedPost { role, post, phase, elements });
+    }
+
+    /// Replays the buffered posts onto the board, in recording order.
+    pub(crate) fn flush(self, board: &BulletinBoard<Post>) {
+        for p in self.posts {
+            board.post(p.role, p.post, p.phase, p.elements, messages::to_bytes(p.elements));
+        }
+    }
+}
+
 /// Maps `f` over `items`, preserving order, using up to `num_threads`
 /// worker threads.
 ///

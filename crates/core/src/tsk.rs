@@ -21,7 +21,7 @@
 //! contributions, which under `t < n/2` always suffice — this is where
 //! guaranteed output delivery comes from.
 
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 
 use yoso_field::{lagrange, PrimeField};
 use yoso_pss_sharing::shamir;
@@ -298,39 +298,48 @@ impl<F: PrimeField> TskChain<F> {
 
     /// `Re-encrypt` of a batch of `(target, ciphertext)` pairs by
     /// `committee` (paper Protocol 1, minus the handover).
+    ///
+    /// Items are independent, so each one runs from its own child RNG
+    /// (seeds drawn sequentially from `rng`, one per item) on up to
+    /// `cfg.num_threads` workers — the same buffer-and-replay shape as
+    /// Beaver triple generation. Each worker owns a
+    /// [`crate::parallel::PostBuffer`]; buffers are flushed in item
+    /// order, so the board transcript is byte-identical at any thread
+    /// count.
     pub fn reencrypt<R: Rng + ?Sized>(
         &self,
         rng: &mut R,
         board: &BulletinBoard<Post>,
         committee: &Committee,
         cfg: &ExecutionConfig,
-        phase: &str,
+        phase: &'static str,
         items: &[(PkePublicKey<F>, Ciphertext<F>)],
     ) -> Vec<ReencryptedValue<F>> {
         self.record_leaks(committee);
-        let mut out: Vec<ReencryptedValue<F>> = items
-            .iter()
-            .map(|(target, ct)| ReencryptedValue {
+        let seeds: Vec<u64> = items.iter().map(|_| rng.next_u64()).collect();
+        let worker_out = crate::parallel::par_map(cfg.num_threads, &seeds, |item_idx, &seed| {
+            let mut irng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut posts = crate::parallel::PostBuffer::new();
+            let (target, ct) = &items[item_idx];
+            let mut val = ReencryptedValue {
                 target: *target,
                 source_v: ct.v,
                 posts: Vec::new(),
                 t: self.pk.t,
-            })
-            .collect();
-        for i in 0..committee.n() {
-            let Some(share) = &self.shares[i] else { continue };
-            let behavior = committee.behavior(i);
-            if !behavior.participates_at(crate::engine::phase_index(phase)) {
-                continue;
-            }
-            for (item_idx, (target, ct)) in items.iter().enumerate() {
+            };
+            for i in 0..committee.n() {
+                let Some(share) = &self.shares[i] else { continue };
+                let behavior = committee.behavior(i);
+                if !behavior.participates_at(crate::engine::phase_index(phase)) {
+                    continue;
+                }
                 let (enc, valid) = match behavior {
                     Behavior::Honest | Behavior::Leaky | Behavior::FailStop { .. } => {
                         let d = share.value * ct.u;
-                        let (enc, r) = LinearPke::encrypt(rng, target, d);
+                        let (enc, r) = LinearPke::encrypt(&mut irng, target, d);
                         let ok = if cfg.produce_proofs {
                             let proof = encrypted_partial_proof(
-                                rng, &self.pk, i, ct, target, &enc, d, r,
+                                &mut irng, &self.pk, i, ct, target, &enc, d, r,
                             );
                             verify_encrypted_partial(&self.pk, i, ct, target, &enc, &proof)
                         } else {
@@ -341,13 +350,13 @@ impl<F: PrimeField> TskChain<F> {
                     Behavior::Malicious(attack) => {
                         let d = match attack {
                             ActiveAttack::BadProof => share.value * ct.u,
-                            _ => F::random(rng),
+                            _ => F::random(&mut irng),
                         };
-                        let (enc, _) = LinearPke::encrypt(rng, target, d);
+                        let (enc, _) = LinearPke::encrypt(&mut irng, target, d);
                         let ok = if cfg.produce_proofs {
                             let proof = nizk::LinearProof::<F> {
-                                commitment: vec![F::random(rng); 3],
-                                response: vec![F::random(rng); 2],
+                                commitment: vec![F::random(&mut irng); 3],
+                                response: vec![F::random(&mut irng); 2],
                             };
                             verify_encrypted_partial(&self.pk, i, ct, target, &enc, &proof)
                         } else {
@@ -356,15 +365,20 @@ impl<F: PrimeField> TskChain<F> {
                         (enc, ok)
                     }
                 };
-                board.post(
+                posts.record(
                     committee.role(i),
                     Post::EncryptedPartial,
                     phase,
                     CT_ELEMENTS + ENC_PDEC_PROOF_ELEMENTS,
-                    messages::to_bytes(CT_ELEMENTS + ENC_PDEC_PROOF_ELEMENTS),
                 );
-                out[item_idx].posts.push(ProviderPost { provider: i, ct: enc, valid });
+                val.posts.push(ProviderPost { provider: i, ct: enc, valid });
             }
+            (val, posts)
+        });
+        let mut out = Vec::with_capacity(items.len());
+        for (val, posts) in worker_out {
+            posts.flush(board);
+            out.push(val);
         }
         out
     }

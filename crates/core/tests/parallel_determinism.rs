@@ -101,6 +101,46 @@ fn reenc_shares_phase_transcript_identical_across_thread_counts() {
 }
 
 #[test]
+fn every_phase_transcript_identical_across_thread_counts() {
+    // The full offline+online posting log, sliced per phase label, must
+    // be byte-identical at 1, 2 and 8 worker threads — not just the
+    // 6-reenc-shares slice. This pins every parallelized step at once:
+    // Beaver fan-out, all four re-encryption phases (offline input and
+    // share packing, the online KFF key distribution hand-off, and the
+    // output phase), and the per-member online share computation.
+    const REENC_PHASES: [&str; 4] = [
+        "offline/5-reenc-inputs",
+        "offline/6-reenc-shares",
+        "online/1-keydist",
+        "online/4-output",
+    ];
+    let adv = Adversary::none();
+    let (_, _, _, phases1) = run_transcript_phases(1, &adv);
+    for phase in REENC_PHASES {
+        let slice = phases1.get(phase).expect("re-encryption phase must appear in the log");
+        assert!(
+            slice.lines().count() > 1,
+            "{phase} must carry real re-encryption traffic, got:\n{slice}"
+        );
+    }
+    for threads in [2, 8] {
+        let (_, _, _, phasesn) = run_transcript_phases(threads, &adv);
+        assert_eq!(
+            phases1.keys().collect::<Vec<_>>(),
+            phasesn.keys().collect::<Vec<_>>(),
+            "phase set must not depend on num_threads={threads}"
+        );
+        for (phase, slice1) in &phases1 {
+            assert_eq!(
+                slice1,
+                &phasesn[phase],
+                "{phase} posting log must not depend on num_threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
 fn transcript_identical_across_thread_counts_adversarial() {
     // Malicious and leaky members exercise the buffered leak-record
     // and garbage-proof paths.

@@ -31,10 +31,12 @@
 //! is perfect — see DESIGN.md §3.
 
 pub mod fixed_base;
+pub mod multi_exp;
 pub mod nizk;
 pub mod packing;
 
 pub use fixed_base::{EncryptionContext, FixedBaseTable};
+pub use multi_exp::{multi_exp, multi_exp_nat};
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -165,21 +167,6 @@ pub(crate) fn pow_signed(base: &Nat, e: &Int, m: &Nat) -> Nat {
     }
 }
 
-/// [`pow_signed`] against a prebuilt Montgomery context — used by the
-/// batched operations to amortize the context setup for `N²`.
-pub(crate) fn pow_signed_ctx(ctx: &MontgomeryCtx, base: &Nat, e: &Int) -> Nat {
-    match e.sign() {
-        Sign::Zero => Nat::one(),
-        Sign::Positive => ctx.mod_pow(base, e.magnitude()),
-        Sign::Negative => ctx.mod_pow(
-            // lint:allow(panic): same contract as `pow_signed` — bases
-            // live in Z_{N²}^*, so inversion fails only if N is factored.
-            &base.mod_inv(ctx.modulus()).expect("pow_signed: base not invertible"),
-            e.magnitude(),
-        ),
-    }
-}
-
 /// Computes the `Δ`-scaled integer Lagrange coefficient
 /// `μ_j = Δ·λ^S_{0,j}` for the node set `points` (1-based x values) at
 /// target 0. The `Δ = n!` factor clears all denominators.
@@ -294,7 +281,9 @@ impl ThresholdPaillier {
     }
 
     /// `TEval`: homomorphic linear combination `Σ coeffs_i · m_i`
-    /// computed as `Π c_i^{coeff_i} mod N²`. Coefficients are signed.
+    /// computed as `Π c_i^{coeff_i} mod N²` — one Straus/Pippenger
+    /// multi-exponentiation sharing a single squaring chain across all
+    /// terms ([`multi_exp`]), instead of one full ladder per term.
     ///
     /// # Errors
     ///
@@ -303,11 +292,10 @@ impl ThresholdPaillier {
         if cts.len() != coeffs.len() || cts.is_empty() {
             return Err(TeError::LengthMismatch { a: cts.len(), b: coeffs.len() });
         }
-        let mut acc = Nat::one();
-        for (ct, c) in cts.iter().zip(coeffs) {
-            acc = acc.mod_mul(&pow_signed(&ct.value, c, &pk.n_sq), &pk.n_sq);
-        }
-        Ok(Ciphertext { value: acc })
+        let ctx = MontgomeryCtx::new(&pk.n_sq);
+        let bases: Vec<Nat> = cts.iter().map(|ct| ct.value.clone()).collect();
+        let value = multi_exp::multi_exp(&ctx, &bases, coeffs)?;
+        Ok(Ciphertext { value })
     }
 
     /// Adds a public constant to the plaintext: `c · (1+N)^m`.
@@ -323,8 +311,10 @@ impl ThresholdPaillier {
     }
 
     /// `TPDec` over a batch of ciphertexts: computes the (large) shared
-    /// exponent `2Δ·s_i` and the Montgomery context for `N²` once and
-    /// reuses both for every ciphertext of the epoch.
+    /// exponent `2Δ·s_i`, its sign, its window decomposition, and the
+    /// Montgomery context for `N²` once, then drives every ciphertext
+    /// through [`multi_exp::fixed_exponent_powers`] (shared digit
+    /// schedule + dedicated Montgomery squaring).
     pub fn partial_decrypt_batch(
         pk: &PublicKey,
         share: &KeyShare,
@@ -332,11 +322,26 @@ impl ThresholdPaillier {
     ) -> Vec<PartialDec> {
         let exp = share.value.mul_nat(&(&pk.delta * &Nat::from(2u64)));
         let ctx = MontgomeryCtx::new(&pk.n_sq);
-        cts.iter()
-            .map(|ct| PartialDec {
-                party: share.party,
-                value: pow_signed_ctx(&ctx, &ct.value, &exp),
-            })
+        // Resolve the exponent's sign once for the whole batch: a
+        // negative share exponentiates the ciphertext *inverses*.
+        let bases: Vec<Nat> = match exp.sign() {
+            Sign::Zero => return cts.iter().map(|_| PartialDec { party: share.party, value: Nat::one() }).collect(),
+            Sign::Positive => cts.iter().map(|ct| ct.value.clone()).collect(),
+            Sign::Negative => cts
+                .iter()
+                .map(|ct| {
+                    ct.value
+                        .mod_inv(&pk.n_sq)
+                        // lint:allow(panic): same contract as `pow_signed` —
+                        // ciphertexts live in Z_{N²}^*, so inversion fails
+                        // only if N is factored.
+                        .expect("partial_decrypt_batch: ciphertext not invertible")
+                })
+                .collect(),
+        };
+        multi_exp::fixed_exponent_powers(&ctx, &bases, exp.magnitude())
+            .into_iter()
+            .map(|value| PartialDec { party: share.party, value })
             .collect()
     }
 
@@ -354,6 +359,70 @@ impl ThresholdPaillier {
         partials: &[PartialDec],
         scale: &Nat,
     ) -> Result<Nat, TeError> {
+        let ctx = MontgomeryCtx::new(&pk.n_sq);
+        let inv = Self::combine_scale_inv(pk, scale)?;
+        Self::combine_inner(pk, &ctx, partials, None, &inv)
+    }
+
+    /// `TDec` over a batch of partial-decryption sets (one set per
+    /// ciphertext of an epoch, each holding ≥ `t+1` partials).
+    ///
+    /// Amortizes across the batch everything `combine` recomputes per
+    /// call: the Montgomery context for `N²`, the inverse of
+    /// `4Δ²·scale`, and — whenever consecutive sets list the same
+    /// parties in the same order, the common case for an epoch's
+    /// decryption committee — the `Δ`-scaled Lagrange exponents
+    /// `2μ_j`. Each set then costs one Straus multi-exponentiation.
+    ///
+    /// # Errors
+    ///
+    /// Same per-set errors as [`Self::combine`].
+    pub fn combine_batch(
+        pk: &PublicKey,
+        partial_sets: &[Vec<PartialDec>],
+        scale: &Nat,
+    ) -> Result<Vec<Nat>, TeError> {
+        let ctx = MontgomeryCtx::new(&pk.n_sq);
+        let inv = Self::combine_scale_inv(pk, scale)?;
+        let mut cached: Option<(Vec<u64>, Vec<Int>)> = None;
+        let mut out = Vec::with_capacity(partial_sets.len());
+        for partials in partial_sets {
+            let need = pk.threshold + 1;
+            if partials.len() >= need {
+                let points: Vec<u64> =
+                    partials[..need].iter().map(|p| p.party as u64 + 1).collect();
+                let reuse = cached.as_ref().is_some_and(|(pts, _)| *pts == points);
+                if !reuse {
+                    let exps: Vec<Int> = (0..need)
+                        .map(|j| &delta_lagrange_at_zero(&pk.delta, &points, j) * &Int::from(2i64))
+                        .collect();
+                    cached = Some((points, exps));
+                }
+            }
+            let exps = cached.as_ref().map(|(_, e)| e.as_slice());
+            out.push(Self::combine_inner(pk, &ctx, partials, exps, &inv)?);
+        }
+        Ok(out)
+    }
+
+    /// `(4Δ²·scale)^{-1} mod N` — the final unscaling factor shared by
+    /// every combine of an epoch.
+    fn combine_scale_inv(pk: &PublicKey, scale: &Nat) -> Result<Nat, TeError> {
+        let four_delta_sq =
+            (&(&pk.delta * &pk.delta) * &Nat::from(4u64)).mod_mul(scale, &pk.n_mod);
+        four_delta_sq.mod_inv(&pk.n_mod).ok_or(TeError::MalformedCiphertext)
+    }
+
+    /// Validates one partial set and combines it. `cached_exps`, when
+    /// given, must be the `2μ_j` exponents for exactly this set's first
+    /// `t+1` party points (the caller checks).
+    fn combine_inner(
+        pk: &PublicKey,
+        ctx: &MontgomeryCtx,
+        partials: &[PartialDec],
+        cached_exps: Option<&[Int]>,
+        scale_inv: &Nat,
+    ) -> Result<Nat, TeError> {
         let need = pk.threshold + 1;
         if partials.len() < need {
             return Err(TeError::NotEnoughPartials { got: partials.len(), need });
@@ -366,23 +435,27 @@ impl ThresholdPaillier {
             seen[p.party] = true;
         }
         let subset = &partials[..need];
-        let points: Vec<u64> = subset.iter().map(|p| p.party as u64 + 1).collect();
-        let mut acc = Nat::one();
-        for (j, p) in subset.iter().enumerate() {
-            let mu = delta_lagrange_at_zero(&pk.delta, &points, j);
-            let exp = &mu * &Int::from(2i64);
-            acc = acc.mod_mul(&pow_signed(&p.value, &exp, &pk.n_sq), &pk.n_sq);
-        }
-        // acc = (1+N)^{4Δ²·scale·m}; recover via L(u) = (u−1)/N.
+        let owned_exps: Vec<Int>;
+        let exps: &[Int] = match cached_exps {
+            Some(e) => e,
+            None => {
+                let points: Vec<u64> = subset.iter().map(|p| p.party as u64 + 1).collect();
+                owned_exps = (0..need)
+                    .map(|j| &delta_lagrange_at_zero(&pk.delta, &points, j) * &Int::from(2i64))
+                    .collect();
+                &owned_exps
+            }
+        };
+        // acc = Π dⱼ^{2μⱼ} = (1+N)^{4Δ²·scale·m} in one multi-exp.
+        let bases: Vec<Nat> = subset.iter().map(|p| p.value.clone()).collect();
+        let acc = multi_exp::multi_exp(ctx, &bases, exps)?;
+        // Recover via L(u) = (u−1)/N.
         let minus_one = acc.checked_sub(&Nat::one()).ok_or(TeError::MalformedCiphertext)?;
         let (l, rem) = minus_one.div_rem(&pk.n_mod);
         if !rem.is_zero() {
             return Err(TeError::MalformedCiphertext);
         }
-        let four_delta_sq =
-            (&(&pk.delta * &pk.delta) * &Nat::from(4u64)).mod_mul(scale, &pk.n_mod);
-        let inv = four_delta_sq.mod_inv(&pk.n_mod).ok_or(TeError::MalformedCiphertext)?;
-        Ok(l.mod_mul(&inv, &pk.n_mod))
+        Ok(l.mod_mul(scale_inv, &pk.n_mod))
     }
 
     /// Verifies a partial decryption against the verification keys via
@@ -460,13 +533,18 @@ impl ThresholdPaillier {
         {
             return false;
         }
+        // Π V_l^{x^l} as one Straus multi-exp over the shared context.
+        let ctx = MontgomeryCtx::new(&pk.n_sq);
         let x = Nat::from(recipient as u64 + 1);
-        let mut expected = Nat::one();
+        let mut xps = Vec::with_capacity(msg.commitments.len());
         let mut xp = Nat::one();
-        for c in &msg.commitments {
-            expected = expected.mod_mul(&c.mod_pow(&xp, &pk.n_sq), &pk.n_sq);
+        for _ in &msg.commitments {
+            xps.push(xp.clone());
             xp = &xp * &x;
         }
+        let Ok(expected) = multi_exp::multi_exp_nat(&ctx, &msg.commitments, &xps) else {
+            return false;
+        };
         pow_signed(&pk.v, &msg.subshares[recipient], &pk.n_sq) == expected
     }
 
@@ -521,25 +599,29 @@ impl ThresholdPaillier {
         }
         let head = &msgs[..need];
         let points: Vec<u64> = head.iter().map(|m| m.from as u64 + 1).collect();
+        let ctx = MontgomeryCtx::new(&pk.n_sq);
+        let outer_exps: Vec<Int> = (0..need)
+            .map(|i| delta_lagrange_at_zero(&pk.delta, &points, i).mul_nat(&pk.delta))
+            .collect();
         let mut vks = Vec::with_capacity(pk.parties);
         for j in 0..pk.parties {
             // v^{Δ·s'_j} = Π_i ( Π_l V_{i,l}^{(j+1)^l} )^{Δ·μ_i}
             // where s'_j = Σ μ_i·g_i(j+1); note the extra Δ: the new vks
-            // correspond to the new shares at their own scale.
+            // correspond to the new shares at their own scale. Both the
+            // inner Feldman evaluations and the outer Lagrange product
+            // are Straus multi-exps over the shared context.
             let x = Nat::from(j as u64 + 1);
-            let mut acc = Nat::one();
-            for (i, msg) in head.iter().enumerate() {
-                let mu = delta_lagrange_at_zero(&pk.delta, &points, i);
-                let mut inner = Nat::one();
+            let mut inners = Vec::with_capacity(need);
+            for msg in head {
+                let mut xps = Vec::with_capacity(msg.commitments.len());
                 let mut xp = Nat::one();
-                for c in &msg.commitments {
-                    inner = inner.mod_mul(&c.mod_pow(&xp, &pk.n_sq), &pk.n_sq);
+                for _ in &msg.commitments {
+                    xps.push(xp.clone());
                     xp = &xp * &x;
                 }
-                let exp = mu.mul_nat(&pk.delta);
-                acc = acc.mod_mul(&pow_signed(&inner, &exp, &pk.n_sq), &pk.n_sq);
+                inners.push(multi_exp::multi_exp_nat(&ctx, &msg.commitments, &xps)?);
             }
-            vks.push(acc);
+            vks.push(multi_exp::multi_exp(&ctx, &inners, &outer_exps)?);
         }
         Ok(vks)
     }

@@ -14,10 +14,10 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use yoso_bignum::{Int, Nat};
+use yoso_bignum::{Int, MontgomeryCtx, Nat, Sign};
 use yoso_crypto::Transcript;
 
-use super::{pow_signed, Ciphertext, KeyShare, PartialDec, PublicKey};
+use super::{multi_exp, pow_signed, Ciphertext, KeyShare, PartialDec, PublicKey};
 
 const DOMAIN_ENC: &[u8] = b"yoso-pss/paillier/enc/v1";
 const DOMAIN_PDEC: &[u8] = b"yoso-pss/paillier/pdec/v1";
@@ -167,6 +167,99 @@ pub fn verify_pdec(pk: &PublicKey, ct: &Ciphertext, pd: &PartialDec, proof: &Pde
     lhs2 == rhs2
 }
 
+/// Verifies a batch of [`PdecProof`]s at once via a random linear
+/// combination: each item is assigned a fresh nonzero 64-bit scalar
+/// `ρ_i` and the two per-item product equalities are checked *once*
+/// over the whole batch,
+///
+/// ```text
+/// Π (c_i⁴)^{z_i·ρ_i} == Π A_i^{ρ_i} · (d_i²)^{e_i·ρ_i}
+/// v^{Σ z_i·ρ_i}      == Π B_i^{ρ_i} · v_i^{e_i·ρ_i}
+/// ```
+///
+/// each as a single Straus/Pippenger multi-exponentiation sharing one
+/// squaring chain ([`multi_exp`]). Negative `z_i` terms move to the
+/// other side of their equality instead of inverting bases. A batch
+/// with any invalid proof passes with probability ≤ `2^{-64}` (the
+/// chance the ρ-combination cancels); an empty batch verifies.
+///
+/// On `false`, fall back to per-item [`verify_pdec`] to identify the
+/// culprits.
+pub fn verify_pdec_batch<R: Rng + ?Sized>(
+    rng: &mut R,
+    pk: &PublicKey,
+    items: &[(&Ciphertext, &PartialDec, &PdecProof)],
+) -> bool {
+    if items.is_empty() {
+        return true;
+    }
+    if items.iter().any(|(_, pd, _)| pd.party >= pk.vks.len()) {
+        return false;
+    }
+    let ctx = MontgomeryCtx::new(&pk.n_sq);
+    let mut lhs1_b = Vec::new();
+    let mut lhs1_e = Vec::new();
+    let mut rhs1_b = Vec::with_capacity(2 * items.len());
+    let mut rhs1_e = Vec::with_capacity(2 * items.len());
+    let mut rhs2_b = Vec::with_capacity(2 * items.len() + 1);
+    let mut rhs2_e = Vec::with_capacity(2 * items.len() + 1);
+    // v's merged exponents: Σ|z_i|ρ_i split by the sign of z_i.
+    let mut v_pos = Nat::zero();
+    let mut v_neg = Nat::zero();
+    for (ct, pd, proof) in items {
+        let rho = Nat::from(loop {
+            let r: u64 = rng.gen();
+            if r != 0 {
+                break r;
+            }
+        });
+        let e = pdec_challenge(pk, ct, pd, &proof.a, &proof.b);
+        let c4 = ct.value.mod_pow(&Nat::from(4u64), &pk.n_sq);
+        let d_sq = pd.value.mod_mul(&pd.value, &pk.n_sq);
+        let z_rho = proof.z.magnitude() * &rho;
+        match proof.z.sign() {
+            Sign::Negative => {
+                // (c⁴)^{z} with z < 0: move to the RHS product.
+                rhs1_b.push(c4);
+                rhs1_e.push(z_rho.clone());
+                v_neg = &v_neg + &z_rho;
+            }
+            _ => {
+                lhs1_b.push(c4);
+                lhs1_e.push(z_rho.clone());
+                v_pos = &v_pos + &z_rho;
+            }
+        }
+        rhs1_b.push(proof.a.clone());
+        rhs1_e.push(rho.clone());
+        rhs1_b.push(d_sq);
+        rhs1_e.push(&e * &rho);
+        rhs2_b.push(proof.b.clone());
+        rhs2_e.push(rho.clone());
+        rhs2_b.push(pk.vks[pd.party].clone());
+        rhs2_e.push(&e * &rho);
+    }
+    let (Ok(l1), Ok(r1)) = (
+        multi_exp::multi_exp_nat(&ctx, &lhs1_b, &lhs1_e),
+        multi_exp::multi_exp_nat(&ctx, &rhs1_b, &rhs1_e),
+    ) else {
+        return false;
+    };
+    if l1 != r1 {
+        return false;
+    }
+    // v^{Σ_{z≥0}|z_i|ρ_i} == Π B_i^{ρ_i} · v_i^{e_i·ρ_i} · v^{Σ_{z<0}|z_i|ρ_i}.
+    rhs2_b.push(pk.v.clone());
+    rhs2_e.push(v_neg);
+    let (Ok(l2), Ok(r2)) = (
+        multi_exp::multi_exp_nat(&ctx, std::slice::from_ref(&pk.v), &[v_pos]),
+        multi_exp::multi_exp_nat(&ctx, &rhs2_b, &rhs2_e),
+    ) else {
+        return false;
+    };
+    l2 == r2
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,6 +324,94 @@ mod tests {
         // Tampered value fails.
         let bad = PartialDec { party: 0, value: pd.value.mod_mul(&pd.value, &pk.n_sq) };
         assert!(!verify_pdec(&pk, &ct, &bad, &proof));
+    }
+
+    #[test]
+    fn pdec_batch_verifies_honest_proofs() {
+        let (pk, shares, mut r) = setup();
+        let cts: Vec<Ciphertext> = (0..4u64)
+            .map(|m| ThresholdPaillier::encrypt(&mut r, &pk, &Nat::from(m)).0)
+            .collect();
+        let mut pds = Vec::new();
+        let mut proofs = Vec::new();
+        for ct in &cts {
+            for share in &shares {
+                let pd = ThresholdPaillier::partial_decrypt(&pk, share, ct);
+                let proof = prove_pdec(&mut r, &pk, ct, share, &pd);
+                pds.push((ct, pd));
+                proofs.push(proof);
+            }
+        }
+        let items: Vec<(&Ciphertext, &PartialDec, &PdecProof)> = pds
+            .iter()
+            .zip(&proofs)
+            .map(|(&(ct, ref pd), proof)| (ct, pd, proof))
+            .collect();
+        assert!(verify_pdec_batch(&mut r, &pk, &items));
+        assert!(verify_pdec_batch(&mut r, &pk, &[]), "empty batch verifies");
+    }
+
+    #[test]
+    fn pdec_batch_rejects_one_bad_proof() {
+        let (pk, shares, mut r) = setup();
+        let cts: Vec<Ciphertext> = (0..3u64)
+            .map(|m| ThresholdPaillier::encrypt(&mut r, &pk, &Nat::from(m)).0)
+            .collect();
+        let mut pds = Vec::new();
+        let mut proofs = Vec::new();
+        for ct in &cts {
+            let pd = ThresholdPaillier::partial_decrypt(&pk, &shares[0], ct);
+            let proof = prove_pdec(&mut r, &pk, ct, &shares[0], &pd);
+            pds.push((ct, pd));
+            proofs.push(proof);
+        }
+        // Tamper with the middle partial only.
+        pds[1].1.value = pds[1].1.value.mod_mul(&pds[1].1.value, &pk.n_sq);
+        let items: Vec<(&Ciphertext, &PartialDec, &PdecProof)> = pds
+            .iter()
+            .zip(&proofs)
+            .map(|(&(ct, ref pd), proof)| (ct, pd, proof))
+            .collect();
+        assert!(!verify_pdec_batch(&mut r, &pk, &items));
+        // Out-of-range party index is rejected outright.
+        let forged = PartialDec { party: pk.vks.len(), value: pds[0].1.value.clone() };
+        assert!(!verify_pdec_batch(&mut r, &pk, &[(&cts[0], &forged, &proofs[0])]));
+    }
+
+    #[test]
+    fn pdec_batch_matches_per_item_verdict_after_reshare() {
+        // Re-shared shares can be negative → exercises the negative-z
+        // side-switching in the batched checks.
+        let (pk, shares, mut r) = setup();
+        let msgs: Vec<_> =
+            shares.iter().map(|s| ThresholdPaillier::reshare(&mut r, &pk, s)).collect();
+        let chosen: Vec<&_> = vec![&msgs[0], &msgs[2]];
+        let new_vks = ThresholdPaillier::next_verification_keys(&pk, &chosen).unwrap();
+        let mut pk2 = pk.clone();
+        pk2.vks = new_vks;
+        let new_shares: Vec<_> = (0..pk.parties)
+            .map(|j| ThresholdPaillier::recombine_key(&pk, j, &chosen, &Nat::one()).unwrap())
+            .collect();
+        let cts: Vec<Ciphertext> = (0..3u64)
+            .map(|m| ThresholdPaillier::encrypt(&mut r, &pk2, &Nat::from(m)).0)
+            .collect();
+        let mut pds = Vec::new();
+        let mut proofs = Vec::new();
+        for ct in &cts {
+            for share in &new_shares {
+                let pd = ThresholdPaillier::partial_decrypt(&pk2, share, ct);
+                let proof = prove_pdec(&mut r, &pk2, ct, share, &pd);
+                assert!(verify_pdec(&pk2, ct, &pd, &proof));
+                pds.push((ct, pd));
+                proofs.push(proof);
+            }
+        }
+        let items: Vec<(&Ciphertext, &PartialDec, &PdecProof)> = pds
+            .iter()
+            .zip(&proofs)
+            .map(|(&(ct, ref pd), proof)| (ct, pd, proof))
+            .collect();
+        assert!(verify_pdec_batch(&mut r, &pk2, &items));
     }
 
     #[test]

@@ -1,0 +1,57 @@
+//! Property tests: Straus and Pippenger multi-exponentiation agree
+//! with naive per-base square-and-multiply for random bases/exponents
+//! across window sizes 1–8 and batch sizes 1–64.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use yoso_bignum::{MontgomeryCtx, Nat};
+use yoso_the::paillier::multi_exp::{multi_exp_nat, pippenger, straus};
+
+/// A fixed odd 192-bit composite modulus (primes are expensive to
+/// sample per proptest case, and the algorithms don't care).
+fn modulus() -> Nat {
+    let mut r = rand::rngs::StdRng::seed_from_u64(77);
+    let p = yoso_bignum::prime::generate_prime(&mut r, 96);
+    let q = yoso_bignum::prime::generate_prime(&mut r, 96);
+    &p * &q
+}
+
+fn naive(ctx: &MontgomeryCtx, bases: &[Nat], exps: &[Nat]) -> Nat {
+    let m = ctx.modulus();
+    let mut acc = &Nat::one() % m;
+    for (b, e) in bases.iter().zip(exps) {
+        acc = acc.mod_mul(&b.mod_pow(e, m), m);
+    }
+    acc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn straus_and_pippenger_match_naive(
+        seed in any::<u64>(),
+        batch in 1usize..=64,
+        window in 1usize..=8,
+        exp_bits in 1usize..=160,
+    ) {
+        let m = modulus();
+        let ctx = MontgomeryCtx::new(&m);
+        let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+        let bases: Vec<Nat> = (0..batch).map(|_| Nat::random_below(&mut r, &m)).collect();
+        let exps: Vec<Nat> = (0..batch)
+            .map(|_| {
+                // Mix in zero and tiny exponents alongside full-width ones.
+                match r.gen_range(0..4u64) {
+                    0 => Nat::from(r.gen_range(0..4u64)),
+                    _ => Nat::random_bits(&mut r, exp_bits),
+                }
+            })
+            .collect();
+        let expect = naive(&ctx, &bases, &exps);
+        prop_assert_eq!(&straus(&ctx, &bases, &exps, window).unwrap(), &expect);
+        prop_assert_eq!(&pippenger(&ctx, &bases, &exps, window).unwrap(), &expect);
+        // The dispatcher (auto window) agrees too.
+        prop_assert_eq!(&multi_exp_nat(&ctx, &bases, &exps).unwrap(), &expect);
+    }
+}
