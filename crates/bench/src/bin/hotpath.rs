@@ -14,10 +14,16 @@
 //! acceptance assertions — the CI mode that keeps the bench path from
 //! rotting without paying for a full run.
 //!
+//! Also times *cold* interpolation — naive Lagrange ([`EvalDomain`])
+//! vs the mixed-radix transform ([`NttDomain`]) — over subgroup point
+//! sets of smooth sizes up to 1287, asserting bit-identical outputs in
+//! every mode.
+//!
 //! Acceptance targets (see DESIGN.md §perf): ≥5× on repeated packed
 //! reconstruction at n = 512, ≥2× on batched Paillier encryption, ≥2×
-//! on the multi-exp verified-decryption pipeline, and — on hosts with
-//! ≥8 hardware threads — ≥3× on 8-thread re-encryption.
+//! on the multi-exp verified-decryption pipeline, ≥5× on cold NTT
+//! interpolation at size ≥1024, and — on hosts with ≥8 hardware
+//! threads — ≥3× on 8-thread re-encryption.
 
 #![forbid(unsafe_code)]
 
@@ -30,7 +36,7 @@ use yoso_bignum::Nat;
 use yoso_core::messages::Post;
 use yoso_core::tsk::TskChain;
 use yoso_core::ExecutionConfig;
-use yoso_field::{PrimeField, F61};
+use yoso_field::{EvalDomain, NttDomain, PrimeField, F61};
 use yoso_pss_sharing::PackedSharing;
 use yoso_runtime::{BulletinBoard, Committee};
 use yoso_the::mock::{LinearPke, MockTe, PkePublicKey};
@@ -39,6 +45,10 @@ use yoso_the::paillier::{Ciphertext, EncryptionContext, PartialDec, ThresholdPai
 
 /// Committee sizes exercised; k follows the paper's k ≈ n/4 regime.
 const SIZES: [usize; 3] = [32, 128, 512];
+/// Cold-interpolation point counts: smooth divisors of `p − 1`
+/// (33 = 3·11, 143 = 11·13, 525 = 3·5²·7, 1287 = 3²·11·13), so the
+/// naive and transform paths run over the identical subgroup points.
+const INTERP_SIZES: [usize; 4] = [33, 143, 525, 1287];
 /// Paillier prime size — small enough for a smoke run, large enough
 /// that exponentiation dominates.
 const PRIME_BITS: usize = 256;
@@ -230,9 +240,43 @@ fn bench_pdec(batch: usize) -> (f64, f64) {
     (naive_total / batch as f64, multiexp_total / batch as f64)
 }
 
+struct InterpRow {
+    size: usize,
+    naive_ns: f64,
+    ntt_ns: f64,
+    speedup: f64,
+}
+
+/// Cold interpolation over an order-`size` subgroup: naive Lagrange
+/// (fresh [`EvalDomain`] per call, `O(n²)` construction) vs the
+/// mixed-radix transform (fresh [`NttDomain`] per call, `O(n log n)`
+/// including the deterministic generator search). Both paths pay full
+/// domain construction — the dealing/reconstruction cost for a subset
+/// seen for the first time. Asserts the interpolated polynomials are
+/// bit-identical before timing. Returns (naive ns, ntt ns) per call.
+fn bench_interp(size: usize) -> (f64, f64) {
+    let mut r = rng(19);
+    let domain = NttDomain::<F61>::new(size).unwrap();
+    let points = domain.points().to_vec();
+    let ys: Vec<F61> = (0..size).map(|_| F61::random(&mut r)).collect();
+    let via_lagrange = EvalDomain::new(points.clone()).unwrap().interpolate(&ys).unwrap();
+    let via_ntt = domain.interpolate(&ys).unwrap();
+    assert_eq!(
+        via_lagrange, via_ntt,
+        "NTT and Lagrange interpolation must be bit-identical at size {size}"
+    );
+    let iters = (4096 / size).max(1);
+    let naive_ns =
+        time_ns(iters, || EvalDomain::new(points.clone()).unwrap().interpolate(&ys).unwrap());
+    let ntt_ns =
+        time_ns(iters, || NttDomain::<F61>::new(size).unwrap().interpolate(&ys).unwrap());
+    (naive_ns, ntt_ns)
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let sizes: Vec<usize> = if smoke { vec![16] } else { SIZES.to_vec() };
+    let interp_sizes: Vec<usize> = if smoke { vec![18] } else { INTERP_SIZES.to_vec() };
     let host_threads =
         std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
     let mut rows = Vec::new();
@@ -294,6 +338,21 @@ fn main() {
         );
     }
 
+    let mut interp_rows = Vec::new();
+    println!(
+        "\n{:>6} {:>16} {:>14} {:>8}",
+        "size", "interp naive ns", "interp ntt ns", "speedup"
+    );
+    for &size in &interp_sizes {
+        let (naive_ns, ntt_ns) = bench_interp(size);
+        let row = InterpRow { size, naive_ns, ntt_ns, speedup: naive_ns / ntt_ns };
+        println!(
+            "{:>6} {:>16.0} {:>14.0} {:>7.1}x",
+            row.size, row.naive_ns, row.ntt_ns, row.speedup
+        );
+        interp_rows.push(row);
+    }
+
     let mut json = String::from("{\n  \"bench\": \"hotpath\",\n  \"field\": \"F61\",\n");
     let _ = writeln!(json, "  \"paillier_prime_bits\": {PRIME_BITS},");
     let _ = writeln!(json, "  \"host_parallelism\": {host_threads},");
@@ -327,6 +386,16 @@ fn main() {
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
+    json.push_str("  ],\n  \"interp_configs\": [\n");
+    for (i, r) in interp_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"size\": {}, \"interp_naive_ns\": {:.0}, \"interp_ntt_ns\": {:.0}, \
+             \"interp_speedup\": {:.2}}}",
+            r.size, r.naive_ns, r.ntt_ns, r.speedup
+        );
+        json.push_str(if i + 1 < interp_rows.len() { ",\n" } else { "\n" });
+    }
     json.push_str("  ]\n}\n");
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
@@ -355,6 +424,16 @@ fn main() {
         "multi-exp verified decryption at n=512 must be ≥2× the per-ciphertext loop (got {:.1}×)",
         last.pdec_speedup
     );
+    let big_interp = interp_rows
+        .iter()
+        .find(|r| r.size >= 1024)
+        .expect("non-smoke interp sizes include one >= 1024");
+    assert!(
+        big_interp.speedup >= 5.0,
+        "cold NTT interpolation at size {} must be ≥5× naive Lagrange (got {:.1}×)",
+        big_interp.size,
+        big_interp.speedup
+    );
     // The re-encryption target needs real hardware parallelism: the
     // pipeline is correct at any thread count (the determinism tests
     // pin that), but an 8-thread wall-clock win cannot materialize on
@@ -366,14 +445,14 @@ fn main() {
             last.reenc_speedup
         );
         println!(
-            "acceptance: reconstruct {:.1}x (>=5x), paillier {:.1}x (>=2x), pdec {:.1}x (>=2x), reenc {:.1}x (>=3x) at n=512 — ok",
-            last.recon_speedup, last.enc_speedup, last.pdec_speedup, last.reenc_speedup
+            "acceptance: reconstruct {:.1}x (>=5x), paillier {:.1}x (>=2x), pdec {:.1}x (>=2x), interp {:.1}x (>=5x at size {}), reenc {:.1}x (>=3x) at n=512 — ok",
+            last.recon_speedup, last.enc_speedup, last.pdec_speedup, big_interp.speedup, big_interp.size, last.reenc_speedup
         );
     } else {
         println!(
-            "acceptance: reconstruct {:.1}x (>=5x), paillier {:.1}x (>=2x), pdec {:.1}x (>=2x) at n=512 — ok; \
+            "acceptance: reconstruct {:.1}x (>=5x), paillier {:.1}x (>=2x), pdec {:.1}x (>=2x), interp {:.1}x (>=5x at size {}) at n=512 — ok; \
              reenc {:.1}x recorded but not asserted (host has {host_threads} hardware threads, needs {PAR_THREADS})",
-            last.recon_speedup, last.enc_speedup, last.pdec_speedup, last.reenc_speedup
+            last.recon_speedup, last.enc_speedup, last.pdec_speedup, big_interp.speedup, big_interp.size, last.reenc_speedup
         );
     }
 }

@@ -76,6 +76,7 @@ pub mod tsk;
 
 pub use engine::{crash_phases, Engine, ExecutionConfig, RunResult};
 pub use params::ProtocolParams;
+pub use yoso_pss_sharing::PointLayout;
 
 use yoso_circuit::CircuitError;
 use yoso_pss_sharing::PssError;

@@ -29,10 +29,13 @@
 //! Total communication: `O(n)` ring elements per gate (measured, not
 //! estimated — see experiment E3).
 
+use std::collections::BTreeMap;
+
 use rand::{Rng, SeedableRng};
 
 use yoso_circuit::{BatchedCircuit, Gate, MulBatch};
-use yoso_field::{lagrange, PrimeField};
+use yoso_field::PrimeField;
+use yoso_pss_sharing::PackedSharing;
 use yoso_runtime::{Adversary, Behavior, BulletinBoard, Committee};
 use yoso_the::mock::{Ciphertext, MockTe, PkePublicKey};
 use yoso_the::nizk::{self, enc_proof, verify_enc_proof, EncProof};
@@ -328,26 +331,33 @@ fn verify_beaver_b_proof<F: PrimeField>(
 /// batch and `t` summed helper-randomness ciphertexts, computes the
 /// `n` packed-share ciphertexts by homomorphic Lagrange evaluation.
 ///
-/// The implied polynomial has the batch secrets at points
-/// `0, −1, …, −(k_b−1)` and the helpers at `1 … t` — degree
-/// `t + k_b − 1`, exactly the paper's construction.
+/// The implied polynomial has the batch secrets at the scheme's `k_b`
+/// secret points and the helpers at its first `t` party points —
+/// degree `t + k_b − 1`, exactly the paper's construction. Using the
+/// scheme's own dealing rows ([`PackedSharing::dealing_basis_rows`])
+/// keeps the homomorphic packing on whatever [`PointLayout`] the
+/// protocol runs, so the online roles can open these ciphertexts with
+/// the same scheme (and its transform fast paths) they use everywhere
+/// else.
+///
+/// [`PointLayout`]: yoso_pss_sharing::PointLayout
 pub fn pack_ciphertexts<F: PrimeField>(
-    n: usize,
+    scheme: &PackedSharing<F>,
     t: usize,
     wire_cts: &[Ciphertext<F>],
     helper_cts: &[Ciphertext<F>],
 ) -> Result<Vec<Ciphertext<F>>, ProtocolError> {
-    assert_eq!(helper_cts.len(), t, "need exactly t helper ciphertexts");
+    if helper_cts.len() != t {
+        return Err(ProtocolError::Invariant("need exactly t helper ciphertexts for packing"));
+    }
     let k_b = wire_cts.len();
-    let mut nodes: Vec<F> = (0..k_b as i64).map(|j| F::from_i64(-j)).collect();
-    nodes.extend((1..=t as u64).map(F::from_u64));
-    let party_points: Vec<F> = (1..=n as u64).map(F::from_u64).collect();
-    let basis = lagrange::basis_matrix(&nodes, &party_points)
-        .map_err(|e| ProtocolError::Pss(yoso_pss_sharing::PssError::Field(e)))?;
+    if scheme.k() != k_b {
+        return Err(ProtocolError::Invariant("packing scheme width does not match the wire count"));
+    }
+    let rows = scheme.dealing_basis_rows(t + k_b - 1)?;
     let mut all_cts: Vec<Ciphertext<F>> = wire_cts.to_vec();
     all_cts.extend_from_slice(helper_cts);
-    basis
-        .into_iter()
+    rows.into_iter()
         .map(|row| Ok(MockTe::eval(&all_cts, &row)?))
         .collect()
 }
@@ -493,7 +503,18 @@ pub fn run_offline<F: PrimeField, R: Rng + ?Sized>(
     let phase4 = "offline/4-pack";
     type PackedTriple<F> = (Vec<Ciphertext<F>>, Vec<Ciphertext<F>>, Vec<Ciphertext<F>>);
     let mut packed: Vec<PackedTriple<F>> = Vec::with_capacity(bc.mul_batches.len());
+    // One packing scheme per batch width, on the protocol's point
+    // layout; the dealing-row cache inside makes repeated batches of
+    // the same width reuse one basis matrix.
+    let mut pack_schemes: BTreeMap<usize, PackedSharing<F>> = BTreeMap::new();
     for batch in &bc.mul_batches {
+        let k_b = batch.gates.len();
+        let scheme = match pack_schemes.entry(k_b) {
+            std::collections::btree_map::Entry::Occupied(e) => &*e.into_mut(),
+            std::collections::btree_map::Entry::Vacant(v) => {
+                &*v.insert(PackedSharing::with_layout(n, k_b, params.layout)?)
+            }
+        };
         let alpha_wires = batch.left_wires(circuit);
         let beta_wires = batch.right_wires(circuit);
         let mut pack_one = |wires_cts: Vec<Ciphertext<F>>| -> Result<Vec<Ciphertext<F>>, ProtocolError> {
@@ -509,7 +530,7 @@ pub fn run_offline<F: PrimeField, R: Rng + ?Sized>(
                     ContributionStep::PackHelper,
                 )?);
             }
-            pack_ciphertexts(n, t, &wires_cts, &helpers)
+            pack_ciphertexts(scheme, t, &wires_cts, &helpers)
         };
         let alpha = pack_one(alpha_wires.iter().map(|w| lambda_cts[w.0]).collect())?;
         let beta = pack_one(beta_wires.iter().map(|w| lambda_cts[w.0]).collect())?;
@@ -587,7 +608,7 @@ pub fn debug_open_batch_lambda<F: PrimeField>(
     shares: &[ReencryptedValue<F>],
     k_b: usize,
 ) -> Result<Vec<F>, ProtocolError> {
-    let scheme = yoso_pss_sharing::PackedSharing::<F>::new(params.n, k_b)?;
+    let scheme = PackedSharing::<F>::with_layout(params.n, k_b, params.layout)?;
     let mut opened = Vec::with_capacity(params.n);
     for (i, rv) in shares.iter().enumerate() {
         let sk = setup.kff_pairs[batch.layer][i].secret.scalar;
@@ -667,12 +688,12 @@ mod tests {
                 MockTe::encrypt(&mut r, &chain.pk, h).0
             })
             .collect();
-        let packed = pack_ciphertexts(n, t, &wire_cts, &helper_cts).unwrap();
+        let scheme = PackedSharing::<F61>::new(n, k_b).unwrap();
+        let packed = pack_ciphertexts(&scheme, t, &wire_cts, &helper_cts).unwrap();
         assert_eq!(packed.len(), n);
         // Decrypt the share ciphertexts and reconstruct via packed Shamir.
         let share_vals =
             chain.decrypt(&mut r, &board, &committee, &cfg(), "t", &packed).unwrap();
-        let scheme = yoso_pss_sharing::PackedSharing::<F61>::new(n, k_b).unwrap();
         let shares: Vec<yoso_pss_sharing::Share<F61>> = share_vals
             .iter()
             .enumerate()
@@ -691,9 +712,43 @@ mod tests {
         let mut r = rng();
         let chain = TskChain::<F61>::keygen(&mut r, 5, 2).unwrap();
         let ct = MockTe::encrypt(&mut r, &chain.pk, F61::from(1u64)).0;
-        let result = std::panic::catch_unwind(|| {
-            let _ = pack_ciphertexts::<F61>(5, 2, &[ct], &[ct]);
-        });
-        assert!(result.is_err(), "must panic on helper count mismatch");
+        let scheme = PackedSharing::<F61>::new(5, 1).unwrap();
+        assert!(matches!(
+            pack_ciphertexts::<F61>(&scheme, 2, &[ct], &[ct]),
+            Err(ProtocolError::Invariant(_))
+        ));
+    }
+
+    #[test]
+    fn packing_on_subgroup_layout_reconstructs() {
+        // Same flow as above but with every point on the subgroup
+        // layout — the ciphertext rows and the reconstructing scheme
+        // must agree on the geometry.
+        use yoso_pss_sharing::PointLayout;
+        let mut r = rng();
+        let board = BulletinBoard::new();
+        let (n, t, k_b) = (9, 2, 3);
+        let chain = TskChain::<F61>::keygen(&mut r, n, t).unwrap();
+        let committee = RtCommittee::honest("c", n);
+        let values = [F61::from(7u64), F61::from(8u64), F61::from(9u64)];
+        let wire_cts: Vec<Ciphertext<F61>> =
+            values.iter().map(|&v| MockTe::encrypt(&mut r, &chain.pk, v).0).collect();
+        let helper_cts: Vec<Ciphertext<F61>> = (0..t)
+            .map(|_| {
+                let h: F61 = yoso_field::PrimeField::random(&mut r);
+                MockTe::encrypt(&mut r, &chain.pk, h).0
+            })
+            .collect();
+        let scheme = PackedSharing::<F61>::with_layout(n, k_b, PointLayout::Subgroup).unwrap();
+        let packed = pack_ciphertexts(&scheme, t, &wire_cts, &helper_cts).unwrap();
+        let share_vals =
+            chain.decrypt(&mut r, &board, &committee, &cfg(), "t", &packed).unwrap();
+        let shares: Vec<yoso_pss_sharing::Share<F61>> = share_vals
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| yoso_pss_sharing::Share { party: i, value: v })
+            .collect();
+        let degree = t + k_b - 1;
+        assert_eq!(scheme.reconstruct(&shares, degree).unwrap(), values.to_vec());
     }
 }

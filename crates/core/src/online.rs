@@ -192,7 +192,7 @@ pub fn run_online<F: PrimeField, R: Rng + ?Sized>(
             let k_b = batch.gates.len();
             let scheme = match schemes.entry(k_b) {
                 Entry::Occupied(e) => e.into_mut(),
-                Entry::Vacant(v) => v.insert(PackedSharing::<F>::new(n, k_b)?),
+                Entry::Vacant(v) => v.insert(PackedSharing::<F>::with_layout(n, k_b, params.layout)?),
             };
             let rec_degree = params.t + 2 * (k_b - 1);
 

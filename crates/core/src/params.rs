@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use yoso_pss_sharing::PointLayout;
+
 use crate::ProtocolError;
 
 /// Parameters of one protocol instance.
@@ -28,6 +30,13 @@ pub struct ProtocolParams {
     pub k: usize,
     /// Number of fail-stop (crash) roles tolerated per committee.
     pub failstops: usize,
+    /// Where the sharing schemes place their evaluation points. A
+    /// protocol-wide parameter: every role derives its points from it.
+    /// [`PointLayout::Subgroup`] unlocks `O(n log n)` transform dealing
+    /// and reconstruction with bit-identical outputs; the default
+    /// [`PointLayout::Sequential`] is the paper's presentation.
+    #[serde(default)]
+    pub layout: PointLayout,
 }
 
 impl ProtocolParams {
@@ -60,7 +69,7 @@ impl ProtocolParams {
         if k > n {
             return Err(ProtocolError::BadParameters(format!("packing k={k} exceeds n={n}")));
         }
-        let params = ProtocolParams { n, t, k, failstops };
+        let params = ProtocolParams { n, t, k, failstops, layout: PointLayout::default() };
         let available = n
             .checked_sub(t + failstops)
             .ok_or_else(|| ProtocolError::BadParameters(format!("t+failstops exceed n={n}")))?;
@@ -111,6 +120,15 @@ impl ProtocolParams {
         let k = ((n as f64) * epsilon / 2.0).floor() as usize + 1;
         let failstops = ((n as f64) * epsilon).floor() as usize;
         Self::with_failstops(n, t, k, failstops)
+    }
+
+    /// Selects the [`PointLayout`] for every sharing scheme the
+    /// protocol builds. Validity is unaffected — both layouts use
+    /// pairwise-distinct points — so this is a plain builder.
+    #[must_use]
+    pub fn with_layout(mut self, layout: PointLayout) -> Self {
+        self.layout = layout;
+        self
     }
 
     /// Number of verified μ-shares needed to reconstruct a packed

@@ -22,7 +22,8 @@ fn run_transcript(
     num_threads: usize,
     adversary: &Adversary,
 ) -> (String, Vec<Vec<F61>>, Vec<F61>) {
-    let (transcript, outputs, mu, _) = run_transcript_phases(num_threads, adversary);
+    let params = ProtocolParams::new(10, 2, 3).unwrap();
+    let (transcript, outputs, mu, _) = run_transcript_phases(params, num_threads, adversary);
     (transcript, outputs, mu)
 }
 
@@ -30,15 +31,18 @@ fn run_transcript(
 /// sliced by phase label, so individual pipeline steps can be checked
 /// for thread-count independence in isolation.
 fn run_transcript_phases(
+    params: ProtocolParams,
     num_threads: usize,
     adversary: &Adversary,
 ) -> (String, Vec<Vec<F61>>, Vec<F61>, std::collections::BTreeMap<String, String>) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(4242);
-    let params = ProtocolParams::new(10, 2, 3).unwrap();
     let cfg = ExecutionConfig::default().with_threads(num_threads);
-    let circuit = generators::inner_product::<F61>(6).unwrap();
-    let inputs: Vec<Vec<F61>> =
-        vec![(1..=6u64).map(f).collect(), (10..16u64).map(f).collect()];
+    let width = 2 * params.k;
+    let circuit = generators::inner_product::<F61>(width).unwrap();
+    let inputs: Vec<Vec<F61>> = vec![
+        (1..=width as u64).map(f).collect(),
+        (10..10 + width as u64).map(f).collect(),
+    ];
     let board: BulletinBoard<Post> = BulletinBoard::new();
     let bc = circuit.batched(params.k);
     let leak = LeakLog::new();
@@ -84,14 +88,15 @@ fn reenc_shares_phase_transcript_identical_across_thread_counts() {
     // slice to be byte-identical at 1, 2 and 8 worker threads.
     const PHASE: &str = "offline/6-reenc-shares";
     let adv = Adversary::none();
-    let (_, _, _, phases1) = run_transcript_phases(1, &adv);
+    let params = ProtocolParams::new(10, 2, 3).unwrap();
+    let (_, _, _, phases1) = run_transcript_phases(params, 1, &adv);
     let slice1 = phases1.get(PHASE).expect("phase must appear in the posting log");
     assert!(
         slice1.lines().count() > 1,
         "{PHASE} must carry real fan-out traffic, got:\n{slice1}"
     );
     for threads in [2, 8] {
-        let (_, _, _, phasesn) = run_transcript_phases(threads, &adv);
+        let (_, _, _, phasesn) = run_transcript_phases(params, threads, &adv);
         let slicen = phasesn.get(PHASE).expect("phase must appear in the posting log");
         assert_eq!(
             slice1, slicen,
@@ -115,7 +120,8 @@ fn every_phase_transcript_identical_across_thread_counts() {
         "online/4-output",
     ];
     let adv = Adversary::none();
-    let (_, _, _, phases1) = run_transcript_phases(1, &adv);
+    let params = ProtocolParams::new(10, 2, 3).unwrap();
+    let (_, _, _, phases1) = run_transcript_phases(params, 1, &adv);
     for phase in REENC_PHASES {
         let slice = phases1.get(phase).expect("re-encryption phase must appear in the log");
         assert!(
@@ -124,7 +130,7 @@ fn every_phase_transcript_identical_across_thread_counts() {
         );
     }
     for threads in [2, 8] {
-        let (_, _, _, phasesn) = run_transcript_phases(threads, &adv);
+        let (_, _, _, phasesn) = run_transcript_phases(params, threads, &adv);
         assert_eq!(
             phases1.keys().collect::<Vec<_>>(),
             phasesn.keys().collect::<Vec<_>>(),
@@ -137,6 +143,27 @@ fn every_phase_transcript_identical_across_thread_counts() {
                 "{phase} posting log must not depend on num_threads={threads}"
             );
         }
+    }
+}
+
+#[test]
+fn transcript_identical_across_thread_counts_subgroup_layout() {
+    // The NTT fast paths (subgroup point layout) must stay a pure
+    // wall-clock optimization too: with the transform plan active in
+    // every scheme the pipeline builds, the complete posting log,
+    // outputs and μ values must be byte-identical at 1, 2 and 8
+    // threads — and identical to each other per phase slice.
+    let adv = Adversary::none();
+    let params = ProtocolParams::new(14, 2, 4)
+        .unwrap()
+        .with_layout(yoso_core::PointLayout::Subgroup);
+    let (t1, out1, mu1, _) = run_transcript_phases(params, 1, &adv);
+    assert!(!t1.is_empty());
+    for threads in [2, 8] {
+        let (tn, outn, mun, _) = run_transcript_phases(params, threads, &adv);
+        assert_eq!(t1, tn, "subgroup-layout log must not depend on num_threads={threads}");
+        assert_eq!(out1, outn);
+        assert_eq!(mu1, mun);
     }
 }
 

@@ -14,11 +14,23 @@
 //! — after which [`basis_at`](EvalDomain::basis_at) costs `O(n)` per
 //! fresh target (one batch inversion) and `O(1)` per repeated target,
 //! and [`interpolate`](EvalDomain::interpolate) costs `O(n²)` instead
-//! of the naive `O(n³)`.
+//! of the naive `O(n³)`. Construction itself ([`EvalDomain::new`])
+//! remains `O(n²)`: this is the *cold* cost paid once per node set.
+//!
+//! For node sets that happen to form a multiplicative subgroup coset,
+//! [`NttDomain`](crate::NttDomain) drops both the cold construction
+//! and interpolation to `O(n log n)`. Note that `F_{2^61−1}` has
+//! 2-adicity 1 (`p − 1 = 2·(2^60 − 1)` with `2^60 − 1` odd), so no
+//! power-of-two subgroup beyond order 2 exists there; the transform
+//! domains are *mixed-radix* over the smooth divisors of `p − 1` (see
+//! [`ntt`](crate::ntt)). Arbitrary node sets — e.g. the sequential
+//! party points `1..=n` — are not subgroup cosets, and `EvalDomain`
+//! remains the general-purpose (and fallback) path for them.
 //!
 //! All arithmetic is exact field arithmetic over canonical
 //! representations, so every fast path returns *bit-identical* results
-//! to the reference implementations in [`lagrange`](crate::lagrange);
+//! to the reference implementations in [`lagrange`](crate::lagrange),
+//! and the transform path returns bit-identical results to this one;
 //! property tests in `tests/proptests.rs` pin this down.
 
 use std::collections::HashMap;
@@ -378,6 +390,30 @@ mod tests {
         assert!(d.is_empty());
         assert!(d.interpolate(&[]).unwrap().is_zero());
         assert_eq!(d.eval_many(&[], &[f(5)]).unwrap(), vec![F61::ZERO]);
+    }
+
+    #[test]
+    fn single_point_domain_roundtrips() {
+        let d = domain(&[42]);
+        assert_eq!(d.len(), 1);
+        let p = d.interpolate(&[f(7)]).unwrap();
+        assert_eq!(p, Poly::constant(f(7)));
+        assert_eq!(d.eval_many(&[f(7)], &[f(0), f(99)]).unwrap(), vec![f(7), f(7)]);
+        assert_eq!(*d.basis_at(f(42)), vec![F61::ONE]);
+    }
+
+    #[test]
+    fn degree_boundary_roundtrip() {
+        // Degree exactly n − 1 (leading coefficient pinned nonzero) and
+        // degree 0 both survive an interpolate/eval round-trip.
+        let d = domain(&[2, 4, 6, 8, 10]);
+        let mut coeffs = vec![f(9), f(0), f(0), f(0), f(123)];
+        let full = Poly::new(coeffs.clone());
+        assert_eq!(full.degree(), Some(4));
+        assert_eq!(d.interpolate(&full.eval_many(d.points())).unwrap(), full);
+        coeffs.truncate(1);
+        let constant = Poly::new(coeffs);
+        assert_eq!(d.interpolate(&constant.eval_many(d.points())).unwrap(), constant);
     }
 
     #[test]

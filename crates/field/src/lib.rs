@@ -15,6 +15,12 @@
 //! - [`lagrange`]: interpolation, Lagrange-basis coefficient vectors
 //!   (the recombination vectors used to pack and to reconstruct packed
 //!   sharings) and batch inversion.
+//! - [`ntt`]: mixed-radix number-theoretic transforms ([`NttDomain`])
+//!   over smooth subgroup sizes dividing `p − 1`, giving `O(n log n)`
+//!   evaluation and interpolation when the point set is a subgroup
+//!   coset. `p = 2^61 − 1` has 2-adicity 1, so the radices are the odd
+//!   prime factors of `2^60 − 1` (plus a single factor of 2), not
+//!   powers of two.
 //!
 //! # Example
 //!
@@ -35,11 +41,13 @@
 mod domain;
 mod element;
 pub mod lagrange;
+pub mod ntt;
 mod poly;
 mod smallfp;
 
 pub use domain::EvalDomain;
 pub use element::{F61, PrimeField};
+pub use ntt::NttDomain;
 pub use poly::Poly;
 pub use smallfp::Fp;
 
@@ -59,6 +67,13 @@ pub enum FieldError {
     },
     /// A byte string did not decode to a canonical field element.
     NonCanonicalBytes,
+    /// A transform domain size is not realisable in this field: zero,
+    /// not a divisor of `p − 1`, not [`ntt::MAX_RADIX`]-smooth, or (for
+    /// point-set detection) the points are not a subgroup coset.
+    UnsupportedDomainSize {
+        /// The requested domain size.
+        size: usize,
+    },
 }
 
 impl std::fmt::Display for FieldError {
@@ -70,6 +85,9 @@ impl std::fmt::Display for FieldError {
                 write!(f, "interpolation length mismatch: {xs} x-coordinates, {ys} y-coordinates")
             }
             FieldError::NonCanonicalBytes => write!(f, "bytes do not encode a canonical field element"),
+            FieldError::UnsupportedDomainSize { size } => {
+                write!(f, "no smooth multiplicative subgroup of size {size} in this field")
+            }
         }
     }
 }

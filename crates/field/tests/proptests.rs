@@ -2,7 +2,7 @@
 //! Lagrange interpolation.
 
 use proptest::prelude::*;
-use yoso_field::{lagrange, EvalDomain, F61, Poly, PrimeField};
+use yoso_field::{lagrange, EvalDomain, F61, NttDomain, Poly, PrimeField};
 
 fn felt() -> impl Strategy<Value = F61> {
     any::<u64>().prop_map(F61::from_u64)
@@ -194,5 +194,83 @@ proptest! {
             lagrange::batch_invert(&vals).unwrap_err(),
             yoso_field::FieldError::ZeroInverse
         );
+    }
+}
+
+/// Smooth divisors of `p − 1 = 2·3²·5²·7·11·13·31·41·61·…` small
+/// enough for exhaustive cross-checking against the Lagrange path.
+const NTT_SIZES: [usize; 10] = [1, 2, 3, 6, 9, 14, 15, 18, 33, 45];
+
+fn nonzero_felt() -> impl Strategy<Value = F61> {
+    any::<u64>().prop_map(|v| F61::from_u64(v.max(1) % (F61::MODULUS - 1) + 1))
+}
+
+// Bit-identity of the mixed-radix transform paths against the Lagrange
+// reference: the NttDomain evaluates/interpolates the same unique
+// polynomial with exact field arithmetic, so forward/inverse must agree
+// with Poly::eval_many / lagrange::interpolate / EvalDomain on every
+// bit, across subgroup and coset domains.
+proptest! {
+    #[test]
+    fn ntt_forward_bit_identical_to_horner(
+        pick in any::<prop::sample::Index>(),
+        shift in nonzero_felt(),
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let size = NTT_SIZES[pick.index(NTT_SIZES.len())];
+        let domain = NttDomain::<F61>::coset(size, shift).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = Poly::<F61>::random(&mut rng, size - 1);
+        prop_assert_eq!(domain.forward(p.coeffs()).unwrap(), p.eval_many(domain.points()));
+    }
+
+    #[test]
+    fn ntt_interpolate_bit_identical_to_lagrange(
+        pick in any::<prop::sample::Index>(),
+        shift in nonzero_felt(),
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let size = NTT_SIZES[pick.index(NTT_SIZES.len())];
+        let domain = NttDomain::<F61>::coset(size, shift).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let ys: Vec<F61> = (0..size).map(|_| F61::random(&mut rng)).collect();
+        let fast = domain.interpolate(&ys).unwrap();
+        let slow = lagrange::interpolate(domain.points(), &ys).unwrap();
+        let cached = EvalDomain::new(domain.points().to_vec()).unwrap();
+        prop_assert_eq!(&fast, &slow);
+        prop_assert_eq!(&fast, &cached.interpolate(&ys).unwrap());
+    }
+
+    #[test]
+    fn ntt_roundtrip_recovers_padded_coefficients(
+        pick in any::<prop::sample::Index>(),
+        shift in nonzero_felt(),
+        seed in any::<u64>(),
+        deg_frac in 0.0f64..1.0,
+    ) {
+        use rand::SeedableRng;
+        let size = NTT_SIZES[pick.index(NTT_SIZES.len())];
+        let domain = NttDomain::<F61>::coset(size, shift).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // Degrees below the boundary exercise the zero-padded path.
+        let deg = ((size as f64 - 1.0) * deg_frac) as usize;
+        let p = Poly::<F61>::random(&mut rng, deg);
+        let evals = domain.evaluate(p.coeffs()).unwrap();
+        prop_assert_eq!(domain.interpolate(&evals).unwrap(), p);
+    }
+
+    #[test]
+    fn ntt_from_points_rederives_the_domain(
+        pick in any::<prop::sample::Index>(),
+        shift in nonzero_felt(),
+    ) {
+        let size = NTT_SIZES[pick.index(NTT_SIZES.len())];
+        let domain = NttDomain::<F61>::coset(size, shift).unwrap();
+        let again = NttDomain::from_points(domain.points()).unwrap();
+        prop_assert_eq!(again.root(), domain.root());
+        prop_assert_eq!(again.shift(), domain.shift());
+        prop_assert_eq!(again.points(), domain.points());
     }
 }

@@ -148,10 +148,11 @@ pub const PROTOCOL_CRATES: [&str; 5] = ["core", "the", "pss", "crypto", "sortiti
 
 /// Modules whose control flow feeds the bulletin-board transcript; any
 /// nondeterminism here breaks the byte-identical-transcript guarantee.
-pub const TRANSCRIPT_MODULES: [&str; 3] = [
+pub const TRANSCRIPT_MODULES: [&str; 4] = [
     "crates/core/src/online.rs",
     "crates/core/src/offline.rs",
     "crates/core/src/parallel.rs",
+    "crates/field/src/ntt.rs",
 ];
 
 /// True if `type_name` names secret material per the registry.

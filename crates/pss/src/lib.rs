@@ -42,12 +42,13 @@
 
 pub mod shamir;
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, RwLock};
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use yoso_field::ntt::{self, NttDomain};
 use yoso_field::{EvalDomain, FieldError, Poly, PrimeField};
 
 /// Errors produced by sharing operations.
@@ -125,6 +126,30 @@ impl From<FieldError> for PssError {
     fn from(e: FieldError) -> Self {
         PssError::Field(e)
     }
+}
+
+/// Where a scheme places its evaluation points.
+///
+/// The layout is a *protocol parameter*: every role must agree on it,
+/// since a share is an evaluation at the holder's point. Both layouts
+/// provide identical secrecy and reconstruction guarantees (any set of
+/// pairwise-distinct points does); they differ only in which fast
+/// paths apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PointLayout {
+    /// Secrets at `0, −1, …, −(k−1)`; party `i` at `i + 1`. The
+    /// paper's presentation and the default. Interpolation over these
+    /// points always takes the `O(n²)` Lagrange path.
+    #[default]
+    Sequential,
+    /// All points on a smooth-order multiplicative subgroup of `F*`,
+    /// enumerated in subgroup-prefix order
+    /// ([`ntt::chain_enumeration`]): secrets at the first `k`
+    /// positions, parties at the next `n`. Dealing and reconstruction
+    /// over transform-friendly subsets run in `O(n log n)` via
+    /// [`NttDomain`]; everything else falls back to the Lagrange path
+    /// with bit-identical results.
+    Subgroup,
 }
 
 /// One party's share of a packed sharing.
@@ -237,17 +262,22 @@ impl<F: PrimeField> PackedShares<F> {
 /// A packed Shamir sharing scheme instance: `n` parties, `k` secrets
 /// per sharing.
 ///
-/// Precomputes the secret points `e_j = −(j−1)` and the party points
-/// `1..=n`, plus [`EvalDomain`]s for every node set the scheme
+/// Precomputes the secret points and party points per the scheme's
+/// [`PointLayout`], plus [`EvalDomain`]s for every node set the scheme
 /// touches: dealing domains per sharing degree and reconstruction
 /// domains per party subset. Domains memoise their recombination
 /// vectors, so after the first deal/reconstruct at a given
 /// degree/subset every further one is a plain matrix–vector product —
-/// no interpolation. Clones share the caches.
+/// no interpolation. Under [`PointLayout::Subgroup`], dealing degrees
+/// whose node count lies on the radix chain and reconstruction subsets
+/// forming a subgroup coset instead take the `O(n log n)` transform
+/// path ([`NttDomain`]), with bit-identical outputs. Clones share the
+/// caches.
 #[derive(Debug, Clone)]
 pub struct PackedSharing<F: PrimeField> {
     n: usize,
     k: usize,
+    layout: PointLayout,
     party_points: Vec<F>,
     secret_points: Vec<F>,
     /// Domain over the secret points (deterministic public sharings).
@@ -257,10 +287,51 @@ pub struct PackedSharing<F: PrimeField> {
     share_domains: Arc<RwLock<HashMap<usize, Arc<EvalDomain<F>>>>>,
     /// Reconstruction domains keyed by the ordered party subset.
     recon_domains: ReconDomainCache<F>,
+    /// Transform plan; `Some` only under [`PointLayout::Subgroup`].
+    ntt: Option<Arc<NttPlan<F>>>,
 }
 
 /// Reconstruction-domain cache: ordered party subset → shared domain.
-type ReconDomainCache<F> = Arc<RwLock<HashMap<Vec<usize>, Arc<EvalDomain<F>>>>>;
+type ReconDomainCache<F> = Arc<RwLock<HashMap<Vec<usize>, ReconDomain<F>>>>;
+
+/// A cached reconstruction domain: the general Lagrange machinery, or
+/// a transform domain when the subset's points form a subgroup coset.
+#[derive(Debug, Clone)]
+enum ReconDomain<F: PrimeField> {
+    Lagrange(Arc<EvalDomain<F>>),
+    Ntt(Arc<NttDomain<F>>),
+}
+
+/// Precomputed transform data for [`PointLayout::Subgroup`].
+#[derive(Debug)]
+struct NttPlan<F: PrimeField> {
+    /// The order-`N` subgroup domain hosting all scheme points.
+    full: NttDomain<F>,
+    /// Subgroup-prefix enumeration: node `i` of the scheme (secrets
+    /// first, then parties) sits at exponent `positions[i]`.
+    positions: Vec<usize>,
+    /// Node counts `m` whose leading nodes form the order-`m` subgroup
+    /// (ascending); dealing with `degree + 1` on this chain is
+    /// transform-friendly.
+    chain: Vec<usize>,
+    /// Prefix subgroup domains keyed by chain size, built on demand
+    /// from powers of the full root (so they enumerate the same
+    /// elements).
+    prefix: RwLock<BTreeMap<usize, Arc<NttDomain<F>>>>,
+}
+
+impl<F: PrimeField> NttPlan<F> {
+    /// The order-`m` prefix domain (`m` must divide the full size).
+    fn prefix_domain(&self, m: usize) -> Result<Arc<NttDomain<F>>, PssError> {
+        if let Some(hit) = read_lock(&self.prefix).get(&m) {
+            return Ok(Arc::clone(hit));
+        }
+        let step = self.full.len() / m;
+        let root = self.full.root().pow(step as u64);
+        let domain = Arc::new(NttDomain::with_root(m, root, F::ONE)?);
+        Ok(Arc::clone(write_lock(&self.prefix).entry(m).or_insert(domain)))
+    }
+}
 
 fn dot<F: PrimeField>(row: &[F], ys: &[F]) -> F {
     row.iter().zip(ys).map(|(&r, &y)| r * y).sum()
@@ -275,28 +346,69 @@ fn write_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
 }
 
 impl<F: PrimeField> PackedSharing<F> {
-    /// Creates a scheme for `n` parties packing `k` secrets.
+    /// Creates a scheme for `n` parties packing `k` secrets with the
+    /// default [`PointLayout::Sequential`].
     ///
     /// # Errors
     ///
     /// Returns [`PssError::BadParameters`] unless `1 ≤ k ≤ n` and
     /// `n + k ≤ MODULUS` (points must be distinct in the field).
     pub fn new(n: usize, k: usize) -> Result<Self, PssError> {
+        Self::with_layout(n, k, PointLayout::Sequential)
+    }
+
+    /// Creates a scheme for `n` parties packing `k` secrets with an
+    /// explicit [`PointLayout`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PssError::BadParameters`] as [`Self::new`], or — for
+    /// [`PointLayout::Subgroup`] — if no smooth subgroup of size at
+    /// least `n + k` divides `p − 1` within a small search window
+    /// (never the case for `F_{2^61−1}` at practical sizes).
+    pub fn with_layout(n: usize, k: usize, layout: PointLayout) -> Result<Self, PssError> {
         if k == 0 || k > n || n == 0 || (n + k) as u64 >= F::MODULUS {
             return Err(PssError::BadParameters { n, k });
         }
-        let party_points: Vec<F> = (1..=n as u64).map(F::from_u64).collect();
-        let secret_points: Vec<F> = (0..k as i64).map(|j| F::from_i64(-j)).collect();
+        let (party_points, secret_points, ntt) = match layout {
+            PointLayout::Sequential => {
+                let party: Vec<F> = (1..=n as u64).map(F::from_u64).collect();
+                let secret: Vec<F> = (0..k as i64).map(|j| F::from_i64(-j)).collect();
+                (party, secret, None)
+            }
+            PointLayout::Subgroup => {
+                let size = Self::find_subgroup_size(n + k)
+                    .ok_or(PssError::BadParameters { n, k })?;
+                let full = NttDomain::<F>::new(size)?;
+                let positions = ntt::chain_enumeration(full.radices());
+                let chain = ntt::chain_sizes(full.radices());
+                let points = full.points();
+                let secret: Vec<F> = positions[..k].iter().map(|&e| points[e]).collect();
+                let party: Vec<F> = positions[k..k + n].iter().map(|&e| points[e]).collect();
+                let plan = NttPlan { full, positions, chain, prefix: RwLock::new(BTreeMap::new()) };
+                (party, secret, Some(Arc::new(plan)))
+            }
+        };
         let secret_domain = Arc::new(EvalDomain::new(secret_points.clone())?);
         Ok(PackedSharing {
             n,
             k,
+            layout,
             party_points,
             secret_points,
             secret_domain,
             share_domains: Arc::new(RwLock::new(HashMap::new())),
             recon_domains: Arc::new(RwLock::new(HashMap::new())),
+            ntt,
         })
+    }
+
+    /// The smallest supported transform size hosting `min` points, if
+    /// one exists within a small multiple of the target (the smooth
+    /// divisors of `p − 1` are dense, so the window is generous).
+    fn find_subgroup_size(min: usize) -> Option<usize> {
+        (min..=min.saturating_mul(4).saturating_add(64))
+            .find(|&size| ntt::supported_size::<F>(size))
     }
 
     /// The dealing domain for `degree`: secret points followed by the
@@ -315,17 +427,43 @@ impl<F: PrimeField> PackedSharing<F> {
     }
 
     /// The reconstruction domain over the given ordered party subset.
-    fn recon_domain(&self, parties: &[usize]) -> Result<Arc<EvalDomain<F>>, PssError> {
+    /// Under [`PointLayout::Subgroup`] the subset's points are first
+    /// tested for transform-friendliness
+    /// ([`NttDomain::from_points`], an `O(m)` check); otherwise — and
+    /// always under [`PointLayout::Sequential`] — the general
+    /// [`EvalDomain`] is built.
+    fn recon_domain(&self, parties: &[usize]) -> Result<ReconDomain<F>, PssError> {
         if let Some(hit) = read_lock(&self.recon_domains).get(parties) {
+            return Ok(hit.clone());
+        }
+        let points: Vec<F> = parties.iter().map(|&i| self.party_points[i]).collect();
+        let domain = if self.ntt.is_some() {
+            match NttDomain::from_points(&points) {
+                Ok(d) => ReconDomain::Ntt(Arc::new(d)),
+                Err(_) => ReconDomain::Lagrange(Arc::new(EvalDomain::new(points)?)),
+            }
+        } else {
+            ReconDomain::Lagrange(Arc::new(EvalDomain::new(points)?))
+        };
+        Ok(write_lock(&self.recon_domains)
+            .entry(parties.to_vec())
+            .or_insert(domain)
+            .clone())
+    }
+
+    /// A Lagrange reconstruction domain over the subset, for callers
+    /// that need explicit recombination rows (which the transform path
+    /// does not materialise). Replaces a cached transform entry so the
+    /// built domain is reused.
+    fn lagrange_recon_domain(&self, parties: &[usize]) -> Result<Arc<EvalDomain<F>>, PssError> {
+        if let Some(ReconDomain::Lagrange(hit)) = read_lock(&self.recon_domains).get(parties) {
             return Ok(Arc::clone(hit));
         }
         let points: Vec<F> = parties.iter().map(|&i| self.party_points[i]).collect();
         let domain = Arc::new(EvalDomain::new(points)?);
-        Ok(Arc::clone(
-            write_lock(&self.recon_domains)
-                .entry(parties.to_vec())
-                .or_insert(domain),
-        ))
+        write_lock(&self.recon_domains)
+            .insert(parties.to_vec(), ReconDomain::Lagrange(Arc::clone(&domain)));
+        Ok(domain)
     }
 
     /// Committee size `n`.
@@ -336,6 +474,26 @@ impl<F: PrimeField> PackedSharing<F> {
     /// Packing factor `k`.
     pub fn k(&self) -> usize {
         self.k
+    }
+
+    /// The point layout the scheme was built with.
+    pub fn layout(&self) -> PointLayout {
+        self.layout
+    }
+
+    /// The dealing node counts (`degree + 1`) served by the transform
+    /// fast path; empty under [`PointLayout::Sequential`] or after
+    /// [`Self::disable_ntt`].
+    pub fn ntt_dealing_sizes(&self) -> Vec<usize> {
+        self.ntt.as_ref().map(|p| p.chain.clone()).unwrap_or_default()
+    }
+
+    /// Test and benchmark hook: drops the transform plan so every
+    /// operation takes the Lagrange path. Outputs are bit-identical
+    /// with or without the plan; this exists to *prove* that in parity
+    /// tests and to measure the speedup.
+    pub fn disable_ntt(&mut self) {
+        self.ntt = None;
     }
 
     /// The evaluation point of party `i` (0-based), i.e. `i + 1`.
@@ -379,13 +537,12 @@ impl<F: PrimeField> PackedSharing<F> {
             return Err(PssError::SecretCountMismatch { got: secrets.len(), expected: self.k });
         }
         self.check_degree(degree)?;
-        let domain = self.share_domain(degree)?;
         let extra = degree + 1 - self.k;
         let mut ys = secrets.to_vec();
         for _ in 0..extra {
             ys.push(F::random(rng));
         }
-        Ok(PackedShares { degree, values: self.values_from_domain(&domain, &ys) })
+        Ok(PackedShares { degree, values: self.deal_values(degree, &ys)? })
     }
 
     /// Deals one sharing per row of `secrets_batch` — a whole layer of
@@ -403,7 +560,6 @@ impl<F: PrimeField> PackedSharing<F> {
         degree: usize,
     ) -> Result<Vec<PackedShares<F>>, PssError> {
         self.check_degree(degree)?;
-        let domain = self.share_domain(degree)?;
         let extra = degree + 1 - self.k;
         secrets_batch
             .iter()
@@ -418,9 +574,53 @@ impl<F: PrimeField> PackedSharing<F> {
                 for _ in 0..extra {
                     ys.push(F::random(rng));
                 }
-                Ok(PackedShares { degree, values: self.values_from_domain(&domain, &ys) })
+                Ok(PackedShares { degree, values: self.deal_values(degree, &ys)? })
             })
             .collect()
+    }
+
+    /// Computes every party's share of the polynomial pinned by the
+    /// `degree + 1` dealing-node values `ys` (secrets first, then the
+    /// leading party points).
+    ///
+    /// Both paths evaluate the *same unique polynomial* exactly, so
+    /// their outputs are bit-identical; the transform path merely gets
+    /// there in `O(N log N)` instead of `O(n·degree)` per deal.
+    fn deal_values(&self, degree: usize, ys: &[F]) -> Result<Vec<F>, PssError> {
+        if let Some(plan) = &self.ntt {
+            let m = degree + 1;
+            // Transform-friendly iff the dealing nodes (the first m
+            // scheme nodes) are exactly an order-m subgroup.
+            if plan.chain.contains(&m) {
+                return self.deal_values_ntt(plan, m, ys);
+            }
+        }
+        let domain = self.share_domain(degree)?;
+        Ok(self.values_from_domain(&domain, ys))
+    }
+
+    /// Transform dealing: inverse-NTT the dealing values over the
+    /// order-`m` prefix subgroup to coefficients, then forward-NTT over
+    /// the full domain and read off each party's evaluation.
+    fn deal_values_ntt(
+        &self,
+        plan: &NttPlan<F>,
+        m: usize,
+        ys: &[F],
+    ) -> Result<Vec<F>, PssError> {
+        let full_size = plan.full.len();
+        let step = full_size / m;
+        let prefix = plan.prefix_domain(m)?;
+        // Scatter the dealing values into the prefix domain's natural
+        // (exponent) order: scheme node i sits at full exponent
+        // positions[i] = step · (its prefix index).
+        let mut natural = vec![F::ZERO; m];
+        for (i, &y) in ys.iter().enumerate() {
+            natural[plan.positions[i] / step] = y;
+        }
+        let coeffs = prefix.inverse(&natural)?;
+        let evals = plan.full.evaluate(&coeffs)?;
+        Ok((0..self.n).map(|i| evals[plan.positions[self.k + i]]).collect())
     }
 
     /// Evaluates the polynomial pinned by `ys` on `domain` at every
@@ -430,6 +630,28 @@ impl<F: PrimeField> PackedSharing<F> {
             .iter()
             .map(|&p| dot(&domain.basis_at(p), ys))
             .collect()
+    }
+
+    /// The dealing-domain recombination rows for `degree`: row `i`
+    /// takes the `degree + 1` dealing-node values (the `k` secrets,
+    /// then the leading party points' values) to party `i`'s share.
+    ///
+    /// Callers that apply the dealing map to *homomorphic ciphertexts*
+    /// need this explicit linear form — the transform path never
+    /// materialises it — and using the scheme's own rows keeps them on
+    /// whatever [`PointLayout`] the scheme was built with.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PssError::BadDegree`] outside `[k−1, n−1]`.
+    pub fn dealing_basis_rows(&self, degree: usize) -> Result<Vec<Vec<F>>, PssError> {
+        self.check_degree(degree)?;
+        let domain = self.share_domain(degree)?;
+        Ok(self
+            .party_points
+            .iter()
+            .map(|&p| domain.basis_at(p).to_vec())
+            .collect())
     }
 
     /// The *deterministic* degree-`(k−1)` sharing of a public vector
@@ -491,21 +713,38 @@ impl<F: PrimeField> PackedSharing<F> {
             seen[s.party] = true;
         }
         let parties: Vec<usize> = shares[..degree + 1].iter().map(|s| s.party).collect();
-        let domain = self.recon_domain(&parties)?;
         let ys: Vec<F> = shares[..degree + 1].iter().map(|s| s.value).collect();
-        // Error detection: every surplus share must agree with the
-        // polynomial pinned by the first degree + 1 shares. The cached
-        // recombination vector evaluates it without interpolating.
-        for s in &shares[degree + 1..] {
-            if dot(&domain.basis_at(self.party_points[s.party]), &ys) != s.value {
-                return Err(PssError::Inconsistent);
+        match self.recon_domain(&parties)? {
+            ReconDomain::Lagrange(domain) => {
+                // Error detection: every surplus share must agree with
+                // the polynomial pinned by the first degree + 1 shares.
+                // The cached recombination vector evaluates it without
+                // interpolating.
+                for s in &shares[degree + 1..] {
+                    if dot(&domain.basis_at(self.party_points[s.party]), &ys) != s.value {
+                        return Err(PssError::Inconsistent);
+                    }
+                }
+                Ok(self
+                    .secret_points
+                    .iter()
+                    .map(|&e| dot(&domain.basis_at(e), &ys))
+                    .collect())
+            }
+            ReconDomain::Ntt(domain) => {
+                // Transform path: interpolate once in O(m log m), then
+                // evaluate the explicit polynomial (Horner, O(m) per
+                // target) — exact, hence bit-identical to the basis-row
+                // dot products above.
+                let poly = domain.interpolate(&ys)?;
+                for s in &shares[degree + 1..] {
+                    if poly.eval(self.party_points[s.party]) != s.value {
+                        return Err(PssError::Inconsistent);
+                    }
+                }
+                Ok(self.secret_points.iter().map(|&e| poly.eval(e)).collect())
             }
         }
-        Ok(self
-            .secret_points
-            .iter()
-            .map(|&e| dot(&domain.basis_at(e), &ys))
-            .collect())
     }
 
     /// Reconstructs a whole layer of sharings in one call. All rows
@@ -535,9 +774,11 @@ impl<F: PrimeField> PackedSharing<F> {
             return Err(PssError::NotEnoughShares { got: shares.len(), need: degree + 1 });
         }
         let parties: Vec<usize> = shares[..degree + 1].iter().map(|s| s.party).collect();
-        let domain = self.recon_domain(&parties)?;
         let ys: Vec<F> = shares[..degree + 1].iter().map(|s| s.value).collect();
-        Ok(domain.interpolate(&ys)?)
+        match self.recon_domain(&parties)? {
+            ReconDomain::Lagrange(domain) => Ok(domain.interpolate(&ys)?),
+            ReconDomain::Ntt(domain) => Ok(domain.interpolate(&ys)?),
+        }
     }
 
     /// The recombination vector taking shares of parties `parties`
@@ -549,7 +790,7 @@ impl<F: PrimeField> PackedSharing<F> {
     ///
     /// Propagates field errors on duplicate parties.
     pub fn recombination_vector(&self, parties: &[usize], j: usize) -> Result<Vec<F>, PssError> {
-        let domain = self.recon_domain(parties)?;
+        let domain = self.lagrange_recon_domain(parties)?;
         Ok(domain.basis_at(self.secret_points[j]).to_vec())
     }
 }
@@ -742,6 +983,85 @@ mod tests {
         let shares = scheme.share(&mut rng, &[f(99)], 3).unwrap();
         let got = scheme.reconstruct(&shares.select(&[1, 3, 5, 6]), 3).unwrap();
         assert_eq!(got, vec![f(99)]);
+    }
+
+    #[test]
+    fn subgroup_layout_dealing_matches_lagrange_bit_for_bit() {
+        // n + k = 18 = 2 · 3² divides p − 1, so the scheme lands on the
+        // order-18 subgroup with radix chain {1, 2, 6, 18}.
+        let scheme = PackedSharing::<F61>::with_layout(14, 4, PointLayout::Subgroup).unwrap();
+        assert_eq!(scheme.layout(), PointLayout::Subgroup);
+        assert_eq!(scheme.ntt_dealing_sizes(), vec![1, 2, 6, 18]);
+        // An independently built twin with the plan dropped: identical
+        // points, Lagrange-only arithmetic.
+        let mut plain = PackedSharing::<F61>::with_layout(14, 4, PointLayout::Subgroup).unwrap();
+        plain.disable_ntt();
+        assert!(plain.ntt_dealing_sizes().is_empty());
+        let secrets = [f(11), f(22), f(33), f(44)];
+        for degree in 3..14 {
+            let mut r1 = rand::rngs::StdRng::seed_from_u64(degree as u64);
+            let mut r2 = rand::rngs::StdRng::seed_from_u64(degree as u64);
+            let a = scheme.share(&mut r1, &secrets, degree).unwrap();
+            let b = plain.share(&mut r2, &secrets, degree).unwrap();
+            assert_eq!(a.values(), b.values(), "transform vs Lagrange deal, degree {degree}");
+            let subset: Vec<usize> = (0..=degree).collect();
+            assert_eq!(
+                scheme.reconstruct(&a.select(&subset), degree).unwrap(),
+                secrets.to_vec(),
+                "degree {degree}"
+            );
+        }
+    }
+
+    #[test]
+    fn subgroup_layout_transform_reconstruction() {
+        // Degree 5: the 6 dealing nodes are exactly the order-6 prefix
+        // subgroup (6 is on the radix chain), and the subset below has
+        // exponents [1, 4, 7, 10, 13, 16] — a coset of that subgroup —
+        // so dealing *and* reconstruction take the transform path.
+        let scheme = PackedSharing::<F61>::with_layout(14, 4, PointLayout::Subgroup).unwrap();
+        let subset = [2usize, 4, 6, 3, 5, 7];
+        let pts: Vec<F61> = subset.iter().map(|&i| scheme.party_point(i)).collect();
+        assert!(NttDomain::from_points(&pts).is_ok(), "test premise: coset subset");
+        let mut rng = rng();
+        let secrets = [f(5), f(6), f(7), f(8)];
+        let shares = scheme.share(&mut rng, &secrets, 5).unwrap();
+        let got = scheme.reconstruct(&shares.select(&subset), 5).unwrap();
+        assert_eq!(got, secrets.to_vec());
+        // Same subset with surplus shares: a corrupted surplus share
+        // must still trip error detection on the transform path.
+        let mut with_surplus = shares.select(&[2, 4, 6, 3, 5, 7, 0, 1]);
+        assert_eq!(scheme.reconstruct(&with_surplus, 5).unwrap(), secrets.to_vec());
+        with_surplus[7].value += F61::ONE;
+        assert_eq!(scheme.reconstruct(&with_surplus, 5), Err(PssError::Inconsistent));
+        // Asking for explicit recombination rows over the
+        // transform-cached subset swaps in a Lagrange domain and agrees.
+        let w = scheme.recombination_vector(&subset, 0).unwrap();
+        let got0: F61 =
+            w.iter().zip(&subset).map(|(&wi, &p)| wi * shares.share_of(p).value).sum();
+        assert_eq!(got0, secrets[0]);
+        assert_eq!(scheme.reconstruct(&shares.select(&subset), 5).unwrap(), secrets.to_vec());
+    }
+
+    #[test]
+    fn subgroup_layout_on_small_field() {
+        use yoso_field::Fp;
+        type F97 = Fp<97>;
+        // n + k = 8 divides 96 = |F97*|; radices [2, 2, 2], chain
+        // {1, 2, 4, 8}.
+        let scheme = PackedSharing::<F97>::with_layout(6, 2, PointLayout::Subgroup).unwrap();
+        assert_eq!(scheme.ntt_dealing_sizes(), vec![1, 2, 4, 8]);
+        let mut rng = rng();
+        let secrets = [F97::from_u64(9), F97::from_u64(13)];
+        for degree in 1..6 {
+            let shares = scheme.share(&mut rng, &secrets, degree).unwrap();
+            let subset: Vec<usize> = (0..=degree).collect();
+            assert_eq!(
+                scheme.reconstruct(&shares.select(&subset), degree).unwrap(),
+                secrets.to_vec(),
+                "degree {degree}"
+            );
+        }
     }
 
     #[test]

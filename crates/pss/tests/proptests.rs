@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use rand::SeedableRng;
 use yoso_field::{F61, PrimeField};
-use yoso_pss_sharing::{shamir, PackedSharing};
+use yoso_pss_sharing::{shamir, PackedSharing, PointLayout};
 
 fn felt() -> impl Strategy<Value = F61> {
     any::<u64>().prop_map(F61::from_u64)
@@ -128,6 +128,30 @@ proptest! {
         let opened: Vec<Vec<_>> = batched.iter().map(|s| s.select(&subset)).collect();
         let secrets = scheme.reconstruct_batch(&opened, d).unwrap();
         prop_assert_eq!(secrets, batch);
+    }
+
+    #[test]
+    fn subgroup_layout_is_bit_identical_to_lagrange((n, k, d) in params(), seed in any::<u64>()) {
+        // Two independently built schemes over the same subgroup
+        // points: one keeps the transform plan, the other is forced
+        // onto the Lagrange path. Same RNG stream → every dealt share
+        // and every reconstruction must agree bit for bit, whichever
+        // internal path each scheme takes for this (n, k, d).
+        let fast = PackedSharing::<F61>::with_layout(n, k, PointLayout::Subgroup).unwrap();
+        let mut slow = PackedSharing::<F61>::with_layout(n, k, PointLayout::Subgroup).unwrap();
+        slow.disable_ntt();
+        let mut srng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x5a5a);
+        let secrets: Vec<F61> = (0..k).map(|_| F61::random(&mut srng)).collect();
+        let mut rng_a = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng_b = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = fast.share(&mut rng_a, &secrets, d).unwrap();
+        let b = slow.share(&mut rng_b, &secrets, d).unwrap();
+        prop_assert_eq!(a.values(), b.values());
+        let subset: Vec<usize> = (0..=d).collect();
+        let ga = fast.reconstruct(&a.select(&subset), d).unwrap();
+        let gb = slow.reconstruct(&b.select(&subset), d).unwrap();
+        prop_assert_eq!(&ga, &gb);
+        prop_assert_eq!(ga, secrets);
     }
 
     #[test]
