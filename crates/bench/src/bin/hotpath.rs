@@ -164,11 +164,11 @@ fn bench_reenc(n: usize) -> (f64, f64) {
     let par_cfg = ExecutionConfig::default().with_threads(PAR_THREADS);
     let seq_total = time_ns(iters, || {
         let board: BulletinBoard<Post> = BulletinBoard::new();
-        chain.reencrypt(&mut r, &board, &committee, &seq_cfg, phase, &items)
+        chain.reencrypt(&mut r, &board, &committee, &seq_cfg, phase, &items).unwrap()
     });
     let par_total = time_ns(iters, || {
         let board: BulletinBoard<Post> = BulletinBoard::new();
-        chain.reencrypt(&mut r, &board, &committee, &par_cfg, phase, &items)
+        chain.reencrypt(&mut r, &board, &committee, &par_cfg, phase, &items).unwrap()
     });
     (seq_total / k as f64, par_total / k as f64)
 }
@@ -245,6 +245,80 @@ struct InterpRow {
     naive_ns: f64,
     ntt_ns: f64,
     speedup: f64,
+}
+
+struct BoardRow {
+    batch: usize,
+    per_post_ns: f64,
+    batch_post_ns: f64,
+    batch_speedup: f64,
+    tcp_batch_ns: f64,
+    inproc_posts_per_sec: f64,
+    inproc_bytes_per_sec: f64,
+    tcp_posts_per_sec: f64,
+    tcp_bytes_per_sec: f64,
+}
+
+/// Elements metered per posting in the board-throughput bench (a
+/// μ-share with its NIZK: ciphertext + proof, as in the online phase).
+const BOARD_POST_ELEMENTS: u64 = 5;
+
+/// Board posting throughput: `batch` μ-share posts issued one
+/// [`BulletinBoard::post`] call at a time vs one
+/// [`BulletinBoard::post_batch`] call, on the in-process backend (both
+/// pay board construction per iteration, so the comparison isolates
+/// the per-post lock/meter/alloc overhead the batched path removes),
+/// plus the same `post_batch` over a loopback-TCP `board-server` (one
+/// wire frame per batch). Returns ns per post for each mode.
+fn bench_board(batch: usize) -> BoardRow {
+    use yoso_runtime::RoleId;
+
+    let bytes = yoso_core::messages::to_bytes(BOARD_POST_ELEMENTS);
+    let msgs: Vec<Post> = vec![Post::MulShare; batch];
+    let role = RoleId::new("bench", 0);
+    let iters = (65_536 / batch).max(4);
+
+    // Boards live outside the timed closures so what is measured is
+    // posting cost, not board construction/teardown; the log grows
+    // across iterations but appends stay O(1) amortized.
+    let board: BulletinBoard<Post> = BulletinBoard::new();
+    let per_post_total = time_ns(iters, || {
+        for m in &msgs {
+            board.post(role.clone(), *m, "bench/board", BOARD_POST_ELEMENTS, bytes).unwrap();
+        }
+    });
+    drop(board);
+    let board: BulletinBoard<Post> = BulletinBoard::new();
+    let batch_total = time_ns(iters, || {
+        board
+            .post_batch(role.clone(), "bench/board", &msgs, BOARD_POST_ELEMENTS, bytes)
+            .unwrap();
+    });
+    drop(board);
+    // One server for all iterations (spawning a listener per iteration
+    // would swamp the frame cost being measured).
+    let (mut handle, board) = yoso_runtime::tcp::loopback::<Post>().expect("loopback server");
+    let tcp_total = time_ns(iters, || {
+        board
+            .post_batch(role.clone(), "bench/board", &msgs, BOARD_POST_ELEMENTS, bytes)
+            .unwrap();
+    });
+    handle.shutdown();
+
+    let per_post_ns = per_post_total / batch as f64;
+    let batch_post_ns = batch_total / batch as f64;
+    let tcp_batch_ns = tcp_total / batch as f64;
+    BoardRow {
+        batch,
+        per_post_ns,
+        batch_post_ns,
+        batch_speedup: per_post_ns / batch_post_ns,
+        tcp_batch_ns,
+        inproc_posts_per_sec: 1e9 / batch_post_ns,
+        inproc_bytes_per_sec: 1e9 / batch_post_ns * bytes as f64,
+        tcp_posts_per_sec: 1e9 / tcp_batch_ns,
+        tcp_bytes_per_sec: 1e9 / tcp_batch_ns * bytes as f64,
+    }
 }
 
 /// Cold interpolation over an order-`size` subgroup: naive Lagrange
@@ -353,6 +427,27 @@ fn main() {
         interp_rows.push(row);
     }
 
+    let board_batches: Vec<usize> = if smoke { vec![32] } else { vec![64, 256, 1024] };
+    let mut board_rows = Vec::new();
+    println!(
+        "\n{:>6} {:>12} {:>13} {:>8} {:>12} {:>14} {:>14}",
+        "batch", "per-post ns", "post_batch ns", "speedup", "tcp batch ns", "inproc post/s", "tcp post/s"
+    );
+    for &batch in &board_batches {
+        let row = bench_board(batch);
+        println!(
+            "{:>6} {:>12.0} {:>13.0} {:>7.1}x {:>12.0} {:>14.0} {:>14.0}",
+            row.batch,
+            row.per_post_ns,
+            row.batch_post_ns,
+            row.batch_speedup,
+            row.tcp_batch_ns,
+            row.inproc_posts_per_sec,
+            row.tcp_posts_per_sec
+        );
+        board_rows.push(row);
+    }
+
     let mut json = String::from("{\n  \"bench\": \"hotpath\",\n  \"field\": \"F61\",\n");
     let _ = writeln!(json, "  \"paillier_prime_bits\": {PRIME_BITS},");
     let _ = writeln!(json, "  \"host_parallelism\": {host_threads},");
@@ -396,6 +491,26 @@ fn main() {
         );
         json.push_str(if i + 1 < interp_rows.len() { ",\n" } else { "\n" });
     }
+    json.push_str("  ],\n  \"board_configs\": [\n");
+    for (i, r) in board_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"batch\": {}, \"per_post_ns\": {:.0}, \"post_batch_ns\": {:.0}, \
+             \"post_batch_speedup\": {:.2}, \"tcp_post_batch_ns\": {:.0}, \
+             \"inproc_posts_per_sec\": {:.0}, \"inproc_bytes_per_sec\": {:.0}, \
+             \"tcp_posts_per_sec\": {:.0}, \"tcp_bytes_per_sec\": {:.0}}}",
+            r.batch,
+            r.per_post_ns,
+            r.batch_post_ns,
+            r.batch_speedup,
+            r.tcp_batch_ns,
+            r.inproc_posts_per_sec,
+            r.inproc_bytes_per_sec,
+            r.tcp_posts_per_sec,
+            r.tcp_bytes_per_sec
+        );
+        json.push_str(if i + 1 < board_rows.len() { ",\n" } else { "\n" });
+    }
     json.push_str("  ]\n}\n");
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
@@ -434,6 +549,17 @@ fn main() {
         big_interp.size,
         big_interp.speedup
     );
+    // Batched posting must amortize the per-post lock/meter/alloc cost:
+    // at batch ≥ 256, one post_batch call must deliver ≥5× the posts/sec
+    // of the post-at-a-time loop on the in-process backend.
+    for r in board_rows.iter().filter(|r| r.batch >= 256) {
+        assert!(
+            r.batch_speedup >= 5.0,
+            "post_batch at batch {} must be ≥5× per-post posting (got {:.1}×)",
+            r.batch,
+            r.batch_speedup
+        );
+    }
     // The re-encryption target needs real hardware parallelism: the
     // pipeline is correct at any thread count (the determinism tests
     // pin that), but an 8-thread wall-clock win cannot materialize on

@@ -1,0 +1,75 @@
+//! `board-server` — a standalone bulletin-board server so committee
+//! drivers and auditors run as separate OS processes.
+//!
+//! The server is message-type agnostic: payloads are stored as opaque
+//! bytes, so one server binary serves any protocol built on
+//! `yoso_runtime::tcp`. Postings are sequenced under a single lock in
+//! frame-arrival order, which is what makes a remote run's transcript
+//! byte-identical to an in-process run (see DESIGN §10).
+//!
+//! ```text
+//! board-server --listen 127.0.0.1:7310
+//! yoso run --circuit inner-product --n 16 --board tcp://127.0.0.1:7310
+//! yoso board-stats --board tcp://127.0.0.1:7310 --shutdown
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+use yoso_runtime::BoardServer;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut listen = "127.0.0.1:7310".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--listen" => match it.next() {
+                Some(v) => listen = v.clone(),
+                None => {
+                    eprintln!("error: --listen requires an address");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "board-server — standalone YOSO bulletin-board server\n\n\
+                     USAGE:\n  board-server [--listen HOST:PORT]   [127.0.0.1:7310]\n\n\
+                     Use port 0 for an OS-assigned port; the bound address is\n\
+                     printed on startup. The server runs until killed or until a\n\
+                     client requests shutdown (`yoso board-stats --shutdown`)."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown option {other:?}; try --help");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let addr: std::net::SocketAddr = match listen.parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: listen address {listen:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match BoardServer::bind(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(bound) => println!("board-server listening on tcp://{bound}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    server.serve();
+    println!("board-server shut down");
+    ExitCode::SUCCESS
+}

@@ -6,13 +6,19 @@ use rand::SeedableRng;
 
 use yoso_bignum::Nat;
 use yoso_circuit::{generators, Circuit};
-use yoso_core::{crash_phases, Engine, ExecutionConfig, ProtocolParams};
+use yoso_core::{crash_phases, BoardBackend, Engine, ExecutionConfig, ProtocolParams};
 use yoso_field::{F61, PrimeField};
 use yoso_runtime::{ActiveAttack, Adversary};
 use yoso_sortition::{GapAnalysis, SecurityParams};
 use yoso_the::paillier::ThresholdPaillier;
 
 type Opts = HashMap<String, String>;
+
+/// Parses a board address: `tcp://HOST:PORT` or bare `HOST:PORT`.
+pub fn parse_board_addr(value: &str) -> Result<std::net::SocketAddr, String> {
+    let bare = value.strip_prefix("tcp://").unwrap_or(value);
+    bare.parse().map_err(|e| format!("board address {value:?}: {e}"))
+}
 
 fn get<T: std::str::FromStr>(opts: &Opts, key: &str, default: T) -> Result<T, String>
 where
@@ -97,12 +103,15 @@ pub fn run(opts: &Opts) -> Result<(), String> {
     if threads == 0 {
         return Err("--threads must be at least 1".into());
     }
-    let config = if opts.contains_key("no-proofs") {
+    let mut config = if opts.contains_key("no-proofs") {
         ExecutionConfig::sweep()
     } else {
         ExecutionConfig::default()
     }
     .with_threads(threads);
+    if let Some(board) = opts.get("board") {
+        config = config.with_board(BoardBackend::Tcp(parse_board_addr(board)?));
+    }
     let engine = Engine::new(params, config);
 
     println!(
@@ -135,6 +144,53 @@ pub fn run(opts: &Opts) -> Result<(), String> {
     );
     if !correct {
         return Err("output mismatch".into());
+    }
+    Ok(())
+}
+
+/// `yoso board-stats` — remote board auditor: connects to a
+/// `board-server`, reads the posting log, and rebuilds the per-phase
+/// communication table from the posting metadata (every posting
+/// carries its element and byte counts, so an auditor process needs no
+/// access to the driver's in-process meter).
+pub fn board_stats(opts: &Opts) -> Result<(), String> {
+    use yoso_core::messages::Post;
+    use yoso_runtime::BulletinBoard;
+
+    let addr = parse_board_addr(
+        opts.get("board").ok_or("board-stats requires --board tcp://HOST:PORT")?,
+    )?;
+    let board: BulletinBoard<Post> =
+        BulletinBoard::connect_tcp(addr).map_err(|e| e.to_string())?;
+    let postings = board.postings().map_err(|e| e.to_string())?;
+    let rounds = board.round().map_err(|e| e.to_string())?;
+
+    let mut by_phase = std::collections::BTreeMap::<String, (u64, u64, u64)>::new();
+    for p in &postings {
+        let e = by_phase.entry(p.phase.to_string()).or_default();
+        e.0 += p.elements;
+        e.1 += p.bytes;
+        e.2 += 1;
+    }
+    println!("board {addr}: {} postings over {rounds} round(s)\n", postings.len());
+    println!("{:<28} {:>12} {:>12} {:>10}", "phase", "elements", "bytes", "messages");
+    let mut total = (0u64, 0u64, 0u64);
+    for (phase, (elements, bytes, messages)) in &by_phase {
+        println!("{phase:<28} {elements:>12} {bytes:>12} {messages:>10}");
+        total.0 += elements;
+        total.1 += bytes;
+        total.2 += messages;
+    }
+    println!("{:<28} {:>12} {:>12} {:>10}", "total", total.0, total.1, total.2);
+
+    if opts.contains_key("shutdown") {
+        let t = yoso_runtime::TcpTransport::<Post>::connect(
+            addr,
+            yoso_runtime::TcpOptions::default(),
+        )
+        .map_err(|e| e.to_string())?;
+        t.shutdown_server().map_err(|e| e.to_string())?;
+        println!("\nserver shut down");
     }
     Ok(())
 }

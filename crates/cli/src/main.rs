@@ -31,6 +31,7 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "run" => commands::run(&opts),
+        "board-stats" => commands::board_stats(&opts),
         "plan" => commands::plan(&opts),
         "table1" => commands::table1(),
         "paillier" => commands::paillier(&opts),
@@ -72,12 +73,17 @@ fn print_help() {
         "yoso — packed YOSO MPC simulator and experiment driver
 
 USAGE:
-  yoso run [OPTIONS]       run the full three-phase protocol
-  yoso plan [OPTIONS]      committee-size planning (paper §6)
-  yoso table1              regenerate the paper's Table 1
-  yoso paillier [OPTIONS]  threshold-Paillier smoke run
-  yoso experiments         quick versions of the headline experiments
-  yoso help                this message
+  yoso run [OPTIONS]         run the full three-phase protocol
+  yoso board-stats [OPTIONS] audit a remote board-server's posting log
+  yoso plan [OPTIONS]        committee-size planning (paper §6)
+  yoso table1                regenerate the paper's Table 1
+  yoso paillier [OPTIONS]    threshold-Paillier smoke run
+  yoso experiments           quick versions of the headline experiments
+  yoso help                  this message
+
+A board server for multi-process runs is started with the companion
+`board-server` binary; point `yoso run --board tcp://HOST:PORT` and
+`yoso board-stats --board tcp://HOST:PORT` at it.
 
 RUN OPTIONS:
   --circuit NAME    inner-product | poly-eval | stats | wide | average |
@@ -93,6 +99,12 @@ RUN OPTIONS:
   --threads N       worker threads for triple/gate fan-out
                     (any value yields a byte-identical transcript)       [1]
   --no-proofs       skip NIZK computation (metering unchanged)
+  --board ADDR      post to a remote board-server (tcp://HOST:PORT)
+                    instead of the in-process board
+
+BOARD-STATS OPTIONS:
+  --board ADDR      the board-server to audit (tcp://HOST:PORT), required
+  --shutdown        ask the server to shut down after reading
 
 PLAN OPTIONS:
   --pool N          global party count                                   [1000000]

@@ -149,7 +149,7 @@ impl BaselineEngine {
                     phase_in,
                     CT_ELEMENTS + ENC_PROOF_ELEMENTS,
                     messages::to_bytes(CT_ELEMENTS + ENC_PROOF_ELEMENTS),
-                );
+                )?;
                 cts[w] = Some(ct);
             }
         }
@@ -237,7 +237,7 @@ impl BaselineEngine {
             .iter()
             .map(|&(w, client)| Ok((client_keys[client].public, wire_ct(&cts, w.0)?)))
             .collect::<Result<_, ProtocolError>>()?;
-        let out_vals = tsk.reencrypt(rng, &board, &out_committee, cfg, phase_out, &out_items);
+        let out_vals = tsk.reencrypt(rng, &board, &out_committee, cfg, phase_out, &out_items)?;
         let mut outputs: Vec<Vec<F>> = vec![Vec::new(); circuit.clients()];
         for (&(_, client), rv) in circuit.outputs().iter().zip(&out_vals) {
             outputs[client].push(rv.open(client_keys[client].secret.scalar)?);

@@ -167,7 +167,7 @@ pub fn run_dkg<F: PrimeField, R: Rng + ?Sized>(
             phase,
             elements,
             messages::to_bytes(elements),
-        );
+        )?;
         deals.push(deal);
     }
 
@@ -298,7 +298,8 @@ mod tests {
             &cfg,
             "x",
             &[(target.public, ct)],
-        );
+        )
+        .unwrap();
         assert_eq!(vals[0].open(target.secret.scalar).unwrap(), m);
     }
 

@@ -13,6 +13,40 @@ use crate::online::run_online;
 use crate::setup::run_setup;
 use crate::{ProtocolError, ProtocolParams};
 
+/// Which bulletin-board transport a run posts to.
+///
+/// `Copy` so [`ExecutionConfig`] stays `Copy` (a `SocketAddr` is
+/// `Copy`); the board itself is constructed lazily per run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoardBackend {
+    /// The default in-process board (round-indexed `RwLock` log).
+    InProcess,
+    /// A remote `board-server` reached over TCP; all postings are
+    /// sequenced by the server, so multiple OS processes share one
+    /// board.
+    Tcp(std::net::SocketAddr),
+}
+
+impl BoardBackend {
+    /// Builds a board for this backend, honoring `audit`.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Transport`] if the TCP backend cannot connect.
+    pub fn make_board(&self, audit: bool) -> Result<BulletinBoard<Post>, ProtocolError> {
+        match self {
+            BoardBackend::InProcess => Ok(if audit {
+                BulletinBoard::new()
+            } else {
+                BulletinBoard::metered_only()
+            }),
+            BoardBackend::Tcp(addr) => {
+                Ok(BulletinBoard::connect_tcp(*addr)?.with_audit(audit))
+            }
+        }
+    }
+}
+
 /// Execution knobs for the simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecutionConfig {
@@ -36,6 +70,9 @@ pub struct ExecutionConfig {
     /// sequentially drawn child seeds and board posts are replayed in
     /// item order — see [`crate::parallel`].
     pub num_threads: usize,
+    /// Which board transport the run posts to. The protocol logic is
+    /// transport-agnostic: any backend yields the same transcript.
+    pub board: BoardBackend,
 }
 
 impl Default for ExecutionConfig {
@@ -45,6 +82,7 @@ impl Default for ExecutionConfig {
             audit_board: true,
             dealerless_setup: false,
             num_threads: 1,
+            board: BoardBackend::InProcess,
         }
     }
 }
@@ -53,10 +91,9 @@ impl ExecutionConfig {
     /// A configuration tuned for large parameter sweeps: metering only.
     pub fn sweep() -> Self {
         ExecutionConfig {
-            produce_proofs: false,
             audit_board: false,
-            dealerless_setup: false,
-            num_threads: 1,
+            produce_proofs: false,
+            ..ExecutionConfig::default()
         }
     }
 
@@ -70,6 +107,12 @@ impl ExecutionConfig {
     /// (`0` is treated as `1`).
     pub fn with_threads(mut self, num_threads: usize) -> Self {
         self.num_threads = num_threads.max(1);
+        self
+    }
+
+    /// Selects the board transport backend.
+    pub fn with_board(mut self, board: BoardBackend) -> Self {
+        self.board = board;
         self
     }
 }
@@ -180,11 +223,7 @@ impl Engine {
         inputs: &[Vec<F>],
         adversary: &Adversary,
     ) -> Result<RunResult<F>, ProtocolError> {
-        let board: BulletinBoard<Post> = if self.config.audit_board {
-            BulletinBoard::new()
-        } else {
-            BulletinBoard::metered_only()
-        };
+        let board: BulletinBoard<Post> = self.config.board.make_board(self.config.audit_board)?;
         let bc = circuit.batched(self.params.k);
         let leak = LeakLog::new();
         let mut setup = run_setup::<F, _>(
@@ -232,7 +271,7 @@ impl Engine {
             mul_gates: circuit.mul_count(),
             wires: circuit.wire_count(),
             mu: online.mu,
-            rounds: board.round(),
+            rounds: board.round()?,
             leaks: leak,
         })
     }

@@ -312,7 +312,7 @@ impl ItEngine {
                         "it/input",
                         n as u64,
                         messages::to_bytes(n as u64),
-                    );
+                    )?;
                     Some(shares)
                 }
                 LaneOp::Add(a, b) => Some(live(&state, a)?.add(live(&state, b)?)),
@@ -348,7 +348,7 @@ impl ItEngine {
                         "it/output",
                         n as u64,
                         messages::to_bytes(n as u64),
-                    );
+                    )?;
                     let all: Vec<usize> = (0..n).collect();
                     let v = scheme.reconstruct(&shares.select(&all), shares.degree())?;
                     outputs[client].push(v);
@@ -403,7 +403,7 @@ impl ItEngine {
                 "it/reshare",
                 n as u64,
                 messages::to_bytes(n as u64),
-            );
+            )?;
             acc = Some(match acc {
                 None => dealt,
                 Some(a) => a.add(&dealt),
@@ -445,7 +445,7 @@ impl ItEngine {
                 "it/reshare",
                 n as u64,
                 messages::to_bytes(n as u64),
-            );
+            )?;
             acc = Some(match acc {
                 None => dealt,
                 Some(a) => a.add(&dealt),

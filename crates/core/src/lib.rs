@@ -74,7 +74,7 @@ mod params;
 pub mod setup;
 pub mod tsk;
 
-pub use engine::{crash_phases, Engine, ExecutionConfig, RunResult};
+pub use engine::{crash_phases, BoardBackend, Engine, ExecutionConfig, RunResult};
 pub use params::ProtocolParams;
 pub use yoso_pss_sharing::PointLayout;
 
@@ -108,6 +108,9 @@ pub enum ProtocolError {
     /// invariants surface as typed errors instead of panics (the YOSO
     /// model cannot tolerate a committee member aborting mid-epoch).
     Invariant(&'static str),
+    /// The bulletin-board transport failed (I/O or protocol error on a
+    /// remote backend; the in-process backend never produces this).
+    Transport(String),
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -123,6 +126,7 @@ impl std::fmt::Display for ProtocolError {
             ProtocolError::Invariant(msg) => {
                 write!(f, "internal invariant broken (bug): {msg}")
             }
+            ProtocolError::Transport(msg) => write!(f, "board transport error: {msg}"),
         }
     }
 }
@@ -153,5 +157,11 @@ impl From<PssError> for ProtocolError {
 impl From<CircuitError> for ProtocolError {
     fn from(e: CircuitError) -> Self {
         ProtocolError::Circuit(e)
+    }
+}
+
+impl From<yoso_runtime::BoardError> for ProtocolError {
+    fn from(e: yoso_runtime::BoardError) -> Self {
+        ProtocolError::Transport(e.to_string())
     }
 }

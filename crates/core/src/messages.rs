@@ -11,6 +11,7 @@
 //! `rows + witness` elements.
 
 use serde::{Deserialize, Serialize};
+use yoso_runtime::transport::{BoardError, WireCursor, WireMessage};
 
 /// What a posting contains (audit record on the board).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -45,6 +46,58 @@ pub enum Post {
     /// Baseline protocol: a partial decryption in the per-gate
     /// multiplication.
     BaselinePartialDec,
+}
+
+impl WireMessage for Post {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Post::Contribution { step, ciphertexts } => {
+                out.push(0);
+                out.push(match step {
+                    ContributionStep::Beaver => 0,
+                    ContributionStep::WireRandom => 1,
+                    ContributionStep::PackHelper => 2,
+                });
+                out.extend_from_slice(&ciphertexts.to_le_bytes());
+            }
+            Post::PartialDec => out.push(1),
+            Post::EncryptedPartial => out.push(2),
+            Post::TskReshare => out.push(3),
+            Post::InputMu { wires } => {
+                out.push(4);
+                out.extend_from_slice(&wires.to_le_bytes());
+            }
+            Post::MulShare => out.push(5),
+            Post::BaselineInput => out.push(6),
+            Post::BaselinePartialDec => out.push(7),
+        }
+    }
+
+    fn decode(cur: &mut WireCursor<'_>) -> Result<Self, BoardError> {
+        match cur.u8()? {
+            0 => {
+                let step = match cur.u8()? {
+                    0 => ContributionStep::Beaver,
+                    1 => ContributionStep::WireRandom,
+                    2 => ContributionStep::PackHelper,
+                    other => {
+                        return Err(BoardError::Protocol(format!(
+                            "unknown contribution step tag {other}"
+                        )))
+                    }
+                };
+                Ok(Post::Contribution { step, ciphertexts: cur.u32()? })
+            }
+            1 => Ok(Post::PartialDec),
+            2 => Ok(Post::EncryptedPartial),
+            3 => Ok(Post::TskReshare),
+            4 => Ok(Post::InputMu { wires: cur.u32()? }),
+            5 => Ok(Post::MulShare),
+            6 => Ok(Post::BaselineInput),
+            7 => Ok(Post::BaselinePartialDec),
+            other => Err(BoardError::Protocol(format!("unknown post tag {other}"))),
+        }
+    }
 }
 
 /// Which offline step a contribution belongs to.
@@ -110,5 +163,35 @@ mod tests {
         // n = 10, t = 2: 3 + 20 + (3 + 20 + 3 + 10) = 59.
         assert_eq!(reshare_elements(10, 2), 3 + 20 + 23 + 13);
         assert_eq!(to_bytes(5), 40);
+    }
+
+    #[test]
+    fn post_wire_roundtrip() {
+        let posts = [
+            Post::Contribution { step: ContributionStep::Beaver, ciphertexts: 7 },
+            Post::Contribution { step: ContributionStep::WireRandom, ciphertexts: 0 },
+            Post::Contribution { step: ContributionStep::PackHelper, ciphertexts: u32::MAX },
+            Post::PartialDec,
+            Post::EncryptedPartial,
+            Post::TskReshare,
+            Post::InputMu { wires: 42 },
+            Post::MulShare,
+            Post::BaselineInput,
+            Post::BaselinePartialDec,
+        ];
+        for p in posts {
+            let mut buf = Vec::new();
+            p.encode(&mut buf);
+            let mut cur = WireCursor::new(&buf);
+            assert_eq!(Post::decode(&mut cur).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn post_decode_rejects_bad_tags() {
+        let mut cur = WireCursor::new(&[99]);
+        assert!(Post::decode(&mut cur).is_err());
+        let mut cur = WireCursor::new(&[0, 9, 0, 0, 0, 0]);
+        assert!(Post::decode(&mut cur).is_err());
     }
 }

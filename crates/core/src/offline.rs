@@ -161,7 +161,7 @@ fn summed_contribution<F: PrimeField, R: Rng + ?Sized>(
 ) -> Result<Ciphertext<F>, ProtocolError> {
     let mut posts = PostBuffer::new();
     let result = summed_contribution_into(rng, &mut posts, committee, cfg, tpk, phase, step);
-    posts.flush(board);
+    posts.flush(board)?;
     result
 }
 
@@ -279,7 +279,7 @@ pub fn beaver_triples<F: PrimeField, R: Rng + ?Sized>(
     });
     let mut triples = Vec::with_capacity(count);
     for (triple, posts) in results {
-        posts.flush(board);
+        posts.flush(board)?;
         triples.push(triple?);
     }
     Ok(triples)
@@ -396,7 +396,7 @@ pub fn run_offline<F: PrimeField, R: Rng + ?Sized>(
         .flat_map(|layer| layer.iter().map(|w| w.0))
         .collect();
     let triples = beaver_triples(rng, board, &c1, &c2, cfg, &tpk, mul_wires.len())?;
-    board.advance_round();
+    board.advance_round()?;
     // triple_of[wire] = index into `triples`.
     let mut triple_of = vec![usize::MAX; circuit.wire_count()];
     for (idx, &w) in mul_wires.iter().enumerate() {
@@ -422,7 +422,7 @@ pub fn run_offline<F: PrimeField, R: Rng + ?Sized>(
         }
     }
 
-    board.advance_round();
+    board.advance_round()?;
 
     // ---- Step 3: dependent wire values (and Γ per mul gate),
     // processed in gate order; one decrypt committee per mul layer.
@@ -495,7 +495,7 @@ pub fn run_offline<F: PrimeField, R: Rng + ?Sized>(
         let next_keys: Vec<yoso_the::mock::PkeKeyPair<F>> =
             (0..n).map(|_| yoso_the::mock::LinearPke::keygen(rng)).collect();
         tsk.handover(rng, board, &committee, cfg, "offline/handover", &next_keys)?;
-        board.advance_round();
+        board.advance_round()?;
     }
 
     // ---- Step 4: packing per batch (helpers contributed by c3 as part
@@ -558,13 +558,13 @@ pub fn run_offline<F: PrimeField, R: Rng + ?Sized>(
             input_meta.push((w.0, client));
         }
     }
-    let input_vals = tsk.reencrypt(rng, board, &c5, cfg, phase5, &input_items);
+    let input_vals = tsk.reencrypt(rng, board, &c5, cfg, phase5, &input_items)?;
     let input_reenc = input_meta
         .into_iter()
         .zip(input_vals)
         .map(|((w, client), v)| (w, client, v))
         .collect();
-    board.advance_round();
+    board.advance_round()?;
     let next_keys: Vec<yoso_the::mock::PkeKeyPair<F>> =
         (0..n).map(|_| yoso_the::mock::LinearPke::keygen(rng)).collect();
     tsk.handover(rng, board, &c5, cfg, "offline/handover", &next_keys)?;
@@ -585,7 +585,7 @@ pub fn run_offline<F: PrimeField, R: Rng + ?Sized>(
         for i in 0..n {
             items.push((setup.kff_pairs[layer][i].public, gamma[i]));
         }
-        let mut vals = tsk.reencrypt(rng, board, &c6, cfg, phase6, &items);
+        let mut vals = tsk.reencrypt(rng, board, &c6, cfg, phase6, &items)?;
         let gamma_v: Vec<ReencryptedValue<F>> = vals.split_off(2 * n);
         let beta_v: Vec<ReencryptedValue<F>> = vals.split_off(n);
         batch_shares.push(BatchShares { alpha: vals, beta: beta_v, gamma: gamma_v });
@@ -593,7 +593,7 @@ pub fn run_offline<F: PrimeField, R: Rng + ?Sized>(
     let next_keys: Vec<yoso_the::mock::PkeKeyPair<F>> =
         (0..n).map(|_| yoso_the::mock::LinearPke::keygen(rng)).collect();
     tsk.handover(rng, board, &c6, cfg, "offline/handover", &next_keys)?;
-    board.advance_round();
+    board.advance_round()?;
 
     Ok(OfflineArtifacts { lambda_cts, batch_shares, input_reenc, tsk })
 }

@@ -98,7 +98,7 @@ pub fn run_online<F: PrimeField, R: Rng + ?Sized>(
     for c in 0..clients {
         items.push((client_role_keys[c].public, setup.client_kff_cts[c]));
     }
-    let mut kff_prime = tsk.reencrypt(rng, board, &kd, cfg, phase_kd, &items);
+    let mut kff_prime = tsk.reencrypt(rng, board, &kd, cfg, phase_kd, &items)?;
     let client_kff_prime: Vec<ReencryptedValue<F>> = kff_prime.split_off(layers * n);
     // kff_prime[l*n + i] targets role (l, i).
 
@@ -106,7 +106,7 @@ pub fn run_online<F: PrimeField, R: Rng + ?Sized>(
     // afterwards performs no further resharing).
     let output_keys: Vec<PkeKeyPair<F>> = (0..n).map(|_| LinearPke::keygen(rng)).collect();
     tsk.handover(rng, board, &kd, cfg, "online/handover", &output_keys)?;
-    board.advance_round();
+    board.advance_round()?;
 
     // Clients recover their KFF secrets through the protocol path.
     let client_kff_sk: Vec<F> = (0..clients)
@@ -139,11 +139,11 @@ pub fn run_online<F: PrimeField, R: Rng + ?Sized>(
                 phase_in,
                 elements,
                 messages::to_bytes(elements),
-            );
+            )?;
         }
     }
 
-    board.advance_round();
+    board.advance_round()?;
 
     // ---- Gate-by-gate μ propagation; multiplications per batch.
     // Pre-index batches by layer for the committee loop.
@@ -314,7 +314,7 @@ pub fn run_online<F: PrimeField, R: Rng + ?Sized>(
             let mut posted: Vec<Share<F>> = Vec::new();
             for result in member_results {
                 let out = result?;
-                out.posts.flush(board);
+                out.posts.flush(board)?;
                 for (role, object, piece) in out.leaks {
                     leak.record(role, object, piece);
                 }
@@ -335,7 +335,7 @@ pub fn run_online<F: PrimeField, R: Rng + ?Sized>(
                 mu[gw.0] = Some(mu_gamma[j]);
             }
         }
-        board.advance_round();
+        board.advance_round()?;
     }
     propagate_linear(&mut mu);
 
@@ -347,7 +347,7 @@ pub fn run_online<F: PrimeField, R: Rng + ?Sized>(
         .iter()
         .map(|&(w, client)| (client_role_keys[client].public, offline.lambda_cts[w.0]))
         .collect();
-    let out_vals = tsk.reencrypt(rng, board, &out_committee, cfg, phase_out, &out_items);
+    let out_vals = tsk.reencrypt(rng, board, &out_committee, cfg, phase_out, &out_items)?;
 
     let mut outputs: Vec<Vec<F>> = vec![Vec::new(); clients];
     for ((&(w, client), rv), _) in circuit.outputs().iter().zip(&out_vals).zip(0..) {

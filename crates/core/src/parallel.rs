@@ -14,7 +14,9 @@
 //! sequential loop over the same per-item seeds — results are still
 //! identical, only wall-clock changes.
 
-use yoso_runtime::{BulletinBoard, RoleId};
+use std::sync::Arc;
+
+use yoso_runtime::{BoardError, BulletinBoard, PostRecord, RoleId};
 
 use crate::messages::{self, Post};
 
@@ -61,11 +63,31 @@ impl PostBuffer {
         self.posts.push(BufferedPost { role, post, phase, elements });
     }
 
-    /// Replays the buffered posts onto the board, in recording order.
-    pub(crate) fn flush(self, board: &BulletinBoard<Post>) {
+    /// Replays the buffered posts onto the board, in recording order,
+    /// as **one** transport batch: the write lock (or TCP frame) is
+    /// taken once per buffer instead of once per post. Consecutive
+    /// posts sharing a phase label share one `Arc<str>` allocation.
+    pub(crate) fn flush(self, board: &BulletinBoard<Post>) -> Result<(), BoardError> {
+        let mut records = Vec::with_capacity(self.posts.len());
+        let mut last: Option<(&'static str, Arc<str>)> = None;
         for p in self.posts {
-            board.post(p.role, p.post, p.phase, p.elements, messages::to_bytes(p.elements));
+            let phase = match &last {
+                Some((label, shared)) if *label == p.phase => Arc::clone(shared),
+                _ => {
+                    let shared: Arc<str> = Arc::from(p.phase);
+                    last = Some((p.phase, Arc::clone(&shared)));
+                    shared
+                }
+            };
+            records.push(PostRecord {
+                from: p.role,
+                phase,
+                message: p.post,
+                elements: p.elements,
+                bytes: messages::to_bytes(p.elements),
+            });
         }
+        board.post_records(records)
     }
 }
 

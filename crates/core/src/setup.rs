@@ -79,7 +79,7 @@ pub fn run_setup<F: PrimeField, R: Rng + ?Sized>(
                 "setup",
                 2 * CT_ELEMENTS,
                 messages::to_bytes(2 * CT_ELEMENTS),
-            );
+            )?;
             pairs.push(kp);
             cts.push(ct);
         }
@@ -98,7 +98,7 @@ pub fn run_setup<F: PrimeField, R: Rng + ?Sized>(
             "setup",
             2 * CT_ELEMENTS,
             messages::to_bytes(2 * CT_ELEMENTS),
-        );
+        )?;
         client_kff_pairs.push(kp);
         client_kff_cts.push(ct);
     }
@@ -132,7 +132,7 @@ pub fn rekey_setup<F: PrimeField, R: Rng + ?Sized>(
                 "setup",
                 CT_ELEMENTS,
                 messages::to_bytes(CT_ELEMENTS),
-            );
+            )?;
         }
     }
     for (c, kp) in setup.client_kff_pairs.iter().enumerate() {
@@ -144,7 +144,7 @@ pub fn rekey_setup<F: PrimeField, R: Rng + ?Sized>(
             "setup",
             CT_ELEMENTS,
             messages::to_bytes(CT_ELEMENTS),
-        );
+        )?;
     }
     setup.tsk = chain;
     Ok(setup)

@@ -270,7 +270,7 @@ impl<F: PrimeField> TskChain<F> {
                     phase,
                     PDEC_ELEMENTS + PDEC_PROOF_ELEMENTS,
                     messages::to_bytes(PDEC_ELEMENTS + PDEC_PROOF_ELEMENTS),
-                );
+                )?;
                 partials[c_idx].push((i, value, valid));
             }
         }
@@ -306,6 +306,11 @@ impl<F: PrimeField> TskChain<F> {
     /// [`crate::parallel::PostBuffer`]; buffers are flushed in item
     /// order, so the board transcript is byte-identical at any thread
     /// count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::Transport`] if replaying the buffered
+    /// posts onto the board fails (remote backends only).
     pub fn reencrypt<R: Rng + ?Sized>(
         &self,
         rng: &mut R,
@@ -314,7 +319,7 @@ impl<F: PrimeField> TskChain<F> {
         cfg: &ExecutionConfig,
         phase: &'static str,
         items: &[(PkePublicKey<F>, Ciphertext<F>)],
-    ) -> Vec<ReencryptedValue<F>> {
+    ) -> Result<Vec<ReencryptedValue<F>>, ProtocolError> {
         self.record_leaks(committee);
         let seeds: Vec<u64> = items.iter().map(|_| rng.next_u64()).collect();
         let worker_out = crate::parallel::par_map(cfg.num_threads, &seeds, |item_idx, &seed| {
@@ -377,10 +382,10 @@ impl<F: PrimeField> TskChain<F> {
         });
         let mut out = Vec::with_capacity(items.len());
         for (val, posts) in worker_out {
-            posts.flush(board);
+            posts.flush(board)?;
             out.push(val);
         }
-        out
+        Ok(out)
     }
 
     /// Hands the key over to `next` (whose members' role key pairs are
@@ -490,7 +495,7 @@ impl<F: PrimeField> TskChain<F> {
                 phase,
                 elements,
                 messages::to_bytes(elements),
-            );
+            )?;
             msgs.push(posted);
         }
 
@@ -623,7 +628,7 @@ mod tests {
         let got = chain.decrypt(&mut r, &board, &committee, &cfg(), "offline/dep", &[ct]).unwrap();
         assert_eq!(got, vec![m]);
         // All 7 members posted one partial each.
-        assert_eq!(board.len(), 7);
+        assert_eq!(board.len().unwrap(), 7);
     }
 
     #[test]
@@ -655,7 +660,8 @@ mod tests {
             &cfg(),
             "offline/reenc",
             &[(target.public, ct)],
-        );
+        )
+        .unwrap();
         let got = vals[0].open(target.secret.scalar).unwrap();
         assert_eq!(got, m);
         // Opening coefficients satisfy value = a − sk·b.
@@ -673,8 +679,9 @@ mod tests {
         let target = LinearPke::<F61>::keygen(&mut r);
         let m = F61::from(5u64);
         let (ct, _) = MockTe::encrypt(&mut r, &chain.pk, m);
-        let vals =
-            chain.reencrypt(&mut r, &board, &committee, &cfg(), "x", &[(target.public, ct)]);
+        let vals = chain
+            .reencrypt(&mut r, &board, &committee, &cfg(), "x", &[(target.public, ct)])
+            .unwrap();
         assert_eq!(vals[0].open(target.secret.scalar).unwrap(), m);
     }
 

@@ -35,6 +35,19 @@ fn run_transcript_phases(
     num_threads: usize,
     adversary: &Adversary,
 ) -> (String, Vec<Vec<F61>>, Vec<F61>, std::collections::BTreeMap<String, String>) {
+    let board: BulletinBoard<Post> = BulletinBoard::new();
+    run_transcript_phases_on(params, num_threads, adversary, &board)
+}
+
+/// Like [`run_transcript_phases`] but over a caller-supplied (possibly
+/// remote) board, so the same pipeline can be driven over any
+/// transport backend.
+fn run_transcript_phases_on(
+    params: ProtocolParams,
+    num_threads: usize,
+    adversary: &Adversary,
+    board: &BulletinBoard<Post>,
+) -> (String, Vec<Vec<F61>>, Vec<F61>, std::collections::BTreeMap<String, String>) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(4242);
     let cfg = ExecutionConfig::default().with_threads(num_threads);
     let width = 2 * params.k;
@@ -43,25 +56,24 @@ fn run_transcript_phases(
         (1..=width as u64).map(f).collect(),
         (10..10 + width as u64).map(f).collect(),
     ];
-    let board: BulletinBoard<Post> = BulletinBoard::new();
     let bc = circuit.batched(params.k);
     let leak = LeakLog::new();
     let mut setup =
-        run_setup::<F61, _>(&mut rng, &params, &board, circuit.mul_depth(), circuit.clients())
+        run_setup::<F61, _>(&mut rng, &params, board, circuit.mul_depth(), circuit.clients())
             .unwrap();
     setup.tsk.set_leak_log(leak.clone());
     let offline =
-        run_offline(&mut rng, &params, &board, adversary, &cfg, &bc, &setup).unwrap();
+        run_offline(&mut rng, &params, board, adversary, &cfg, &bc, &setup).unwrap();
     let online = run_online(
-        &mut rng, &params, &board, adversary, &cfg, &bc, &setup, offline, &inputs, &leak,
+        &mut rng, &params, board, adversary, &cfg, &bc, &setup, offline, &inputs, &leak,
     )
     .unwrap();
     let mut transcript = String::new();
     let mut by_phase = std::collections::BTreeMap::<String, String>::new();
-    for p in board.postings() {
+    for p in board.postings().unwrap() {
         let line = format!("{}|{}|{}|{:?}\n", p.round, p.from, p.phase, p.message);
         transcript.push_str(&line);
-        by_phase.entry(p.phase.clone()).or_default().push_str(&line);
+        by_phase.entry(p.phase.to_string()).or_default().push_str(&line);
     }
     (transcript, online.outputs, online.mu, by_phase)
 }
@@ -218,4 +230,65 @@ fn engine_results_identical_across_thread_counts() {
             .collect::<Vec<_>>()
     };
     assert_eq!(stats(&runs[0].3), stats(&runs[1].3));
+}
+
+#[test]
+fn transport_parity_tcp_transcript_byte_identical() {
+    // The tentpole guarantee of the pluggable transport: the full
+    // offline+online pipeline over a loopback-TCP board server must
+    // produce a transcript byte-identical to the in-process backend,
+    // at every thread count. Server-side sequencing preserves the
+    // driver's posting order, and the WireMessage codec round-trips
+    // every Post variant, so nothing may differ — not postings, not
+    // outputs, not μ values.
+    let adv = Adversary::none();
+    let params = ProtocolParams::new(10, 2, 3).unwrap();
+    let (local, out_local, mu_local, phases_local) = run_transcript_phases(params, 1, &adv);
+    assert!(!local.is_empty());
+    for threads in [1usize, 2, 8] {
+        let (mut handle, board) =
+            yoso_runtime::tcp::loopback::<Post>().expect("loopback server");
+        assert_eq!(board.backend_name(), "loopback-tcp");
+        let (remote, out_remote, mu_remote, phases_remote) =
+            run_transcript_phases_on(params, threads, &adv, &board);
+        handle.shutdown();
+        assert_eq!(
+            local, remote,
+            "TCP transcript must be byte-identical to in-process at num_threads={threads}"
+        );
+        assert_eq!(out_local, out_remote);
+        assert_eq!(mu_local, mu_remote);
+        assert_eq!(phases_local, phases_remote);
+    }
+}
+
+#[test]
+fn transport_parity_engine_over_tcp_backend() {
+    // The same parity through the public Engine API: configure the run
+    // with BoardBackend::Tcp and compare against the default backend.
+    let circuit = generators::inner_product::<F61>(4).unwrap();
+    let x: Vec<F61> = (1..=4u64).map(f).collect();
+    let y: Vec<F61> = (5..=8u64).map(f).collect();
+    let params = ProtocolParams::new(8, 1, 2).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+    let local = Engine::new(params, ExecutionConfig::default())
+        .run(&mut rng, &circuit, &[x.clone(), y.clone()], &Adversary::none())
+        .unwrap();
+
+    let server =
+        yoso_runtime::BoardServer::bind(std::net::SocketAddr::from(([127, 0, 0, 1], 0))).unwrap();
+    let mut handle = server.spawn().unwrap();
+    let cfg = ExecutionConfig::default()
+        .with_board(yoso_core::BoardBackend::Tcp(handle.addr()))
+        .with_threads(2);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+    let remote = Engine::new(params, cfg)
+        .run(&mut rng, &circuit, &[x, y], &Adversary::none())
+        .unwrap();
+    handle.shutdown();
+
+    assert_eq!(local.outputs, remote.outputs);
+    assert_eq!(local.mu, remote.mu);
+    assert_eq!(local.rounds, remote.rounds);
+    assert_eq!(local.phases, remote.phases);
 }

@@ -48,7 +48,7 @@ proptest! {
             let vals = chain.reencrypt(
                 &mut r, &board, &dec_committee, &cfg, "offline/x",
                 &[(target.public, ct)],
-            );
+            ).unwrap();
             prop_assert_eq!(vals[0].open(target.secret.scalar).unwrap(), m);
 
             // Hand over under an adversarial outgoing committee.
@@ -82,8 +82,9 @@ proptest! {
         let committee = adv.sample_committee(&mut r, "c", n);
         let target = LinearPke::<F61>::keygen(&mut r);
         let (ct, _) = MockTe::encrypt(&mut r, &chain.pk, m);
-        let vals =
-            chain.reencrypt(&mut r, &board, &committee, &cfg, "x", &[(target.public, ct)]);
+        let vals = chain
+            .reencrypt(&mut r, &board, &committee, &cfg, "x", &[(target.public, ct)])
+            .unwrap();
         let (a, b) = vals[0].opening_coefficients().unwrap();
         prop_assert_eq!(a - target.secret.scalar * b, m);
         prop_assert_eq!(vals[0].open(target.secret.scalar).unwrap(), m);

@@ -148,11 +148,17 @@ pub const PROTOCOL_CRATES: [&str; 5] = ["core", "the", "pss", "crypto", "sortiti
 
 /// Modules whose control flow feeds the bulletin-board transcript; any
 /// nondeterminism here breaks the byte-identical-transcript guarantee.
-pub const TRANSCRIPT_MODULES: [&str; 4] = [
+pub const TRANSCRIPT_MODULES: [&str; 7] = [
     "crates/core/src/online.rs",
     "crates/core/src/offline.rs",
     "crates/core/src/parallel.rs",
     "crates/field/src/ntt.rs",
+    // The board transports carry every posting of the transcript:
+    // iteration order or time-dependence here would desynchronize
+    // backends that must produce byte-identical logs.
+    "crates/yoso/src/board.rs",
+    "crates/yoso/src/transport.rs",
+    "crates/yoso/src/tcp.rs",
 ];
 
 /// True if `type_name` names secret material per the registry.

@@ -5,12 +5,21 @@
 //! so broadcast and P2P cost the same (§3.3). The board is therefore
 //! the *single* communication channel of the protocol, and metering
 //! postings measures the protocol's entire communication.
+//!
+//! The board itself is a thin façade over a pluggable
+//! [`BoardTransport`]: the default [`InProcessTransport`] keeps
+//! postings in this process with round-indexed storage; the
+//! [`crate::tcp`] backend talks to a `board-server` process so
+//! committee drivers and auditors can run as separate OS processes.
+//! Metering stays local to the posting process either way.
 
-use parking_lot::RwLock;
 use std::sync::Arc;
 
 use crate::metrics::CommMeter;
 use crate::role::RoleId;
+use crate::transport::{
+    BoardError, BoardTransport, InProcessTransport, PostRecord, WireMessage,
+};
 
 /// One posting on the board.
 #[derive(Debug, Clone)]
@@ -19,10 +28,18 @@ pub struct Posting<M> {
     pub round: u64,
     /// The author role.
     pub from: RoleId,
-    /// The protocol phase the post was metered under.
-    pub phase: String,
+    /// The protocol phase the post was metered under. Shared, not
+    /// owned: every posting of a phase aliases one allocation, so
+    /// cloning a posting (or a whole round slice) never copies the
+    /// label.
+    pub phase: Arc<str>,
     /// The message payload.
     pub message: M,
+    /// Metered size in ring elements (travels with the posting so
+    /// remote auditor processes can rebuild the communication meter).
+    pub elements: u64,
+    /// Metered size in bytes.
+    pub bytes: u64,
 }
 
 /// An append-only bulletin board carrying messages of type `M`,
@@ -30,107 +47,305 @@ pub struct Posting<M> {
 ///
 /// Every post records its size with the [`CommMeter`] under the
 /// supplied phase label; experiments read the meter, tests read the
-/// postings.
-#[derive(Debug, Clone)]
+/// postings. Posting and round methods are fallible because the
+/// backing [`BoardTransport`] may be remote; the in-process backend
+/// never fails.
 pub struct BulletinBoard<M> {
-    inner: Arc<RwLock<BoardInner<M>>>,
+    transport: Arc<dyn BoardTransport<M>>,
     meter: CommMeter,
     audit: bool,
 }
 
-#[derive(Debug)]
-struct BoardInner<M> {
-    postings: Vec<Posting<M>>,
-    round: u64,
+impl<M> std::fmt::Debug for BulletinBoard<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BulletinBoard")
+            .field("backend", &self.transport.backend_name())
+            .field("audit", &self.audit)
+            .finish_non_exhaustive()
+    }
 }
 
-impl<M: Clone> Default for BulletinBoard<M> {
+impl<M> Clone for BulletinBoard<M> {
+    fn clone(&self) -> Self {
+        BulletinBoard {
+            transport: Arc::clone(&self.transport),
+            meter: self.meter.clone(),
+            audit: self.audit,
+        }
+    }
+}
+
+impl<M: Clone + Send + Sync + 'static> Default for BulletinBoard<M> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<M: Clone> BulletinBoard<M> {
-    /// Creates an empty board with a fresh meter.
+impl<M: Clone + Send + Sync + 'static> BulletinBoard<M> {
+    /// Creates an empty in-process board with a fresh meter.
     pub fn new() -> Self {
-        BulletinBoard {
-            inner: Arc::new(RwLock::new(BoardInner { postings: Vec::new(), round: 0 })),
-            meter: CommMeter::new(),
-            audit: true,
-        }
+        Self::with_transport(Arc::new(InProcessTransport::new()))
     }
 
     /// Creates a board that meters traffic but does not retain posting
     /// payloads — used by large-scale experiments where the audit log
     /// would dominate memory.
     pub fn metered_only() -> Self {
-        BulletinBoard {
-            inner: Arc::new(RwLock::new(BoardInner { postings: Vec::new(), round: 0 })),
-            meter: CommMeter::new(),
-            audit: false,
-        }
+        let mut b = Self::new();
+        b.audit = false;
+        b
     }
 
+    /// Creates a board over an explicit transport backend.
+    pub fn with_transport(transport: Arc<dyn BoardTransport<M>>) -> Self {
+        BulletinBoard { transport, meter: CommMeter::new(), audit: true }
+    }
+
+    /// Disables (or re-enables) payload retention: with `audit` off the
+    /// board meters traffic but forwards nothing to the transport.
+    #[must_use]
+    pub fn with_audit(mut self, audit: bool) -> Self {
+        self.audit = audit;
+        self
+    }
+}
+
+impl<M: WireMessage + Clone + Send + Sync + 'static> BulletinBoard<M> {
+    /// Connects to a remote `board-server` at `addr` with the default
+    /// [`crate::tcp::TcpOptions`] (connect retry + I/O timeouts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoardError::Io`] if the server stays unreachable past
+    /// the retry budget.
+    pub fn connect_tcp(addr: std::net::SocketAddr) -> Result<Self, BoardError> {
+        let t = crate::tcp::TcpTransport::connect(addr, crate::tcp::TcpOptions::default())?;
+        Ok(Self::with_transport(Arc::new(t)))
+    }
+}
+
+impl<M> BulletinBoard<M> {
     /// The communication meter recording all posts.
     pub fn meter(&self) -> &CommMeter {
         &self.meter
     }
 
+    /// A short label naming the transport backend (diagnostics).
+    pub fn backend_name(&self) -> &'static str {
+        self.transport.backend_name()
+    }
+
     /// The current round.
-    pub fn round(&self) -> u64 {
-        self.inner.read().round
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures (remote backends only).
+    pub fn round(&self) -> Result<u64, BoardError> {
+        self.transport.round()
     }
 
     /// Advances to the next round (the synchronous model's clock tick).
-    pub fn advance_round(&self) -> u64 {
-        let mut g = self.inner.write();
-        g.round += 1;
-        g.round
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures (remote backends only).
+    pub fn advance_round(&self) -> Result<u64, BoardError> {
+        self.transport.advance_round()
     }
 
     /// Posts a message, recording `elements` ring elements /
     /// `bytes` bytes of traffic under `phase`.
-    pub fn post(&self, from: RoleId, message: M, phase: &str, elements: u64, bytes: u64) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures (remote backends only).
+    pub fn post(
+        &self,
+        from: RoleId,
+        message: M,
+        phase: &str,
+        elements: u64,
+        bytes: u64,
+    ) -> Result<(), BoardError> {
         self.meter.record(phase, elements, bytes);
         if !self.audit {
-            return;
+            return Ok(());
         }
-        let mut g = self.inner.write();
-        let round = g.round;
-        g.postings.push(Posting { round, from, phase: phase.to_string(), message });
+        self.transport.post_batch(vec![PostRecord {
+            from,
+            phase: Arc::from(phase),
+            message,
+            elements,
+            bytes,
+        }])
+    }
+
+    /// Posts a batch of same-sized messages from one role under one
+    /// phase, taking the transport's write lock (or sending one TCP
+    /// frame) **once** for the whole batch. The phase label is
+    /// allocated once and shared by every posting, and in-process
+    /// appends are a monomorphic slice loop — no per-message
+    /// allocation or dispatch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures (remote backends only).
+    pub fn post_batch(
+        &self,
+        from: RoleId,
+        phase: &str,
+        messages: &[M],
+        elements_each: u64,
+        bytes_each: u64,
+    ) -> Result<(), BoardError>
+    where
+        M: Clone,
+    {
+        let count = messages.len() as u64;
+        self.meter.record_many(
+            phase,
+            elements_each * count,
+            bytes_each * count,
+            count,
+        );
+        if !self.audit || messages.is_empty() {
+            return Ok(());
+        }
+        let shared: Arc<str> = Arc::from(phase);
+        self.transport.post_slice(&from, &shared, messages, elements_each, bytes_each)
+    }
+
+    /// Posts a heterogeneous batch (mixed roles, phases and sizes) in
+    /// one transport call — the replay path of the parallel engine's
+    /// post buffers. Metering is aggregated per run of equal phase
+    /// labels, so a single-phase buffer costs one meter update.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures (remote backends only).
+    pub fn post_records(&self, records: Vec<PostRecord<M>>) -> Result<(), BoardError> {
+        let mut i = 0;
+        while i < records.len() {
+            let phase = &records[i].phase;
+            let mut elements = 0u64;
+            let mut bytes = 0u64;
+            let mut count = 0u64;
+            let mut j = i;
+            while j < records.len() && records[j].phase.as_ref() == phase.as_ref() {
+                elements += records[j].elements;
+                bytes += records[j].bytes;
+                count += 1;
+                j += 1;
+            }
+            self.meter.record_many(phase, elements, bytes, count);
+            i = j;
+        }
+        if !self.audit || records.is_empty() {
+            return Ok(());
+        }
+        self.transport.post_batch(records)
     }
 
     /// Number of postings so far.
-    pub fn len(&self) -> usize {
-        self.inner.read().postings.len()
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures (remote backends only).
+    pub fn len(&self) -> Result<usize, BoardError> {
+        self.transport.len()
     }
 
     /// Whether the board is empty.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures (remote backends only).
+    pub fn is_empty(&self) -> Result<bool, BoardError> {
+        Ok(self.len()? == 0)
     }
 
     /// Snapshot of all postings (clones).
-    pub fn postings(&self) -> Vec<Posting<M>> {
-        self.inner.read().postings.clone()
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures (remote backends only).
+    pub fn postings(&self) -> Result<Vec<Posting<M>>, BoardError> {
+        self.transport.read_from(0)
     }
 
-    /// Snapshot of the postings made in `round`.
-    pub fn postings_in_round(&self, round: u64) -> Vec<Posting<M>> {
-        self.inner
-            .read()
-            .postings
-            .iter()
-            .filter(|p| p.round == round)
-            .cloned()
-            .collect()
+    /// Snapshot of the postings made in `round` — `O(round size)`, via
+    /// the transport's per-round index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures (remote backends only).
+    pub fn postings_in_round(&self, round: u64) -> Result<Vec<Posting<M>>, BoardError> {
+        self.transport.read_round(round)
     }
 
-    /// Applies `f` to each posting without cloning.
-    pub fn for_each<Fn2: FnMut(&Posting<M>)>(&self, mut f: Fn2) {
-        for p in self.inner.read().postings.iter() {
-            f(p);
-        }
+    /// Applies `f` to each posting without cloning (in-process
+    /// backends iterate under the read lock).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures (remote backends only).
+    pub fn for_each<F: FnMut(&Posting<M>)>(&self, mut f: F) -> Result<(), BoardError> {
+        self.transport.for_each(&mut f)
+    }
+
+    /// Applies `f` to each posting of `round` without cloning and
+    /// without scanning other rounds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures (remote backends only).
+    pub fn for_each_in_round<F: FnMut(&Posting<M>)>(
+        &self,
+        round: u64,
+        mut f: F,
+    ) -> Result<(), BoardError> {
+        self.transport.for_each_in_round(round, &mut f)
+    }
+
+    /// Opens a cursor-based subscription: each [`BoardCursor::poll`]
+    /// returns only the postings appended since the previous poll, so
+    /// a long-lived reader never re-clones history.
+    pub fn subscribe(&self) -> BoardCursor<M> {
+        BoardCursor { transport: Arc::clone(&self.transport), pos: 0 }
+    }
+}
+
+/// A stateful reader over a board transport: remembers how far it has
+/// read and fetches only the suffix on each poll.
+pub struct BoardCursor<M> {
+    transport: Arc<dyn BoardTransport<M>>,
+    pos: usize,
+}
+
+impl<M> std::fmt::Debug for BoardCursor<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoardCursor")
+            .field("backend", &self.transport.backend_name())
+            .field("pos", &self.pos)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<M> BoardCursor<M> {
+    /// Postings appended since the last poll (empty if none).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures (remote backends only).
+    pub fn poll(&mut self) -> Result<Vec<Posting<M>>, BoardError> {
+        let batch = self.transport.read_from(self.pos)?;
+        self.pos += batch.len();
+        Ok(batch)
+    }
+
+    /// Number of postings consumed so far.
+    pub fn position(&self) -> usize {
+        self.pos
     }
 }
 
@@ -141,25 +356,26 @@ mod tests {
     #[test]
     fn post_and_read_back() {
         let board: BulletinBoard<String> = BulletinBoard::new();
-        assert!(board.is_empty());
-        board.post(RoleId::new("c1", 0), "hello".into(), "offline", 2, 16);
-        board.advance_round();
-        board.post(RoleId::new("c1", 1), "world".into(), "online", 1, 8);
-        assert_eq!(board.len(), 2);
-        assert_eq!(board.round(), 1);
-        let r0 = board.postings_in_round(0);
+        assert!(board.is_empty().unwrap());
+        board.post(RoleId::new("c1", 0), "hello".into(), "offline", 2, 16).unwrap();
+        board.advance_round().unwrap();
+        board.post(RoleId::new("c1", 1), "world".into(), "online", 1, 8).unwrap();
+        assert_eq!(board.len().unwrap(), 2);
+        assert_eq!(board.round().unwrap(), 1);
+        let r0 = board.postings_in_round(0).unwrap();
         assert_eq!(r0.len(), 1);
         assert_eq!(r0[0].message, "hello");
-        let r1 = board.postings_in_round(1);
+        assert_eq!(r0[0].elements, 2);
+        let r1 = board.postings_in_round(1).unwrap();
         assert_eq!(r1[0].from, RoleId::new("c1", 1));
     }
 
     #[test]
     fn metering_accumulates() {
         let board: BulletinBoard<u64> = BulletinBoard::new();
-        board.post(RoleId::new("c", 0), 1, "offline", 3, 24);
-        board.post(RoleId::new("c", 1), 2, "offline", 5, 40);
-        board.post(RoleId::new("c", 2), 3, "online", 1, 8);
+        board.post(RoleId::new("c", 0), 1, "offline", 3, 24).unwrap();
+        board.post(RoleId::new("c", 1), 2, "offline", 5, 40).unwrap();
+        board.post(RoleId::new("c", 2), 3, "online", 1, 8).unwrap();
         let stats = board.meter().phase("offline");
         assert_eq!(stats.elements, 8);
         assert_eq!(stats.bytes, 64);
@@ -172,8 +388,81 @@ mod tests {
     fn board_clones_share_state() {
         let board: BulletinBoard<u64> = BulletinBoard::new();
         let board2 = board.clone();
-        board.post(RoleId::new("c", 0), 7, "x", 1, 8);
-        assert_eq!(board2.len(), 1);
+        board.post(RoleId::new("c", 0), 7, "x", 1, 8).unwrap();
+        assert_eq!(board2.len().unwrap(), 1);
         assert_eq!(board2.meter().total().elements, 1);
+    }
+
+    #[test]
+    fn post_batch_matches_per_post_metering_and_log() {
+        let a: BulletinBoard<u64> = BulletinBoard::new();
+        let b: BulletinBoard<u64> = BulletinBoard::new();
+        let from = RoleId::new("c", 3);
+        for m in 0..5u64 {
+            a.post(from.clone(), m, "offline/x", 2, 16).unwrap();
+        }
+        b.post_batch(from, "offline/x", &[0, 1, 2, 3, 4], 2, 16).unwrap();
+        assert_eq!(a.meter().phase("offline/x"), b.meter().phase("offline/x"));
+        let (pa, pb) = (a.postings().unwrap(), b.postings().unwrap());
+        assert_eq!(pa.len(), pb.len());
+        for (x, y) in pa.iter().zip(pb.iter()) {
+            assert_eq!((x.round, &x.from, &*x.phase, x.message), (y.round, &y.from, &*y.phase, y.message));
+        }
+    }
+
+    #[test]
+    fn post_records_mixed_phases_meter_correctly() {
+        let board: BulletinBoard<u64> = BulletinBoard::new();
+        let recs = vec![
+            PostRecord {
+                from: RoleId::new("c", 0),
+                phase: Arc::from("a"),
+                message: 1,
+                elements: 2,
+                bytes: 16,
+            },
+            PostRecord {
+                from: RoleId::new("c", 1),
+                phase: Arc::from("a"),
+                message: 2,
+                elements: 3,
+                bytes: 24,
+            },
+            PostRecord {
+                from: RoleId::new("c", 2),
+                phase: Arc::from("b"),
+                message: 3,
+                elements: 1,
+                bytes: 8,
+            },
+        ];
+        board.post_records(recs).unwrap();
+        assert_eq!(board.meter().phase("a").elements, 5);
+        assert_eq!(board.meter().phase("a").messages, 2);
+        assert_eq!(board.meter().phase("b").bytes, 8);
+        assert_eq!(board.len().unwrap(), 3);
+    }
+
+    #[test]
+    fn metered_only_skips_storage_but_counts() {
+        let board: BulletinBoard<u64> = BulletinBoard::metered_only();
+        board.post(RoleId::new("c", 0), 1, "x", 4, 32).unwrap();
+        board.post_batch(RoleId::new("c", 1), "x", &[0, 1, 2], 1, 8).unwrap();
+        assert_eq!(board.len().unwrap(), 0);
+        assert_eq!(board.meter().phase("x").messages, 4);
+        assert_eq!(board.meter().phase("x").elements, 7);
+    }
+
+    #[test]
+    fn cursor_subscription_sees_only_new_posts() {
+        let board: BulletinBoard<u64> = BulletinBoard::new();
+        let mut cur = board.subscribe();
+        board.post(RoleId::new("c", 0), 1, "x", 1, 8).unwrap();
+        assert_eq!(cur.poll().unwrap().len(), 1);
+        assert!(cur.poll().unwrap().is_empty());
+        board.post_batch(RoleId::new("c", 1), "x", &[0, 1, 2, 3], 1, 8).unwrap();
+        let batch = cur.poll().unwrap();
+        assert_eq!(batch.len(), 4);
+        assert_eq!(cur.position(), 5);
     }
 }

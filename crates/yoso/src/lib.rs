@@ -36,10 +36,14 @@ pub mod board;
 pub mod metrics;
 pub mod role;
 pub mod sortition;
+pub mod tcp;
+pub mod transport;
 pub mod views;
 
 pub use adversary::{ActiveAttack, Adversary, Behavior};
-pub use board::{BulletinBoard, Posting};
+pub use board::{BoardCursor, BulletinBoard, Posting};
 pub use metrics::{CommMeter, PhaseStats};
 pub use role::{Committee, RoleId, SpeakOnce, SpokeError};
+pub use tcp::{BoardServer, ServerHandle, TcpOptions, TcpTransport};
+pub use transport::{BoardError, BoardTransport, InProcessTransport, PostRecord, WireMessage};
 pub use views::{LeakEntry, LeakLog};

@@ -1,16 +1,21 @@
 //! Roles, committees and the speak-once discipline.
 
 use std::fmt;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
 use crate::adversary::Behavior;
 
 /// Identity of a role: a committee label plus the member index.
+///
+/// The committee label is reference-counted so cloning a `RoleId` —
+/// which batched board posting does once per record — is a refcount
+/// bump, not a string allocation.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct RoleId {
     /// The committee this role belongs to (e.g. `"off-1"`, `"on-3"`).
-    pub committee: String,
+    pub committee: Arc<str>,
     /// 0-based index within the committee.
     pub index: usize,
 }
@@ -18,7 +23,7 @@ pub struct RoleId {
 impl RoleId {
     /// Creates a role id.
     pub fn new(committee: impl Into<String>, index: usize) -> Self {
-        RoleId { committee: committee.into(), index }
+        RoleId { committee: Arc::from(committee.into()), index }
     }
 }
 

@@ -1,0 +1,716 @@
+//! TCP bulletin-board backend: a length-prefix-framed client/server
+//! pair so committee drivers and auditors run as separate OS
+//! processes.
+//!
+//! # Wire protocol
+//!
+//! Every frame is `u32` little-endian length followed by that many
+//! body bytes; the first body byte is an opcode. Requests:
+//!
+//! | op   | name          | body                                        |
+//! |------|---------------|---------------------------------------------|
+//! | 0x01 | `PostBatch`   | `u32` count, then per record: committee str, index `u64`, phase str, elements `u64`, bytes `u64`, payload bytes |
+//! | 0x02 | `AdvanceRound`| —                                           |
+//! | 0x03 | `GetRound`    | —                                           |
+//! | 0x04 | `GetLen`      | —                                           |
+//! | 0x05 | `ReadRound`   | round `u64`                                 |
+//! | 0x06 | `ReadFrom`    | cursor `u64`                                |
+//! | 0x07 | `Shutdown`    | —                                           |
+//!
+//! Responses: `0x80` ok, `0x81` value (`u64`), `0x82` postings
+//! (`u32` count, then per posting: round `u64`, committee str, index
+//! `u64`, phase str, elements `u64`, bytes `u64`, payload bytes),
+//! `0xEE` error (str). Strings and byte strings are `u32`-length
+//! prefixed.
+//!
+//! # Sequencing = determinism
+//!
+//! The server appends each `PostBatch` frame **atomically** under one
+//! lock, in frame-arrival order, tagging records with the current
+//! round — the same total-order contract as the in-process backend's
+//! single write lock. A driver posting from one logical thread (the
+//! engine's coordinator, which already serializes the parallel
+//! workers' buffers in item order) therefore produces a byte-identical
+//! posting log over TCP and in-process; the transport-parity suite in
+//! `yoso-core` asserts exactly that. Message payloads cross the wire
+//! via the deterministic [`WireMessage`] codec, never a `Debug` or
+//! serde format.
+//!
+//! The server stores payloads as opaque bytes — it needs no knowledge
+//! of the message type, so one `board-server` binary serves any
+//! protocol. Clients retry connects (the server may still be starting)
+//! and idempotent reads; posts and round advances are never retried
+//! blindly, so a hard failure surfaces as [`BoardError::Io`] instead
+//! of a duplicated posting.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+// lint:allow(determinism): `Duration` is used only for socket
+// timeouts and retry backoff — no wall-clock value is ever read or
+// enters the posting log, so the transcript stays time-independent.
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::board::Posting;
+use crate::role::RoleId;
+use crate::transport::{
+    put_bytes, put_str, put_u32, put_u64, BoardError, BoardTransport, PostRecord, RoundLog,
+    WireCursor, WireMessage,
+};
+
+/// Frames larger than this are rejected (corrupt length prefix guard).
+const MAX_FRAME: usize = 64 << 20;
+
+mod op {
+    pub const POST_BATCH: u8 = 0x01;
+    pub const ADVANCE_ROUND: u8 = 0x02;
+    pub const GET_ROUND: u8 = 0x03;
+    pub const GET_LEN: u8 = 0x04;
+    pub const READ_ROUND: u8 = 0x05;
+    pub const READ_FROM: u8 = 0x06;
+    pub const SHUTDOWN: u8 = 0x07;
+    pub const RESP_OK: u8 = 0x80;
+    pub const RESP_VALUE: u8 = 0x81;
+    pub const RESP_POSTINGS: u8 = 0x82;
+    pub const RESP_ERR: u8 = 0xEE;
+}
+
+fn io_err(context: &str, e: &std::io::Error) -> BoardError {
+    BoardError::Io(format!("{context}: {e}"))
+}
+
+/// Writes one length-prefixed frame.
+fn write_frame(stream: &mut TcpStream, body: &[u8]) -> Result<(), BoardError> {
+    let len = (body.len() as u32).to_le_bytes();
+    stream.write_all(&len).map_err(|e| io_err("write frame length", &e))?;
+    stream.write_all(body).map_err(|e| io_err("write frame body", &e))?;
+    stream.flush().map_err(|e| io_err("flush frame", &e))
+}
+
+/// Reads one length-prefixed frame. `Ok(None)` means the peer closed
+/// the connection cleanly before a new frame began.
+fn read_frame(stream: &mut TcpStream) -> Result<Option<Vec<u8>>, BoardError> {
+    let mut len_buf = [0u8; 4];
+    match stream.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(io_err("read frame length", &e)),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(BoardError::Protocol(format!("frame of {len} bytes exceeds cap")));
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body).map_err(|e| io_err("read frame body", &e))?;
+    Ok(Some(body))
+}
+
+/// One posting as the server stores it: all board metadata plus the
+/// message payload as opaque bytes.
+#[derive(Debug, Clone)]
+struct RawPosting {
+    round: u64,
+    committee: String,
+    index: u64,
+    phase: String,
+    elements: u64,
+    bytes: u64,
+    payload: Vec<u8>,
+}
+
+fn encode_raw_posting(out: &mut Vec<u8>, p: &RawPosting) {
+    put_u64(out, p.round);
+    put_str(out, &p.committee);
+    put_u64(out, p.index);
+    put_str(out, &p.phase);
+    put_u64(out, p.elements);
+    put_u64(out, p.bytes);
+    put_bytes(out, &p.payload);
+}
+
+fn decode_posting<M: WireMessage>(cur: &mut WireCursor<'_>) -> Result<Posting<M>, BoardError> {
+    let round = cur.u64()?;
+    let committee = cur.str()?.to_string();
+    let index = cur.u64()? as usize;
+    let phase: Arc<str> = Arc::from(cur.str()?);
+    let elements = cur.u64()?;
+    let bytes = cur.u64()?;
+    let payload = cur.bytes()?;
+    let mut pc = WireCursor::new(payload);
+    let message = M::decode(&mut pc)?;
+    Ok(Posting { round, from: RoleId::new(committee, index), phase, message, elements, bytes })
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// State shared between the accept loop and connection handlers.
+#[derive(Debug, Default)]
+struct ServerShared {
+    log: Mutex<RoundLog<RawPosting>>,
+    shutdown: AtomicBool,
+}
+
+impl ServerShared {
+    /// Handles one decoded request body, returning the response body.
+    fn dispatch(&self, body: &[u8]) -> Vec<u8> {
+        match self.try_dispatch(body) {
+            Ok(resp) => resp,
+            Err(e) => {
+                let mut out = vec![op::RESP_ERR];
+                put_str(&mut out, &e.to_string());
+                out
+            }
+        }
+    }
+
+    fn try_dispatch(&self, body: &[u8]) -> Result<Vec<u8>, BoardError> {
+        let mut cur = WireCursor::new(body);
+        let opcode = cur.u8()?;
+        match opcode {
+            op::POST_BATCH => {
+                let count = cur.u32()? as usize;
+                let mut records = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let committee = cur.str()?.to_string();
+                    let index = cur.u64()?;
+                    let phase = cur.str()?.to_string();
+                    let elements = cur.u64()?;
+                    let bytes = cur.u64()?;
+                    let payload = cur.bytes()?.to_vec();
+                    records.push((committee, index, phase, elements, bytes, payload));
+                }
+                // One lock for the whole batch: the atomic append that
+                // makes server arrival order the global posting order.
+                let mut g = self.log.lock();
+                let round = g.round;
+                for (committee, index, phase, elements, bytes, payload) in records {
+                    g.postings.push(RawPosting {
+                        round,
+                        committee,
+                        index,
+                        phase,
+                        elements,
+                        bytes,
+                        payload,
+                    });
+                }
+                Ok(vec![op::RESP_OK])
+            }
+            op::ADVANCE_ROUND => {
+                let round = self.log.lock().advance();
+                let mut out = vec![op::RESP_VALUE];
+                put_u64(&mut out, round);
+                Ok(out)
+            }
+            op::GET_ROUND => {
+                let round = self.log.lock().round;
+                let mut out = vec![op::RESP_VALUE];
+                put_u64(&mut out, round);
+                Ok(out)
+            }
+            op::GET_LEN => {
+                let len = self.log.lock().postings.len() as u64;
+                let mut out = vec![op::RESP_VALUE];
+                put_u64(&mut out, len);
+                Ok(out)
+            }
+            op::READ_ROUND => {
+                let round = cur.u64()?;
+                let g = self.log.lock();
+                let range = g.round_range(round);
+                Ok(encode_postings(&g.postings[range]))
+            }
+            op::READ_FROM => {
+                let cursor = cur.u64()? as usize;
+                let g = self.log.lock();
+                let lo = cursor.min(g.postings.len());
+                Ok(encode_postings(&g.postings[lo..]))
+            }
+            op::SHUTDOWN => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                Ok(vec![op::RESP_OK])
+            }
+            other => Err(BoardError::Protocol(format!("unknown opcode {other:#x}"))),
+        }
+    }
+}
+
+fn encode_postings(postings: &[RawPosting]) -> Vec<u8> {
+    let mut out = vec![op::RESP_POSTINGS];
+    put_u32(&mut out, postings.len() as u32);
+    for p in postings {
+        encode_raw_posting(&mut out, p);
+    }
+    out
+}
+
+fn handle_connection(shared: &ServerShared, mut stream: TcpStream) {
+    // A finite read timeout lets the handler notice a server shutdown
+    // even while a client holds the connection open but idle.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let _ = stream.set_nodelay(true);
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match read_frame(&mut stream) {
+            Ok(Some(body)) => {
+                let resp = shared.dispatch(&body);
+                if write_frame(&mut stream, &resp).is_err() {
+                    return;
+                }
+            }
+            Ok(None) => return, // clean disconnect
+            Err(BoardError::Io(msg))
+                if msg.contains("timed out") || msg.contains("would block") =>
+            {
+                continue; // idle poll tick; re-check the shutdown flag
+            }
+            Err(_) => return, // corrupt frame or hard I/O error
+        }
+    }
+}
+
+/// A board server bound to a TCP address, serving any number of
+/// clients until shut down (via the wire opcode or [`ServerHandle`]).
+#[derive(Debug)]
+pub struct BoardServer {
+    listener: TcpListener,
+    shared: Arc<ServerShared>,
+}
+
+impl BoardServer {
+    /// Binds the server socket (not yet accepting).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoardError::Io`] if binding fails.
+    pub fn bind(addr: SocketAddr) -> Result<Self, BoardError> {
+        let listener = TcpListener::bind(addr).map_err(|e| io_err("bind", &e))?;
+        listener.set_nonblocking(true).map_err(|e| io_err("set_nonblocking", &e))?;
+        Ok(BoardServer { listener, shared: Arc::new(ServerShared::default()) })
+    }
+
+    /// The bound address (with the OS-assigned port when bound to `:0`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoardError::Io`] if the socket has no local address.
+    pub fn local_addr(&self) -> Result<SocketAddr, BoardError> {
+        self.listener.local_addr().map_err(|e| io_err("local_addr", &e))
+    }
+
+    /// Serves connections on the calling thread until a `Shutdown`
+    /// frame arrives (or the process is killed).
+    pub fn serve(self) {
+        accept_loop(&self.listener, &self.shared);
+    }
+
+    /// Serves connections on a background thread; the returned handle
+    /// stops the server when shut down or dropped.
+    pub fn spawn(self) -> Result<ServerHandle, BoardError> {
+        let addr = self.local_addr()?;
+        let shared = Arc::clone(&self.shared);
+        let thread = std::thread::Builder::new()
+            .name("board-server".into())
+            .spawn(move || self.serve())
+            .map_err(|e| io_err("spawn server thread", &e))?;
+        Ok(ServerHandle { addr, shared, thread: Some(thread) })
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                let _ = std::thread::Builder::new()
+                    .name("board-conn".into())
+                    .spawn(move || handle_connection(&shared, stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+}
+
+/// Handle to a background [`BoardServer`]; shuts the server down when
+/// dropped.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The server's listening address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread. Connection
+    /// handlers notice the flag within their poll tick and exit.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// Client-side knobs: connect retry budget and I/O timeouts.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpOptions {
+    /// Connection attempts before giving up (the server may still be
+    /// starting when the committee process launches).
+    pub connect_attempts: u32,
+    /// Delay between connection attempts.
+    pub retry_delay: Duration,
+    /// Read/write timeout on the established stream.
+    pub io_timeout: Duration,
+    /// Extra attempts (with reconnect) for idempotent reads. Posts and
+    /// round advances are never retried: a retry after a partially
+    /// processed frame could duplicate a posting.
+    pub read_retries: u32,
+}
+
+impl Default for TcpOptions {
+    fn default() -> Self {
+        TcpOptions {
+            connect_attempts: 50,
+            retry_delay: Duration::from_millis(40),
+            io_timeout: Duration::from_secs(10),
+            read_retries: 3,
+        }
+    }
+}
+
+/// A [`BoardTransport`] over one TCP connection to a `board-server`.
+///
+/// All requests are serialized on the single connection (one mutex),
+/// which is exactly the ordering the determinism argument needs: the
+/// posting order the server sees is the order this process issued.
+#[derive(Debug)]
+pub struct TcpTransport<M> {
+    addr: SocketAddr,
+    opts: TcpOptions,
+    stream: Mutex<Option<TcpStream>>,
+    _marker: std::marker::PhantomData<fn() -> M>,
+}
+
+impl<M> TcpTransport<M> {
+    /// Connects to `addr`, retrying per `opts` while the server comes
+    /// up.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoardError::Io`] if every attempt fails.
+    pub fn connect(addr: SocketAddr, opts: TcpOptions) -> Result<Self, BoardError> {
+        let stream = connect_with_retry(addr, &opts)?;
+        Ok(TcpTransport {
+            addr,
+            opts,
+            stream: Mutex::new(Some(stream)),
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// The server address this transport talks to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sends `body` and returns the response body. `idempotent`
+    /// requests are retried with a fresh connection on I/O failure.
+    fn call(&self, body: &[u8], idempotent: bool) -> Result<Vec<u8>, BoardError> {
+        let mut guard = self.stream.lock();
+        let attempts = 1 + if idempotent { self.opts.read_retries } else { 0 };
+        let mut last_err = BoardError::Io("no attempt made".into());
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(self.opts.retry_delay);
+            }
+            if guard.is_none() {
+                match connect_with_retry(self.addr, &self.opts) {
+                    Ok(s) => *guard = Some(s),
+                    Err(e) => {
+                        last_err = e;
+                        continue;
+                    }
+                }
+            }
+            let Some(stream) = guard.as_mut() else { continue };
+            let result = write_frame(stream, body).and_then(|()| read_frame(stream));
+            match result {
+                Ok(Some(resp)) => return check_response(resp),
+                Ok(None) => {
+                    last_err = BoardError::Io("server closed the connection".into());
+                    *guard = None;
+                }
+                Err(e) => {
+                    last_err = e;
+                    *guard = None;
+                }
+            }
+        }
+        Err(last_err)
+    }
+}
+
+fn connect_with_retry(addr: SocketAddr, opts: &TcpOptions) -> Result<TcpStream, BoardError> {
+    let mut last = None;
+    for attempt in 0..opts.connect_attempts.max(1) {
+        if attempt > 0 {
+            std::thread::sleep(opts.retry_delay);
+        }
+        match TcpStream::connect_timeout(&addr, opts.io_timeout) {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(opts.io_timeout));
+                let _ = stream.set_write_timeout(Some(opts.io_timeout));
+                return Ok(stream);
+            }
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(BoardError::Io(format!(
+        "could not connect to board server at {addr} after {} attempts: {}",
+        opts.connect_attempts.max(1),
+        last.map(|e| e.to_string()).unwrap_or_else(|| "no error".into())
+    )))
+}
+
+/// Splits a response body into (opcode, payload), surfacing server-side
+/// errors as [`BoardError::Protocol`].
+fn check_response(resp: Vec<u8>) -> Result<Vec<u8>, BoardError> {
+    match resp.first() {
+        None => Err(BoardError::Protocol("empty response frame".into())),
+        Some(&op::RESP_ERR) => {
+            let mut cur = WireCursor::new(&resp[1..]);
+            Err(BoardError::Protocol(format!("server error: {}", cur.str()?)))
+        }
+        Some(_) => Ok(resp),
+    }
+}
+
+fn expect_value(resp: &[u8]) -> Result<u64, BoardError> {
+    let mut cur = WireCursor::new(resp);
+    if cur.u8()? != op::RESP_VALUE {
+        return Err(BoardError::Protocol("expected value response".into()));
+    }
+    cur.u64()
+}
+
+fn expect_postings<M: WireMessage>(resp: &[u8]) -> Result<Vec<Posting<M>>, BoardError> {
+    let mut cur = WireCursor::new(resp);
+    if cur.u8()? != op::RESP_POSTINGS {
+        return Err(BoardError::Protocol("expected postings response".into()));
+    }
+    let count = cur.u32()? as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        out.push(decode_posting(&mut cur)?);
+    }
+    Ok(out)
+}
+
+impl<M: WireMessage + Clone + Send + Sync> BoardTransport<M> for TcpTransport<M> {
+    fn post_batch(&self, records: Vec<PostRecord<M>>) -> Result<(), BoardError> {
+        self.post_stream(&mut records.into_iter()).map(|_| ())
+    }
+
+    fn post_stream(
+        &self,
+        records: &mut dyn Iterator<Item = PostRecord<M>>,
+    ) -> Result<u64, BoardError> {
+        // Stream-encode straight into the frame body; the record count
+        // prefix (bytes 1..5) is patched once the stream is drained.
+        let mut body = vec![op::POST_BATCH, 0, 0, 0, 0];
+        let mut payload = Vec::new();
+        let mut count: u32 = 0;
+        for r in records {
+            put_str(&mut body, &r.from.committee);
+            put_u64(&mut body, r.from.index as u64);
+            put_str(&mut body, &r.phase);
+            put_u64(&mut body, r.elements);
+            put_u64(&mut body, r.bytes);
+            payload.clear();
+            r.message.encode(&mut payload);
+            put_bytes(&mut body, &payload);
+            count += 1;
+        }
+        body[1..5].copy_from_slice(&count.to_le_bytes());
+        let resp = self.call(&body, false)?;
+        if resp.first() != Some(&op::RESP_OK) {
+            return Err(BoardError::Protocol("expected ok response to post".into()));
+        }
+        Ok(u64::from(count))
+    }
+
+    fn advance_round(&self) -> Result<u64, BoardError> {
+        expect_value(&self.call(&[op::ADVANCE_ROUND], false)?)
+    }
+
+    fn round(&self) -> Result<u64, BoardError> {
+        expect_value(&self.call(&[op::GET_ROUND], true)?)
+    }
+
+    fn len(&self) -> Result<usize, BoardError> {
+        Ok(expect_value(&self.call(&[op::GET_LEN], true)?)? as usize)
+    }
+
+    fn read_round(&self, round: u64) -> Result<Vec<Posting<M>>, BoardError> {
+        let mut body = vec![op::READ_ROUND];
+        put_u64(&mut body, round);
+        expect_postings(&self.call(&body, true)?)
+    }
+
+    fn read_from(&self, cursor: usize) -> Result<Vec<Posting<M>>, BoardError> {
+        let mut body = vec![op::READ_FROM];
+        put_u64(&mut body, cursor as u64);
+        expect_postings(&self.call(&body, true)?)
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "loopback-tcp"
+    }
+}
+
+impl<M> TcpTransport<M> {
+    /// Asks the server to shut down (used by tests and single-owner
+    /// deployments; multi-client deployments usually just kill the
+    /// server process).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures reaching the server.
+    pub fn shutdown_server(&self) -> Result<(), BoardError> {
+        let resp = self.call(&[op::SHUTDOWN], false)?;
+        if resp.first() != Some(&op::RESP_OK) {
+            return Err(BoardError::Protocol("expected ok response to shutdown".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Spawns a board server on an ephemeral loopback port and connects a
+/// board to it: the TCP stack exercised end-to-end inside one process
+/// (tests, benches), no free port or second process required.
+///
+/// # Errors
+///
+/// Returns [`BoardError::Io`] if binding or connecting fails.
+pub fn loopback<M: WireMessage + Clone + Send + Sync + 'static>(
+) -> Result<(ServerHandle, crate::BulletinBoard<M>), BoardError> {
+    let server = BoardServer::bind(SocketAddr::from(([127, 0, 0, 1], 0)))?;
+    let handle = server.spawn()?;
+    let board = crate::BulletinBoard::connect_tcp(handle.addr())?;
+    Ok((handle, board))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_post_and_read_roundtrip() {
+        let (mut handle, board) = loopback::<String>().unwrap();
+        board.post(RoleId::new("c1", 0), "hello".into(), "offline", 2, 16).unwrap();
+        board.advance_round().unwrap();
+        board
+            .post_batch(RoleId::new("c1", 1), "online", &["a".to_string(), "b".to_string()], 1, 8)
+            .unwrap();
+        assert_eq!(board.len().unwrap(), 3);
+        assert_eq!(board.round().unwrap(), 1);
+        let r0 = board.postings_in_round(0).unwrap();
+        assert_eq!(r0.len(), 1);
+        assert_eq!(r0[0].message, "hello");
+        assert_eq!(r0[0].elements, 2);
+        assert_eq!(&*r0[0].phase, "offline");
+        let r1 = board.postings_in_round(1).unwrap();
+        assert_eq!(r1.len(), 2);
+        assert_eq!(r1[1].message, "b");
+        assert_eq!(r1[1].from, RoleId::new("c1", 1));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn loopback_cursor_and_meter_rebuild() {
+        let (mut handle, board) = loopback::<u64>().unwrap();
+        let mut cur = board.subscribe();
+        let msgs: Vec<u64> = (0..10).collect();
+        board.post_batch(RoleId::new("c", 0), "offline/x", &msgs, 3, 24).unwrap();
+        let batch = cur.poll().unwrap();
+        assert_eq!(batch.len(), 10);
+        // A remote auditor rebuilds the meter from posting metadata.
+        let total: u64 = batch.iter().map(|p| p.elements).sum();
+        assert_eq!(total, 30);
+        assert_eq!(board.meter().phase("offline/x").elements, 30);
+        assert!(cur.poll().unwrap().is_empty());
+        handle.shutdown();
+    }
+
+    #[test]
+    fn two_clients_share_one_server() {
+        let (mut handle, board_a) = loopback::<u64>().unwrap();
+        let board_b: crate::BulletinBoard<u64> =
+            crate::BulletinBoard::connect_tcp(handle.addr()).unwrap();
+        board_a.post(RoleId::new("c", 0), 1, "x", 1, 8).unwrap();
+        board_b.post(RoleId::new("c", 1), 2, "x", 1, 8).unwrap();
+        // Both observe the same sequenced log.
+        assert_eq!(board_a.len().unwrap(), 2);
+        assert_eq!(board_b.len().unwrap(), 2);
+        let log = board_b.postings().unwrap();
+        assert_eq!(log[0].message, 1);
+        assert_eq!(log[1].message, 2);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn connect_to_dead_server_fails_after_retries() {
+        let opts = TcpOptions {
+            connect_attempts: 2,
+            retry_delay: Duration::from_millis(5),
+            ..TcpOptions::default()
+        };
+        // Bind-then-drop to get a port that is very likely unused.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let res = TcpTransport::<u64>::connect(addr, opts);
+        assert!(matches!(res, Err(BoardError::Io(_))));
+    }
+
+    #[test]
+    fn server_survives_client_disconnect() {
+        let (mut handle, board) = loopback::<u64>().unwrap();
+        board.post(RoleId::new("c", 0), 7, "x", 1, 8).unwrap();
+        drop(board);
+        let board2: crate::BulletinBoard<u64> =
+            crate::BulletinBoard::connect_tcp(handle.addr()).unwrap();
+        assert_eq!(board2.len().unwrap(), 1);
+        handle.shutdown();
+    }
+}

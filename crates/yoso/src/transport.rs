@@ -1,0 +1,533 @@
+//! Pluggable bulletin-board transports.
+//!
+//! The YOSO bulletin board is the protocol's *single* communication
+//! channel (§3.3: broadcast costs the same as point-to-point), so the
+//! board's storage and delivery mechanism is the natural seam for
+//! scaling the simulation beyond one process. [`BoardTransport`]
+//! abstracts that seam: the [`crate::BulletinBoard`] façade keeps its
+//! metering and audit semantics while the transport decides *where*
+//! postings live —
+//!
+//! - [`InProcessTransport`]: the in-memory backend, with **round-indexed
+//!   storage** (a `round_starts` index mapping each round to its slice
+//!   of the posting log) so round-scoped reads are `O(round size)` and
+//!   iteration never clones history;
+//! - [`crate::tcp::TcpTransport`]: a length-prefix-framed TCP client
+//!   talking to a `board-server` process, so committee drivers and
+//!   auditors can run as separate OS processes.
+//!
+//! Every backend must deliver the same **total order** of postings:
+//! posts are sequenced by the backend (append order in-process, server
+//! arrival order over TCP), and a driver posting from a single logical
+//! thread therefore observes byte-identical transcripts over any
+//! backend — the transport-parity suite in `yoso-core` pins this.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::board::Posting;
+use crate::role::RoleId;
+
+/// Errors surfaced by a board transport.
+///
+/// The in-process backend is infallible; TCP backends fail on I/O and
+/// protocol violations. The protocol layers treat any transport error
+/// as fatal for the run (the board is the only channel — without it no
+/// progress is possible).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoardError {
+    /// An I/O failure talking to a remote board (after retries).
+    Io(String),
+    /// The peer violated the wire protocol (bad frame, bad opcode,
+    /// undecodable payload).
+    Protocol(String),
+}
+
+impl std::fmt::Display for BoardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BoardError::Io(msg) => write!(f, "board transport I/O error: {msg}"),
+            BoardError::Protocol(msg) => write!(f, "board wire-protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BoardError {}
+
+/// A board post as submitted by a client: everything a [`Posting`]
+/// carries except the round, which the transport assigns at append
+/// time (server-side sequencing keeps multi-process runs deterministic).
+///
+/// `elements`/`bytes` are the metered size of the post; they travel
+/// with the posting so remote readers (auditor processes) can rebuild
+/// the communication meter without access to the poster's.
+#[derive(Debug, Clone)]
+pub struct PostRecord<M> {
+    /// The author role.
+    pub from: RoleId,
+    /// The protocol phase the post is metered under.
+    pub phase: Arc<str>,
+    /// The message payload.
+    pub message: M,
+    /// Metered size in ring elements.
+    pub elements: u64,
+    /// Metered size in bytes.
+    pub bytes: u64,
+}
+
+/// The transport behind a [`crate::BulletinBoard`]: append-only posting
+/// storage with a round clock and round-scoped reads.
+///
+/// # Ordering contract
+///
+/// `post_batch` appends all records of one call **atomically and in
+/// order** (one lock acquisition in-process, one frame over TCP); the
+/// backend assigns each record the current round and a global sequence
+/// number in arrival order. Two backends fed the same call sequence
+/// from a single thread produce identical posting logs.
+pub trait BoardTransport<M>: Send + Sync {
+    /// Appends a batch of records atomically, tagging each with the
+    /// current round, in the order given.
+    fn post_batch(&self, records: Vec<PostRecord<M>>) -> Result<(), BoardError>;
+
+    /// Streaming variant of [`BoardTransport::post_batch`]: drains the
+    /// iterator straight into the log (or wire frame) without building
+    /// an intermediate `Vec`, and returns how many records were
+    /// appended. The atomicity and ordering contract is the same — the
+    /// whole stream lands under one lock acquisition / in one frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures (remote backends only).
+    fn post_stream(
+        &self,
+        records: &mut dyn Iterator<Item = PostRecord<M>>,
+    ) -> Result<u64, BoardError> {
+        let batch: Vec<PostRecord<M>> = records.collect();
+        let n = batch.len() as u64;
+        self.post_batch(batch)?;
+        Ok(n)
+    }
+
+    /// Uniform-batch fast path: appends every message of the slice as
+    /// a posting from one role under one phase with one metered size —
+    /// the hot path of [`crate::BulletinBoard::post_batch`]. Backends
+    /// with local storage override this to build postings in place
+    /// with a fully monomorphic loop (no per-record virtual dispatch).
+    /// Same atomicity contract as [`BoardTransport::post_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures (remote backends only).
+    fn post_slice(
+        &self,
+        from: &RoleId,
+        phase: &Arc<str>,
+        messages: &[M],
+        elements: u64,
+        bytes: u64,
+    ) -> Result<(), BoardError>
+    where
+        M: Clone,
+    {
+        self.post_stream(&mut messages.iter().map(|message| PostRecord {
+            from: from.clone(),
+            phase: Arc::clone(phase),
+            message: message.clone(),
+            elements,
+            bytes,
+        }))
+        .map(|_| ())
+    }
+
+    /// Advances the synchronous round clock; returns the new round.
+    fn advance_round(&self) -> Result<u64, BoardError>;
+
+    /// The current round.
+    fn round(&self) -> Result<u64, BoardError>;
+
+    /// Total number of postings so far.
+    fn len(&self) -> Result<usize, BoardError>;
+
+    /// Whether the board holds no postings yet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures (remote backends only).
+    fn is_empty(&self) -> Result<bool, BoardError> {
+        Ok(self.len()? == 0)
+    }
+
+    /// All postings made in `round` (clones of that round's slice
+    /// only — `O(round size)`).
+    fn read_round(&self, round: u64) -> Result<Vec<Posting<M>>, BoardError>;
+
+    /// All postings with sequence number `>= cursor` (the cursor-based
+    /// subscription primitive — readers resume where they left off and
+    /// never re-read or re-clone history).
+    fn read_from(&self, cursor: usize) -> Result<Vec<Posting<M>>, BoardError>;
+
+    /// Applies `f` to every posting in order. Backends with local
+    /// storage override this to iterate without cloning.
+    fn for_each(&self, f: &mut dyn FnMut(&Posting<M>)) -> Result<(), BoardError> {
+        for p in self.read_from(0)? {
+            f(&p);
+        }
+        Ok(())
+    }
+
+    /// Applies `f` to every posting of `round` in order. Backends with
+    /// local storage override this to iterate without cloning.
+    fn for_each_in_round(
+        &self,
+        round: u64,
+        f: &mut dyn FnMut(&Posting<M>),
+    ) -> Result<(), BoardError> {
+        for p in self.read_round(round)? {
+            f(&p);
+        }
+        Ok(())
+    }
+
+    /// A short human-readable backend label (diagnostics, bench tables).
+    fn backend_name(&self) -> &'static str;
+}
+
+/// Round-indexed in-memory posting storage shared by the in-process
+/// transport and (in raw-payload form) the TCP server: an append-only
+/// log plus `round_starts`, where `round_starts[r]` is the log index
+/// of round `r`'s first posting. Round `r` occupies
+/// `round_starts[r] .. round_starts[r+1]` (or the log end for the
+/// current round), so round-scoped reads touch exactly that slice.
+#[derive(Debug)]
+pub(crate) struct RoundLog<P> {
+    pub(crate) postings: Vec<P>,
+    pub(crate) round_starts: Vec<usize>,
+    pub(crate) round: u64,
+}
+
+impl<P> Default for RoundLog<P> {
+    fn default() -> Self {
+        RoundLog { postings: Vec::new(), round_starts: vec![0], round: 0 }
+    }
+}
+
+impl<P> RoundLog<P> {
+    /// The `[lo, hi)` log range holding round `round`'s postings.
+    pub(crate) fn round_range(&self, round: u64) -> std::ops::Range<usize> {
+        let r = round as usize;
+        let lo = self.round_starts.get(r).copied().unwrap_or(self.postings.len());
+        let hi =
+            self.round_starts.get(r + 1).copied().unwrap_or(self.postings.len());
+        lo..hi
+    }
+
+    /// Ticks the round clock, sealing the current round's range.
+    pub(crate) fn advance(&mut self) -> u64 {
+        self.round += 1;
+        self.round_starts.push(self.postings.len());
+        self.round
+    }
+}
+
+/// The in-process backend: postings live in this process behind one
+/// `RwLock`, with the [`RoundLog`] index making round reads
+/// `O(round size)` and the `for_each*` overrides clone-free.
+#[derive(Debug, Default)]
+pub struct InProcessTransport<M> {
+    log: RwLock<RoundLog<Posting<M>>>,
+}
+
+impl<M> InProcessTransport<M> {
+    /// Creates an empty in-process board store.
+    pub fn new() -> Self {
+        InProcessTransport { log: RwLock::new(RoundLog::default()) }
+    }
+}
+
+impl<M: Clone + Send + Sync> BoardTransport<M> for InProcessTransport<M> {
+    fn post_batch(&self, records: Vec<PostRecord<M>>) -> Result<(), BoardError> {
+        self.post_stream(&mut records.into_iter()).map(|_| ())
+    }
+
+    fn post_stream(
+        &self,
+        records: &mut dyn Iterator<Item = PostRecord<M>>,
+    ) -> Result<u64, BoardError> {
+        let mut g = self.log.write();
+        let round = g.round;
+        let before = g.postings.len();
+        g.postings.reserve(records.size_hint().0);
+        g.postings.extend(records.map(|r| Posting {
+            round,
+            from: r.from,
+            phase: r.phase,
+            message: r.message,
+            elements: r.elements,
+            bytes: r.bytes,
+        }));
+        Ok((g.postings.len() - before) as u64)
+    }
+
+    fn post_slice(
+        &self,
+        from: &RoleId,
+        phase: &Arc<str>,
+        messages: &[M],
+        elements: u64,
+        bytes: u64,
+    ) -> Result<(), BoardError> {
+        let mut g = self.log.write();
+        let round = g.round;
+        g.postings.reserve(messages.len());
+        g.postings.extend(messages.iter().map(|message| Posting {
+            round,
+            from: from.clone(),
+            phase: Arc::clone(phase),
+            message: message.clone(),
+            elements,
+            bytes,
+        }));
+        Ok(())
+    }
+
+    fn advance_round(&self) -> Result<u64, BoardError> {
+        Ok(self.log.write().advance())
+    }
+
+    fn round(&self) -> Result<u64, BoardError> {
+        Ok(self.log.read().round)
+    }
+
+    fn len(&self) -> Result<usize, BoardError> {
+        Ok(self.log.read().postings.len())
+    }
+
+    fn read_round(&self, round: u64) -> Result<Vec<Posting<M>>, BoardError> {
+        let g = self.log.read();
+        Ok(g.postings[g.round_range(round)].to_vec())
+    }
+
+    fn read_from(&self, cursor: usize) -> Result<Vec<Posting<M>>, BoardError> {
+        let g = self.log.read();
+        let lo = cursor.min(g.postings.len());
+        Ok(g.postings[lo..].to_vec())
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(&Posting<M>)) -> Result<(), BoardError> {
+        for p in self.log.read().postings.iter() {
+            f(p);
+        }
+        Ok(())
+    }
+
+    fn for_each_in_round(
+        &self,
+        round: u64,
+        f: &mut dyn FnMut(&Posting<M>),
+    ) -> Result<(), BoardError> {
+        let g = self.log.read();
+        for p in &g.postings[g.round_range(round)] {
+            f(p);
+        }
+        Ok(())
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "in-process"
+    }
+}
+
+/// A value with a canonical byte encoding for the TCP board wire.
+///
+/// The workspace's `serde` is an offline marker-trait shim (no wire
+/// format), so board messages that cross process boundaries implement
+/// this hand-rolled codec instead. Encodings must be deterministic:
+/// the transcript-parity guarantee compares re-decoded postings
+/// byte-for-byte.
+pub trait WireMessage: Sized {
+    /// Appends the canonical encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decodes one value from the cursor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoardError::Protocol`] on malformed input.
+    fn decode(cur: &mut WireCursor<'_>) -> Result<Self, BoardError>;
+}
+
+/// A read cursor over a received wire buffer.
+#[derive(Debug)]
+pub struct WireCursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireCursor<'a> {
+    /// Wraps a buffer for decoding.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireCursor { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], BoardError> {
+        if self.remaining() < n {
+            return Err(BoardError::Protocol(format!(
+                "truncated frame: wanted {n} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, BoardError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, BoardError> {
+        let b = self.take(4)?;
+        let mut a = [0u8; 4];
+        a.copy_from_slice(b);
+        Ok(u32::from_le_bytes(a))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, BoardError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8], BoardError> {
+        let n = self.u32()? as usize;
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str, BoardError> {
+        std::str::from_utf8(self.bytes()?)
+            .map_err(|e| BoardError::Protocol(format!("non-UTF-8 string on wire: {e}")))
+    }
+}
+
+/// Appends a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a length-prefixed byte string.
+pub fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+impl WireMessage for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_str(out, self);
+    }
+
+    fn decode(cur: &mut WireCursor<'_>) -> Result<Self, BoardError> {
+        Ok(cur.str()?.to_string())
+    }
+}
+
+impl WireMessage for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, *self);
+    }
+
+    fn decode(cur: &mut WireCursor<'_>) -> Result<Self, BoardError> {
+        cur.u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(i: usize, phase: &str) -> PostRecord<u64> {
+        PostRecord {
+            from: RoleId::new("c", i),
+            phase: Arc::from(phase),
+            message: i as u64,
+            elements: 1,
+            bytes: 8,
+        }
+    }
+
+    #[test]
+    fn round_index_partitions_log() {
+        let t = InProcessTransport::<u64>::new();
+        t.post_batch(vec![rec(0, "a"), rec(1, "a")]).unwrap();
+        t.advance_round().unwrap();
+        t.post_batch(vec![rec(2, "b")]).unwrap();
+        t.advance_round().unwrap();
+        // Round 2 is empty so far.
+        assert_eq!(t.len().unwrap(), 3);
+        assert_eq!(t.read_round(0).unwrap().len(), 2);
+        assert_eq!(t.read_round(1).unwrap().len(), 1);
+        assert_eq!(t.read_round(1).unwrap()[0].message, 2);
+        assert!(t.read_round(2).unwrap().is_empty());
+        assert!(t.read_round(99).unwrap().is_empty());
+    }
+
+    #[test]
+    fn cursor_reads_resume() {
+        let t = InProcessTransport::<u64>::new();
+        t.post_batch(vec![rec(0, "a")]).unwrap();
+        let first = t.read_from(0).unwrap();
+        assert_eq!(first.len(), 1);
+        t.post_batch(vec![rec(1, "a"), rec(2, "a")]).unwrap();
+        let rest = t.read_from(first.len()).unwrap();
+        assert_eq!(rest.len(), 2);
+        assert_eq!(rest[0].message, 1);
+        assert!(t.read_from(3).unwrap().is_empty());
+        assert!(t.read_from(100).unwrap().is_empty());
+    }
+
+    #[test]
+    fn for_each_in_round_visits_exactly_that_round() {
+        let t = InProcessTransport::<u64>::new();
+        t.post_batch(vec![rec(0, "a")]).unwrap();
+        t.advance_round().unwrap();
+        t.post_batch(vec![rec(1, "b"), rec(2, "b")]).unwrap();
+        let mut seen = Vec::new();
+        t.for_each_in_round(1, &mut |p| seen.push(p.message)).unwrap();
+        assert_eq!(seen, vec![1, 2]);
+    }
+
+    #[test]
+    fn wire_roundtrip_primitives() {
+        let mut out = Vec::new();
+        put_u64(&mut out, 0xDEAD_BEEF_0BAD_F00D);
+        put_str(&mut out, "offline/1-beaver");
+        put_bytes(&mut out, &[1, 2, 3]);
+        let mut cur = WireCursor::new(&out);
+        assert_eq!(cur.u64().unwrap(), 0xDEAD_BEEF_0BAD_F00D);
+        assert_eq!(cur.str().unwrap(), "offline/1-beaver");
+        assert_eq!(cur.bytes().unwrap(), &[1, 2, 3]);
+        assert_eq!(cur.remaining(), 0);
+        assert!(cur.u8().is_err());
+    }
+}

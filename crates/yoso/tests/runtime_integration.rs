@@ -11,26 +11,26 @@ fn rounds_partition_postings() {
     let board: BulletinBoard<u32> = BulletinBoard::new();
     for round in 0..3u64 {
         for i in 0..4 {
-            board.post(RoleId::new("c", i), round as u32 * 10 + i as u32, "p", 1, 8);
+            board.post(RoleId::new("c", i), round as u32 * 10 + i as u32, "p", 1, 8).unwrap();
         }
-        board.advance_round();
+        board.advance_round().unwrap();
     }
-    assert_eq!(board.round(), 3);
+    assert_eq!(board.round().unwrap(), 3);
     for round in 0..3u64 {
-        let posts = board.postings_in_round(round);
+        let posts = board.postings_in_round(round).unwrap();
         assert_eq!(posts.len(), 4);
         assert!(posts.iter().all(|p| p.round == round));
     }
-    assert_eq!(board.len(), 12);
+    assert_eq!(board.len().unwrap(), 12);
 }
 
 #[test]
 fn metered_only_board_counts_but_stores_nothing() {
     let board: BulletinBoard<u32> = BulletinBoard::metered_only();
     for i in 0..100 {
-        board.post(RoleId::new("c", i), i as u32, "phase", 3, 24);
+        board.post(RoleId::new("c", i), i as u32, "phase", 3, 24).unwrap();
     }
-    assert_eq!(board.len(), 0, "no audit log retained");
+    assert_eq!(board.len().unwrap(), 0, "no audit log retained");
     assert_eq!(board.meter().phase("phase").elements, 300);
     assert_eq!(board.meter().phase("phase").messages, 100);
 }
@@ -43,13 +43,13 @@ fn committee_tokens_enforce_speak_once_per_role() {
     // Every role speaks exactly once.
     for token in &mut tokens {
         let role = token.speak().expect("first message allowed");
-        board.post(role, "msg", "p", 1, 8);
+        board.post(role, "msg", "p", 1, 8).unwrap();
     }
     // No role can speak again.
     for token in &mut tokens {
         assert!(token.speak().is_err(), "second message must be rejected");
     }
-    assert_eq!(board.len(), 5);
+    assert_eq!(board.len().unwrap(), 5);
 }
 
 #[test]
@@ -116,9 +116,9 @@ fn sortition_committee_size_concentrates() {
 #[test]
 fn meter_phase_prefixes_aggregate() {
     let board: BulletinBoard<()> = BulletinBoard::new();
-    board.post(RoleId::new("a", 0), (), "online/1-keydist", 5, 40);
-    board.post(RoleId::new("a", 1), (), "online/3-mult", 7, 56);
-    board.post(RoleId::new("a", 2), (), "offline/1-beaver", 11, 88);
+    board.post(RoleId::new("a", 0), (), "online/1-keydist", 5, 40).unwrap();
+    board.post(RoleId::new("a", 1), (), "online/3-mult", 7, 56).unwrap();
+    board.post(RoleId::new("a", 2), (), "offline/1-beaver", 11, 88).unwrap();
     assert_eq!(board.meter().phase_prefix("online").elements, 12);
     assert_eq!(board.meter().phase_prefix("offline").elements, 11);
     assert_eq!(board.meter().total().elements, 23);
