@@ -49,7 +49,7 @@ pub enum Post {
 }
 
 impl WireMessage for Post {
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), BoardError> {
         match self {
             Post::Contribution { step, ciphertexts } => {
                 out.push(0);
@@ -71,6 +71,7 @@ impl WireMessage for Post {
             Post::BaselineInput => out.push(6),
             Post::BaselinePartialDec => out.push(7),
         }
+        Ok(())
     }
 
     fn decode(cur: &mut WireCursor<'_>) -> Result<Self, BoardError> {
@@ -181,7 +182,7 @@ mod tests {
         ];
         for p in posts {
             let mut buf = Vec::new();
-            p.encode(&mut buf);
+            p.encode(&mut buf).unwrap();
             let mut cur = WireCursor::new(&buf);
             assert_eq!(Post::decode(&mut cur).unwrap(), p);
         }

@@ -36,6 +36,14 @@
 //! via the deterministic [`WireMessage`] codec, never a `Debug` or
 //! serde format.
 //!
+//! A logical batch whose encoding exceeds [`TcpOptions::max_post_frame_bytes`]
+//! is split client-side into several consecutive `PostBatch` frames
+//! sent back-to-back on the one connection (the lock is held across
+//! all chunks), so arbitrarily large buffer flushes stay under the
+//! server's frame cap without reordering; each frame is still appended
+//! atomically, but whole-batch atomicity is relaxed to per-frame for
+//! oversized batches.
+//!
 //! The server stores payloads as opaque bytes — it needs no knowledge
 //! of the message type, so one `board-server` binary serves any
 //! protocol. Clients retry connects (the server may still be starting)
@@ -84,14 +92,21 @@ fn io_err(context: &str, e: &std::io::Error) -> BoardError {
 
 /// Writes one length-prefixed frame.
 fn write_frame(stream: &mut TcpStream, body: &[u8]) -> Result<(), BoardError> {
-    let len = (body.len() as u32).to_le_bytes();
-    stream.write_all(&len).map_err(|e| io_err("write frame length", &e))?;
+    let len = u32::try_from(body.len()).map_err(|_| {
+        BoardError::Protocol(format!(
+            "frame body of {} bytes exceeds the u32 length prefix",
+            body.len()
+        ))
+    })?;
+    stream.write_all(&len.to_le_bytes()).map_err(|e| io_err("write frame length", &e))?;
     stream.write_all(body).map_err(|e| io_err("write frame body", &e))?;
     stream.flush().map_err(|e| io_err("flush frame", &e))
 }
 
-/// Reads one length-prefixed frame. `Ok(None)` means the peer closed
-/// the connection cleanly before a new frame began.
+/// Reads one length-prefixed frame (client side: a read timeout here is
+/// a hard error — the caller drops and reconnects, so partial reads
+/// cannot desync the stream). `Ok(None)` means the peer closed the
+/// connection cleanly before a new frame began.
 fn read_frame(stream: &mut TcpStream) -> Result<Option<Vec<u8>>, BoardError> {
     let mut len_buf = [0u8; 4];
     match stream.read_exact(&mut len_buf) {
@@ -108,6 +123,92 @@ fn read_frame(stream: &mut TcpStream) -> Result<Option<Vec<u8>>, BoardError> {
     Ok(Some(body))
 }
 
+/// Whether an I/O error is a socket read-timeout expiry. On Unix a
+/// `SO_RCVTIMEO` expiry surfaces as `WouldBlock` ("Resource temporarily
+/// unavailable"), on Windows as `TimedOut` — match the [`std::io::ErrorKind`],
+/// never the display string.
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+}
+
+/// Outcome of one poll-aware server-side frame read.
+enum FrameRead {
+    /// A complete frame body.
+    Frame(Vec<u8>),
+    /// The poll timeout expired before any byte of the next frame
+    /// arrived — the connection is idle, not broken.
+    Idle,
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+}
+
+/// Consecutive idle-poll ticks tolerated *mid-frame* before the
+/// connection is declared dead (300 × 200ms = 60s without a byte).
+const MAX_MIDFRAME_STALL_TICKS: u32 = 300;
+
+/// Reads one frame on a connection whose read timeout doubles as the
+/// idle-poll tick. A timeout before the first byte of the next frame is
+/// `Idle` (the caller re-checks its shutdown flag and polls again); a
+/// timeout *mid-frame* keeps reading from where the partial read left
+/// off — `read_exact` discards consumed bytes on timeout, so restarting
+/// the frame would desync the stream. A peer that stalls mid-frame for
+/// [`MAX_MIDFRAME_STALL_TICKS`] consecutive ticks is treated as dead.
+fn read_frame_polled(stream: &mut TcpStream) -> Result<FrameRead, BoardError> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0usize;
+    let mut stalled = 0u32;
+    while filled < len_buf.len() {
+        match stream.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(FrameRead::Closed),
+            Ok(0) => {
+                return Err(BoardError::Protocol("peer closed mid-frame".into()));
+            }
+            Ok(n) => {
+                filled += n;
+                stalled = 0;
+            }
+            Err(e) if is_timeout(&e) => {
+                if filled == 0 {
+                    return Ok(FrameRead::Idle);
+                }
+                stalled += 1;
+                if stalled > MAX_MIDFRAME_STALL_TICKS {
+                    return Err(io_err("read frame length (peer stalled mid-frame)", &e));
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(io_err("read frame length", &e)),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(BoardError::Protocol(format!("frame of {len} bytes exceeds cap")));
+    }
+    let mut body = vec![0u8; len];
+    let mut got = 0usize;
+    let mut stalled = 0u32;
+    while got < len {
+        match stream.read(&mut body[got..]) {
+            Ok(0) => {
+                return Err(BoardError::Protocol("peer closed mid-frame".into()));
+            }
+            Ok(n) => {
+                got += n;
+                stalled = 0;
+            }
+            Err(e) if is_timeout(&e) => {
+                stalled += 1;
+                if stalled > MAX_MIDFRAME_STALL_TICKS {
+                    return Err(io_err("read frame body (peer stalled mid-frame)", &e));
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(io_err("read frame body", &e)),
+        }
+    }
+    Ok(FrameRead::Frame(body))
+}
+
 /// One posting as the server stores it: all board metadata plus the
 /// message payload as opaque bytes.
 #[derive(Debug, Clone)]
@@ -121,14 +222,26 @@ struct RawPosting {
     payload: Vec<u8>,
 }
 
-fn encode_raw_posting(out: &mut Vec<u8>, p: &RawPosting) {
+fn encode_raw_posting(out: &mut Vec<u8>, p: &RawPosting) -> Result<(), BoardError> {
     put_u64(out, p.round);
-    put_str(out, &p.committee);
+    put_str(out, &p.committee)?;
     put_u64(out, p.index);
-    put_str(out, &p.phase);
+    put_str(out, &p.phase)?;
     put_u64(out, p.elements);
     put_u64(out, p.bytes);
-    put_bytes(out, &p.payload);
+    put_bytes(out, &p.payload)
+}
+
+/// Builds a `RESP_ERR` body carrying `msg`.
+fn err_response(msg: &str) -> Vec<u8> {
+    let mut out = vec![op::RESP_ERR];
+    if put_str(&mut out, msg).is_err() {
+        // An error string over u32::MAX bytes cannot occur in practice;
+        // keep the frame well-formed if it somehow does.
+        out.truncate(1);
+        let _ = put_str(&mut out, "error message too large");
+    }
+    out
 }
 
 fn decode_posting<M: WireMessage>(cur: &mut WireCursor<'_>) -> Result<Posting<M>, BoardError> {
@@ -160,11 +273,7 @@ impl ServerShared {
     fn dispatch(&self, body: &[u8]) -> Vec<u8> {
         match self.try_dispatch(body) {
             Ok(resp) => resp,
-            Err(e) => {
-                let mut out = vec![op::RESP_ERR];
-                put_str(&mut out, &e.to_string());
-                out
-            }
+            Err(e) => err_response(&e.to_string()),
         }
     }
 
@@ -223,13 +332,13 @@ impl ServerShared {
                 let round = cur.u64()?;
                 let g = self.log.lock();
                 let range = g.round_range(round);
-                Ok(encode_postings(&g.postings[range]))
+                encode_postings(&g.postings[range])
             }
             op::READ_FROM => {
                 let cursor = cur.u64()? as usize;
                 let g = self.log.lock();
                 let lo = cursor.min(g.postings.len());
-                Ok(encode_postings(&g.postings[lo..]))
+                encode_postings(&g.postings[lo..])
             }
             op::SHUTDOWN => {
                 self.shutdown.store(true, Ordering::SeqCst);
@@ -240,38 +349,47 @@ impl ServerShared {
     }
 }
 
-fn encode_postings(postings: &[RawPosting]) -> Vec<u8> {
+fn encode_postings(postings: &[RawPosting]) -> Result<Vec<u8>, BoardError> {
+    let count = u32::try_from(postings.len()).map_err(|_| {
+        BoardError::Protocol(format!("{} postings exceed the u32 count prefix", postings.len()))
+    })?;
     let mut out = vec![op::RESP_POSTINGS];
-    put_u32(&mut out, postings.len() as u32);
+    put_u32(&mut out, count);
     for p in postings {
-        encode_raw_posting(&mut out, p);
+        encode_raw_posting(&mut out, p)?;
     }
-    out
+    Ok(out)
 }
 
 fn handle_connection(shared: &ServerShared, mut stream: TcpStream) {
     // A finite read timeout lets the handler notice a server shutdown
-    // even while a client holds the connection open but idle.
+    // even while a client holds the connection open but idle;
+    // `read_frame_polled` reports those expiries as `FrameRead::Idle`
+    // only while no frame is in flight.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
     let _ = stream.set_nodelay(true);
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        match read_frame(&mut stream) {
-            Ok(Some(body)) => {
+        match read_frame_polled(&mut stream) {
+            Ok(FrameRead::Frame(body)) => {
                 let resp = shared.dispatch(&body);
                 if write_frame(&mut stream, &resp).is_err() {
                     return;
                 }
             }
-            Ok(None) => return, // clean disconnect
-            Err(BoardError::Io(msg))
-                if msg.contains("timed out") || msg.contains("would block") =>
-            {
-                continue; // idle poll tick; re-check the shutdown flag
+            Ok(FrameRead::Idle) => continue, // re-check the shutdown flag
+            Ok(FrameRead::Closed) => return, // clean disconnect
+            Err(e) => {
+                // Framing violation or hard I/O error: the stream
+                // position is no longer trustworthy, so the connection
+                // must close — but name the cause first, so the
+                // client's non-retried post surfaces the violation
+                // instead of a generic "server closed the connection".
+                let _ = write_frame(&mut stream, &err_response(&e.to_string()));
+                return;
             }
-            Err(_) => return, // corrupt frame or hard I/O error
         }
     }
 }
@@ -393,6 +511,12 @@ pub struct TcpOptions {
     /// round advances are never retried: a retry after a partially
     /// processed frame could duplicate a posting.
     pub read_retries: u32,
+    /// Soft cap on one `PostBatch` frame body. A logical batch larger
+    /// than this (a full parallel buffer flush can exceed the server's
+    /// 64MB frame cap) is split into multiple frames, sent back-to-back
+    /// on the single connection — see [`TcpTransport::post_stream`] for
+    /// the atomicity contract. Clamped to [`MAX_FRAME`].
+    pub max_post_frame_bytes: usize,
 }
 
 impl Default for TcpOptions {
@@ -402,6 +526,7 @@ impl Default for TcpOptions {
             retry_delay: Duration::from_millis(40),
             io_timeout: Duration::from_secs(10),
             read_retries: 3,
+            max_post_frame_bytes: MAX_FRAME / 2,
         }
     }
 }
@@ -414,6 +539,10 @@ impl Default for TcpOptions {
 #[derive(Debug)]
 pub struct TcpTransport<M> {
     addr: SocketAddr,
+    /// Backend label: `"loopback-tcp"` when `addr` is a loopback
+    /// address, `"tcp"` for a genuinely remote server — diagnostics and
+    /// bench tables should name the actual deployment shape.
+    label: &'static str,
     opts: TcpOptions,
     stream: Mutex<Option<TcpStream>>,
     _marker: std::marker::PhantomData<fn() -> M>,
@@ -428,8 +557,10 @@ impl<M> TcpTransport<M> {
     /// Returns [`BoardError::Io`] if every attempt fails.
     pub fn connect(addr: SocketAddr, opts: TcpOptions) -> Result<Self, BoardError> {
         let stream = connect_with_retry(addr, &opts)?;
+        let label = if addr.ip().is_loopback() { "loopback-tcp" } else { "tcp" };
         Ok(TcpTransport {
             addr,
+            label,
             opts,
             stream: Mutex::new(Some(stream)),
             _marker: std::marker::PhantomData,
@@ -445,6 +576,18 @@ impl<M> TcpTransport<M> {
     /// requests are retried with a fresh connection on I/O failure.
     fn call(&self, body: &[u8], idempotent: bool) -> Result<Vec<u8>, BoardError> {
         let mut guard = self.stream.lock();
+        self.call_locked(&mut guard, body, idempotent)
+    }
+
+    /// [`Self::call`] against an already-locked connection slot, so a
+    /// multi-frame operation (chunked `post_stream`) keeps its frames
+    /// contiguous in the server's arrival order.
+    fn call_locked(
+        &self,
+        guard: &mut Option<TcpStream>,
+        body: &[u8],
+        idempotent: bool,
+    ) -> Result<Vec<u8>, BoardError> {
         let attempts = 1 + if idempotent { self.opts.read_retries } else { 0 };
         let mut last_err = BoardError::Io("no attempt made".into());
         for attempt in 0..attempts {
@@ -475,6 +618,24 @@ impl<M> TcpTransport<M> {
             }
         }
         Err(last_err)
+    }
+
+    /// Sends one `PostBatch` frame holding `count` records: patches the
+    /// count prefix, issues the call on the locked connection, and
+    /// resets `body` to an empty `PostBatch` header for the next chunk.
+    fn send_post_frame(
+        &self,
+        guard: &mut Option<TcpStream>,
+        body: &mut Vec<u8>,
+        count: u32,
+    ) -> Result<(), BoardError> {
+        body[1..5].copy_from_slice(&count.to_le_bytes());
+        let resp = self.call_locked(guard, body, false)?;
+        if resp.first() != Some(&op::RESP_OK) {
+            return Err(BoardError::Protocol("expected ok response to post".into()));
+        }
+        body.truncate(5);
+        Ok(())
     }
 }
 
@@ -545,27 +706,51 @@ impl<M: WireMessage + Clone + Send + Sync> BoardTransport<M> for TcpTransport<M>
         records: &mut dyn Iterator<Item = PostRecord<M>>,
     ) -> Result<u64, BoardError> {
         // Stream-encode straight into the frame body; the record count
-        // prefix (bytes 1..5) is patched once the stream is drained.
+        // prefix (bytes 1..5) is patched when each frame is sent. A
+        // batch whose encoding would exceed `max_post_frame_bytes` is
+        // split across several frames (the server's 64MB frame cap
+        // would otherwise reject a large parallel buffer flush). The
+        // connection lock is held across all chunks, so the sub-batches
+        // land contiguously in the server's arrival order; each frame
+        // is appended atomically, and a failure between frames can
+        // leave a prefix of the batch posted — the same
+        // "no blind retry" contract as a single lost post.
+        let chunk_cap = self.opts.max_post_frame_bytes.min(MAX_FRAME);
         let mut body = vec![op::POST_BATCH, 0, 0, 0, 0];
+        let mut record_buf = Vec::new();
         let mut payload = Vec::new();
         let mut count: u32 = 0;
+        let mut total: u64 = 0;
+        let mut guard = self.stream.lock();
         for r in records {
-            put_str(&mut body, &r.from.committee);
-            put_u64(&mut body, r.from.index as u64);
-            put_str(&mut body, &r.phase);
-            put_u64(&mut body, r.elements);
-            put_u64(&mut body, r.bytes);
+            record_buf.clear();
+            put_str(&mut record_buf, &r.from.committee)?;
+            put_u64(&mut record_buf, r.from.index as u64);
+            put_str(&mut record_buf, &r.phase)?;
+            put_u64(&mut record_buf, r.elements);
+            put_u64(&mut record_buf, r.bytes);
             payload.clear();
-            r.message.encode(&mut payload);
-            put_bytes(&mut body, &payload);
+            r.message.encode(&mut payload)?;
+            put_bytes(&mut record_buf, &payload)?;
+            if 5 + record_buf.len() > MAX_FRAME {
+                return Err(BoardError::Protocol(format!(
+                    "single posting of {} encoded bytes exceeds the {MAX_FRAME}-byte frame cap",
+                    record_buf.len()
+                )));
+            }
+            if count > 0 && body.len() + record_buf.len() > chunk_cap {
+                self.send_post_frame(&mut guard, &mut body, count)?;
+                total += u64::from(count);
+                count = 0;
+            }
+            body.extend_from_slice(&record_buf);
             count += 1;
         }
-        body[1..5].copy_from_slice(&count.to_le_bytes());
-        let resp = self.call(&body, false)?;
-        if resp.first() != Some(&op::RESP_OK) {
-            return Err(BoardError::Protocol("expected ok response to post".into()));
+        if count > 0 || total == 0 {
+            self.send_post_frame(&mut guard, &mut body, count)?;
+            total += u64::from(count);
         }
-        Ok(u64::from(count))
+        Ok(total)
     }
 
     fn advance_round(&self) -> Result<u64, BoardError> {
@@ -593,7 +778,7 @@ impl<M: WireMessage + Clone + Send + Sync> BoardTransport<M> for TcpTransport<M>
     }
 
     fn backend_name(&self) -> &'static str {
-        "loopback-tcp"
+        self.label
     }
 }
 
@@ -701,6 +886,86 @@ mod tests {
         };
         let res = TcpTransport::<u64>::connect(addr, opts);
         assert!(matches!(res, Err(BoardError::Io(_))));
+    }
+
+    fn read_raw_frame(s: &mut TcpStream) -> Vec<u8> {
+        let mut len = [0u8; 4];
+        s.read_exact(&mut len).unwrap();
+        let mut body = vec![0u8; u32::from_le_bytes(len) as usize];
+        s.read_exact(&mut body).unwrap();
+        body
+    }
+
+    #[test]
+    fn idle_client_survives_poll_timeouts() {
+        // A driver computing for longer than the server's 200ms poll
+        // tick must not be disconnected: the tick is an idle signal,
+        // not a deadline (SO_RCVTIMEO expiry is WouldBlock on Unix).
+        let (mut handle, board) = loopback::<u64>().unwrap();
+        board.post(RoleId::new("c", 0), 1, "x", 1, 8).unwrap();
+        std::thread::sleep(Duration::from_millis(600));
+        board.post(RoleId::new("c", 1), 2, "x", 1, 8).unwrap();
+        assert_eq!(board.len().unwrap(), 2);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn slow_mid_frame_write_is_not_treated_as_idle() {
+        // Once a frame has started, poll-timeout expiries must continue
+        // the read from the partial position instead of restarting the
+        // frame (which would desync) or dropping the connection.
+        let server = BoardServer::bind(SocketAddr::from(([127, 0, 0, 1], 0))).unwrap();
+        let mut handle = server.spawn().unwrap();
+        let mut s = TcpStream::connect(handle.addr()).unwrap();
+        s.write_all(&1u32.to_le_bytes()).unwrap(); // length prefix only
+        s.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(500)); // > 2 poll ticks
+        s.write_all(&[op::GET_ROUND]).unwrap(); // frame body, late
+        s.flush().unwrap();
+        let resp = read_raw_frame(&mut s);
+        assert_eq!(resp.first(), Some(&op::RESP_VALUE));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn oversized_frame_gets_named_error_before_close() {
+        let server = BoardServer::bind(SocketAddr::from(([127, 0, 0, 1], 0))).unwrap();
+        let mut handle = server.spawn().unwrap();
+        let mut s = TcpStream::connect(handle.addr()).unwrap();
+        s.write_all(&u32::MAX.to_le_bytes()).unwrap(); // ~4GiB "frame"
+        s.flush().unwrap();
+        let resp = read_raw_frame(&mut s);
+        assert_eq!(resp.first(), Some(&op::RESP_ERR));
+        let mut cur = WireCursor::new(&resp[1..]);
+        assert!(cur.str().unwrap().contains("exceeds cap"));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn large_batch_is_chunked_under_the_frame_cap() {
+        let server = BoardServer::bind(SocketAddr::from(([127, 0, 0, 1], 0))).unwrap();
+        let mut handle = server.spawn().unwrap();
+        let opts = TcpOptions { max_post_frame_bytes: 64, ..TcpOptions::default() };
+        let t = TcpTransport::<u64>::connect(handle.addr(), opts).unwrap();
+        let phase: Arc<str> = Arc::from("x");
+        let n = t
+            .post_stream(&mut (0..50u64).map(|m| PostRecord {
+                from: RoleId::new("c", m as usize),
+                phase: Arc::clone(&phase),
+                message: m,
+                elements: 1,
+                bytes: 8,
+            }))
+            .unwrap();
+        assert_eq!(n, 50);
+        assert_eq!(t.len().unwrap(), 50);
+        let all = t.read_from(0).unwrap();
+        // Chunk boundaries must not reorder or drop records.
+        for (i, p) in all.iter().enumerate() {
+            assert_eq!(p.message, i as u64);
+            assert_eq!(p.from, RoleId::new("c", i));
+        }
+        handle.shutdown();
     }
 
     #[test]

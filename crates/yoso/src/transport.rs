@@ -348,7 +348,13 @@ impl<M: Clone + Send + Sync> BoardTransport<M> for InProcessTransport<M> {
 /// byte-for-byte.
 pub trait WireMessage: Sized {
     /// Appends the canonical encoding of `self` to `out`.
-    fn encode(&self, out: &mut Vec<u8>);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoardError::Protocol`] if a length-prefixed field
+    /// exceeds the wire format's `u32` length prefix (see
+    /// [`put_bytes`]).
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), BoardError>;
     /// Decodes one value from the cursor.
     ///
     /// # Errors
@@ -432,19 +438,37 @@ pub fn put_u64(out: &mut Vec<u8>, v: u64) {
 }
 
 /// Appends a length-prefixed byte string.
-pub fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
-    put_u32(out, b.len() as u32);
+///
+/// # Errors
+///
+/// Returns [`BoardError::Protocol`] if `b` is longer than `u32::MAX`
+/// bytes — an `as` cast would silently truncate the length prefix and
+/// corrupt the wire stream.
+pub fn put_bytes(out: &mut Vec<u8>, b: &[u8]) -> Result<(), BoardError> {
+    let len = u32::try_from(b.len()).map_err(|_| {
+        BoardError::Protocol(format!(
+            "byte string of {} bytes exceeds the u32 wire length prefix",
+            b.len()
+        ))
+    })?;
+    put_u32(out, len);
     out.extend_from_slice(b);
+    Ok(())
 }
 
 /// Appends a length-prefixed UTF-8 string.
-pub fn put_str(out: &mut Vec<u8>, s: &str) {
-    put_bytes(out, s.as_bytes());
+///
+/// # Errors
+///
+/// Returns [`BoardError::Protocol`] if `s` is longer than `u32::MAX`
+/// bytes (see [`put_bytes`]).
+pub fn put_str(out: &mut Vec<u8>, s: &str) -> Result<(), BoardError> {
+    put_bytes(out, s.as_bytes())
 }
 
 impl WireMessage for String {
-    fn encode(&self, out: &mut Vec<u8>) {
-        put_str(out, self);
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), BoardError> {
+        put_str(out, self)
     }
 
     fn decode(cur: &mut WireCursor<'_>) -> Result<Self, BoardError> {
@@ -453,8 +477,9 @@ impl WireMessage for String {
 }
 
 impl WireMessage for u64 {
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), BoardError> {
         put_u64(out, *self);
+        Ok(())
     }
 
     fn decode(cur: &mut WireCursor<'_>) -> Result<Self, BoardError> {
@@ -521,8 +546,8 @@ mod tests {
     fn wire_roundtrip_primitives() {
         let mut out = Vec::new();
         put_u64(&mut out, 0xDEAD_BEEF_0BAD_F00D);
-        put_str(&mut out, "offline/1-beaver");
-        put_bytes(&mut out, &[1, 2, 3]);
+        put_str(&mut out, "offline/1-beaver").unwrap();
+        put_bytes(&mut out, &[1, 2, 3]).unwrap();
         let mut cur = WireCursor::new(&out);
         assert_eq!(cur.u64().unwrap(), 0xDEAD_BEEF_0BAD_F00D);
         assert_eq!(cur.str().unwrap(), "offline/1-beaver");
