@@ -6,7 +6,9 @@ use rand::SeedableRng;
 
 use yoso_bignum::Nat;
 use yoso_circuit::{generators, Circuit};
-use yoso_core::{crash_phases, BoardBackend, Engine, ExecutionConfig, ProtocolParams};
+use yoso_core::{
+    crash_phases, BoardBackend, Engine, ExecutionConfig, ProtocolParams, RolePartition,
+};
 use yoso_field::{F61, PrimeField};
 use yoso_runtime::{ActiveAttack, Adversary};
 use yoso_sortition::{GapAnalysis, SecurityParams};
@@ -58,8 +60,22 @@ fn parse_attack(opts: &Opts) -> Result<Option<ActiveAttack>, String> {
     }
 }
 
-/// `yoso run` — execute the full three-phase protocol.
-pub fn run(opts: &Opts) -> Result<(), String> {
+/// Everything a protocol run (or one worker of it) needs, built
+/// deterministically from the CLI options. **The construction order is
+/// part of the determinism contract**: params → circuit → rng(seed) →
+/// inputs → adversary. Every worker of a sharded run rebuilds this
+/// identically from the same options, so all processes agree on the
+/// full protocol state and only split who posts what.
+struct PreparedRun {
+    params: ProtocolParams,
+    circuit: Circuit<F61>,
+    inputs: Vec<Vec<F61>>,
+    adversary: Adversary,
+    rng: rand::rngs::StdRng,
+    config: ExecutionConfig,
+}
+
+fn prepare_run(opts: &Opts) -> Result<PreparedRun, String> {
     let n: usize = get(opts, "n", 16)?;
     let eps: f64 = get(opts, "eps", 0.2)?;
     let seed: u64 = get(opts, "seed", 7)?;
@@ -112,8 +128,13 @@ pub fn run(opts: &Opts) -> Result<(), String> {
     if let Some(board) = opts.get("board") {
         config = config.with_board(BoardBackend::Tcp(parse_board_addr(board)?));
     }
-    let engine = Engine::new(params, config);
+    Ok(PreparedRun { params, circuit, inputs, adversary, rng, config })
+}
 
+/// Executes a prepared run and prints the standard report.
+fn execute_and_report(prepared: PreparedRun) -> Result<(), String> {
+    let PreparedRun { params, circuit, inputs, adversary, mut rng, config } = prepared;
+    let engine = Engine::new(params, config);
     println!(
         "running: n = {}, t = {}, k = {}, circuit with {} mul gates / {} wires",
         params.n,
@@ -148,11 +169,140 @@ pub fn run(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// `yoso run` — execute the full three-phase protocol. With
+/// `--spawn-workers N` the process starts an in-tree board server,
+/// forks `N − 1` `yoso worker` children, and itself acts as worker 0
+/// (the leader).
+pub fn run(opts: &Opts) -> Result<(), String> {
+    if opts.contains_key("spawn-workers") {
+        let workers: usize = get(opts, "spawn-workers", 4)?;
+        return spawn_workers(opts, workers);
+    }
+    execute_and_report(prepare_run(opts)?)
+}
+
+/// Parses a `--roles a..b` half-open range.
+fn parse_roles(value: &str) -> Result<(usize, usize), String> {
+    let (lo, hi) = value
+        .split_once("..")
+        .ok_or_else(|| format!("--roles {value:?}: expected a..b (half-open)"))?;
+    let lo: usize = lo.trim().parse().map_err(|e| format!("--roles {value:?}: {e}"))?;
+    let hi: usize = hi.trim().parse().map_err(|e| format!("--roles {value:?}: {e}"))?;
+    if hi < lo {
+        return Err(format!("--roles {value:?}: empty-or-backwards range"));
+    }
+    Ok((lo, hi))
+}
+
+/// `yoso worker` — one role-sharded worker of a multi-process run.
+///
+/// Every worker of a run is launched with identical run options (same
+/// seed, circuit, committee) plus its own `--roles a..b` slice and the
+/// shared `--board tcp://HOST:PORT`. Workers synchronize only through
+/// the board's round clock; the worker owning role 0 acts as leader
+/// (dealer/client posts, round ticks). The interleaved transcript is
+/// byte-identical to a single-process `yoso run`.
+pub fn worker(opts: &Opts) -> Result<(), String> {
+    let roles = opts.get("roles").ok_or("worker requires --roles a..b")?;
+    let (lo, hi) = parse_roles(roles)?;
+    if !opts.contains_key("board") {
+        return Err("worker requires --board tcp://HOST:PORT (a shared board-server)".into());
+    }
+    let mut prepared = prepare_run(opts)?;
+    if hi > prepared.params.n {
+        return Err(format!(
+            "--roles {lo}..{hi} exceeds the committee size n = {}",
+            prepared.params.n
+        ));
+    }
+    prepared.config = prepared.config.with_partition(RolePartition::range(lo, hi));
+    println!(
+        "worker roles [{lo}, {hi}) of n = {} ({}leader)",
+        prepared.params.n,
+        if prepared.config.partition.is_leader() { "" } else { "not " }
+    );
+    execute_and_report(prepared)
+}
+
+/// Options forwarded verbatim from `run --spawn-workers` to the
+/// children, so every worker prepares the identical run.
+const FORWARDED_OPTS: [&str; 10] =
+    ["circuit", "size", "clients", "n", "eps", "attack", "t-mal", "crashes", "seed", "threads"];
+
+/// `yoso run --spawn-workers N`: in-tree board server + N local worker
+/// processes (this process is worker 0, the leader).
+fn spawn_workers(opts: &Opts, workers: usize) -> Result<(), String> {
+    if workers == 0 {
+        return Err("--spawn-workers must be at least 1".into());
+    }
+    if opts.contains_key("board") {
+        return Err("--spawn-workers starts its own board server; drop --board".into());
+    }
+    let mut prepared = prepare_run(opts)?;
+    let n = prepared.params.n;
+
+    let server = yoso_runtime::BoardServer::bind(std::net::SocketAddr::from(([127, 0, 0, 1], 0)))
+        .map_err(|e| format!("board server: {e}"))?;
+    let mut handle = server.spawn().map_err(|e| format!("board server: {e}"))?;
+    let addr = handle.addr();
+    println!("board server on tcp://{addr}, {workers} workers over n = {n} roles");
+
+    let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+    let mut children = Vec::new();
+    for w in 1..workers {
+        let part = prepared.params.worker_role_range(w, workers);
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("worker")
+            .arg("--roles")
+            .arg(format!("{}..{}", part.lo(), part.hi()))
+            .arg("--board")
+            .arg(format!("tcp://{addr}"));
+        for key in FORWARDED_OPTS {
+            if let Some(v) = opts.get(key) {
+                cmd.arg(format!("--{key}")).arg(v);
+            }
+        }
+        if opts.contains_key("no-proofs") {
+            cmd.arg("--no-proofs");
+        }
+        // Children report through their exit status; only the leader
+        // prints the run summary.
+        cmd.stdout(std::process::Stdio::null());
+        children.push((w, cmd.spawn().map_err(|e| format!("spawn worker {w}: {e}"))?));
+    }
+
+    prepared.config = prepared
+        .config
+        .with_board(BoardBackend::Tcp(addr))
+        .with_partition(prepared.params.worker_role_range(0, workers));
+    let result = execute_and_report(prepared);
+
+    let mut failures = Vec::new();
+    for (w, mut child) in children {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => failures.push(format!("worker {w} exited with {status}")),
+            Err(e) => failures.push(format!("worker {w}: {e}")),
+        }
+    }
+    handle.shutdown();
+    result?;
+    if !failures.is_empty() {
+        return Err(failures.join("; "));
+    }
+    Ok(())
+}
+
 /// `yoso board-stats` — remote board auditor: connects to a
 /// `board-server`, reads the posting log, and rebuilds the per-phase
 /// communication table from the posting metadata (every posting
 /// carries its element and byte counts, so an auditor process needs no
-/// access to the driver's in-process meter).
+/// access to any driver's in-process meter). This is also how a
+/// role-sharded worker run is metered: each worker's own meter saw
+/// only the posts it appended, but the board holds the interleaved
+/// full transcript, so the table here aggregates all workers. With
+/// `--dump FILE` the raw posting log is written one line per post
+/// (`round|author|phase|message`) for byte-level transcript diffing.
 pub fn board_stats(opts: &Opts) -> Result<(), String> {
     use yoso_core::messages::Post;
     use yoso_runtime::BulletinBoard;
@@ -182,6 +332,15 @@ pub fn board_stats(opts: &Opts) -> Result<(), String> {
         total.2 += messages;
     }
     println!("{:<28} {:>12} {:>12} {:>10}", "total", total.0, total.1, total.2);
+
+    if let Some(path) = opts.get("dump") {
+        let mut out = String::new();
+        for p in &postings {
+            out.push_str(&format!("{}|{}|{}|{:?}\n", p.round, p.from, p.phase, p.message));
+        }
+        std::fs::write(path, out).map_err(|e| format!("--dump {path}: {e}"))?;
+        println!("\nposting log written to {path} ({} lines)", postings.len());
+    }
 
     if opts.contains_key("shutdown") {
         let t = yoso_runtime::TcpTransport::<Post>::connect(

@@ -3,6 +3,8 @@
 //! ```text
 //! yoso run   --circuit inner-product --size 8 --n 16 --eps 0.2
 //! yoso run   --circuit stats --size 4 --clients 3 --attack wrong-value
+//! yoso run   --spawn-workers 4 --n 16 --eps 0.2
+//! yoso worker --roles 0..4 --board tcp://127.0.0.1:7310 --n 16 --eps 0.2
 //! yoso plan  --pool 1000000 --f 0.10
 //! yoso table1
 //! yoso paillier --bits 192
@@ -31,6 +33,7 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "run" => commands::run(&opts),
+        "worker" => commands::worker(&opts),
         "board-stats" => commands::board_stats(&opts),
         "plan" => commands::plan(&opts),
         "table1" => commands::table1(),
@@ -74,6 +77,7 @@ fn print_help() {
 
 USAGE:
   yoso run [OPTIONS]         run the full three-phase protocol
+  yoso worker [OPTIONS]      one role-sharded worker of a multi-host run
   yoso board-stats [OPTIONS] audit a remote board-server's posting log
   yoso plan [OPTIONS]        committee-size planning (paper §6)
   yoso table1                regenerate the paper's Table 1
@@ -82,8 +86,14 @@ USAGE:
   yoso help                  this message
 
 A board server for multi-process runs is started with the companion
-`board-server` binary; point `yoso run --board tcp://HOST:PORT` and
-`yoso board-stats --board tcp://HOST:PORT` at it.
+`board-server` binary. A single driver posts to it with `yoso run
+--board tcp://HOST:PORT`; a role-sharded fleet splits the committee
+work across `yoso worker --roles a..b` processes (one per host if you
+like) that share the board — or use `yoso run --spawn-workers N`,
+which starts an in-tree server and forks the workers locally. Either
+way the transcript is byte-identical to a single-process run, and
+`yoso board-stats --board tcp://HOST:PORT` aggregates the per-worker
+metering from the shared posting log.
 
 RUN OPTIONS:
   --circuit NAME    inner-product | poly-eval | stats | wide | average |
@@ -99,11 +109,20 @@ RUN OPTIONS:
   --threads N       worker threads for triple/gate fan-out
                     (any value yields a byte-identical transcript)       [1]
   --no-proofs       skip NIZK computation (metering unchanged)
-  --board ADDR      post to a remote board-server (tcp://HOST:PORT)
+  --board ADDR      post to a shared board-server (tcp://HOST:PORT)
                     instead of the in-process board
+  --spawn-workers N run role-sharded: in-tree board server + N local
+                    worker processes (this process leads as worker 0)
+
+WORKER OPTIONS (plus all RUN options, identical across the fleet):
+  --roles A..B      the half-open committee-member range this worker
+                    owns (proof work + posting); required
+  --board ADDR      the shared board-server (tcp://HOST:PORT); required
 
 BOARD-STATS OPTIONS:
   --board ADDR      the board-server to audit (tcp://HOST:PORT), required
+  --dump FILE       write the raw posting log (round|author|phase|message
+                    per line) for transcript diffing
   --shutdown        ask the server to shut down after reading
 
 PLAN OPTIONS:

@@ -99,6 +99,25 @@ pub fn run_dkg<F: PrimeField, R: Rng + ?Sized>(
     t: usize,
     cfg: &ExecutionConfig,
 ) -> Result<TskChain<F>, ProtocolError> {
+    let sb = crate::workitem::ShardedBoard::new(board, cfg.partition)?;
+    run_dkg_in(rng, &sb, committee, role_keys, t, cfg)
+}
+
+/// [`run_dkg`] posting through an existing sharded board, with
+/// per-member child RNGs (same sharding contract as the tsk
+/// operations: values are drawn identically on every worker, proofs
+/// run only for owned members).
+#[allow(clippy::needless_range_loop)]
+pub(crate) fn run_dkg_in<F: PrimeField, R: Rng + ?Sized>(
+    rng: &mut R,
+    sb: &crate::workitem::ShardedBoard<'_>,
+    committee: &Committee,
+    role_keys: &[PkeKeyPair<F>],
+    t: usize,
+    cfg: &ExecutionConfig,
+) -> Result<TskChain<F>, ProtocolError> {
+    use rand::SeedableRng;
+
     let n = committee.n();
     assert_eq!(role_keys.len(), n, "one role key per member");
     // The base g is a public constant derived from the DKG domain.
@@ -112,9 +131,12 @@ pub fn run_dkg<F: PrimeField, R: Rng + ?Sized>(
         if !behavior.participates_at(crate::engine::phase_index(phase)) {
             continue;
         }
+        let mut mrng = rand::rngs::StdRng::seed_from_u64(rng.next_u64());
+        let owned = cfg.partition.owns(i);
+        let prove = cfg.produce_proofs && owned;
         let deal = match behavior {
             Behavior::Honest | Behavior::Leaky | Behavior::FailStop { .. } => {
-                let coeffs: Vec<F> = (0..=t).map(|_| F::random(rng)).collect();
+                let coeffs: Vec<F> = (0..=t).map(|_| F::random(&mut mrng)).collect();
                 let commitments: Vec<F> = coeffs.iter().map(|&a| a * g).collect();
                 let mut enc = Vec::with_capacity(n);
                 let mut rands = Vec::with_capacity(n);
@@ -124,15 +146,15 @@ pub fn run_dkg<F: PrimeField, R: Rng + ?Sized>(
                     for &a in coeffs.iter().rev() {
                         acc = acc * x + a;
                     }
-                    let (ct, r) = LinearPke::encrypt(rng, &recipient_pks[j], acc);
+                    let (ct, r) = LinearPke::encrypt(&mut mrng, &recipient_pks[j], acc);
                     enc.push(ct);
                     rands.push(r);
                 }
-                let valid = if cfg.produce_proofs {
+                let valid = if prove {
                     let st = deal_statement(g, &commitments, &recipient_pks, &enc);
                     let mut witness = coeffs.clone();
                     witness.extend_from_slice(&rands);
-                    let proof = nizk::prove_linear(rng, DOMAIN_DKG, &st, &witness);
+                    let proof = nizk::prove_linear(&mut mrng, DOMAIN_DKG, &st, &witness);
                     nizk::verify_linear(DOMAIN_DKG, &st, &proof)
                 } else {
                     true
@@ -140,18 +162,18 @@ pub fn run_dkg<F: PrimeField, R: Rng + ?Sized>(
                 Deal { commitments, enc_subshares: enc, valid }
             }
             Behavior::Malicious(_) => {
-                let commitments: Vec<F> = (0..=t).map(|_| F::random(rng)).collect();
+                let commitments: Vec<F> = (0..=t).map(|_| F::random(&mut mrng)).collect();
                 let enc: Vec<Ciphertext<F>> = (0..n)
                     .map(|j| {
-                        let junk = F::random(rng);
-                        LinearPke::encrypt(rng, &recipient_pks[j], junk).0
+                        let junk = F::random(&mut mrng);
+                        LinearPke::encrypt(&mut mrng, &recipient_pks[j], junk).0
                     })
                     .collect();
-                let valid = if cfg.produce_proofs {
+                let valid = if prove {
                     let st = deal_statement(g, &commitments, &recipient_pks, &enc);
                     let proof = nizk::LinearProof::<F> {
-                        commitment: (0..st.targets.len()).map(|_| F::random(rng)).collect(),
-                        response: (0..st.witness_len()).map(|_| F::random(rng)).collect(),
+                        commitment: (0..st.targets.len()).map(|_| F::random(&mut mrng)).collect(),
+                        response: (0..st.witness_len()).map(|_| F::random(&mut mrng)).collect(),
                     };
                     nizk::verify_linear(DOMAIN_DKG, &st, &proof)
                 } else {
@@ -161,13 +183,7 @@ pub fn run_dkg<F: PrimeField, R: Rng + ?Sized>(
             }
         };
         let elements = messages::reshare_elements(n as u64, t as u64);
-        board.post(
-            committee.role(i),
-            Post::TskReshare,
-            phase,
-            elements,
-            messages::to_bytes(elements),
-        )?;
+        sb.post(owned, committee.role(i), Post::TskReshare, phase, elements)?;
         deals.push(deal);
     }
 

@@ -8,9 +8,10 @@ use yoso_field::PrimeField;
 use yoso_runtime::{Adversary, BulletinBoard, LeakLog, PhaseStats};
 
 use crate::messages::Post;
-use crate::offline::run_offline;
-use crate::online::run_online;
-use crate::setup::run_setup;
+use crate::offline::run_offline_in;
+use crate::online::run_online_in;
+use crate::setup::{rekey_setup_in, run_setup_in};
+use crate::workitem::{RolePartition, ShardedBoard};
 use crate::{ProtocolError, ProtocolParams};
 
 /// Which bulletin-board transport a run posts to.
@@ -73,6 +74,15 @@ pub struct ExecutionConfig {
     /// Which board transport the run posts to. The protocol logic is
     /// transport-agnostic: any backend yields the same transcript.
     pub board: BoardBackend,
+    /// The contiguous role range this process owns. The default
+    /// ([`RolePartition::solo`]) owns every role — single-process
+    /// execution. A worker in a role-sharded run owns `[lo, hi)`:
+    /// it replicates all value computation (child-seeded per member,
+    /// so streams agree across workers) but produces and verifies
+    /// NIZK proofs only for owned members, and appends only owned
+    /// members' posts to the shared board. The interleaved transcript
+    /// across workers is byte-identical to a solo run.
+    pub partition: RolePartition,
 }
 
 impl Default for ExecutionConfig {
@@ -83,6 +93,7 @@ impl Default for ExecutionConfig {
             dealerless_setup: false,
             num_threads: 1,
             board: BoardBackend::InProcess,
+            partition: RolePartition::solo(),
         }
     }
 }
@@ -113,6 +124,15 @@ impl ExecutionConfig {
     /// Selects the board transport backend.
     pub fn with_board(mut self, board: BoardBackend) -> Self {
         self.board = board;
+        self
+    }
+
+    /// Restricts this process to the given role partition (worker
+    /// mode). Non-solo partitions require `audit_board` — the round
+    /// clock and transcript positions are the only synchronization
+    /// between workers.
+    pub fn with_partition(mut self, partition: RolePartition) -> Self {
+        self.partition = partition;
         self
     }
 }
@@ -224,12 +244,56 @@ impl Engine {
         adversary: &Adversary,
     ) -> Result<RunResult<F>, ProtocolError> {
         let board: BulletinBoard<Post> = self.config.board.make_board(self.config.audit_board)?;
+        self.run_with_board(rng, circuit, inputs, adversary, &board)
+    }
+
+    /// Like [`Engine::run`] but on a caller-supplied board. This is the
+    /// entry point for role-sharded workers: every worker runs this
+    /// with the same seed and circuit against one shared board (TCP in
+    /// production; a cloned in-process board in tests), each with its
+    /// own `config.partition`, and the interleaved transcript is
+    /// byte-identical to a solo run.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::BadParameters`] if a non-solo partition is
+    /// combined with `audit_board = false` (worker synchronization
+    /// reads transcript positions, which a metering-only board does
+    /// not keep) or does not fit inside `[0, n)`.
+    #[allow(clippy::too_many_lines)]
+    pub fn run_with_board<F: PrimeField, R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        circuit: &Circuit<F>,
+        inputs: &[Vec<F>],
+        adversary: &Adversary,
+        board: &BulletinBoard<Post>,
+    ) -> Result<RunResult<F>, ProtocolError> {
+        let partition = self.config.partition;
+        if !partition.is_solo() {
+            if !self.config.audit_board {
+                return Err(ProtocolError::BadParameters(
+                    "role-sharded execution needs audit_board: workers synchronize on \
+                     transcript positions, which a metering-only board does not keep"
+                        .into(),
+                ));
+            }
+            if partition.hi() > self.params.n {
+                return Err(ProtocolError::BadParameters(format!(
+                    "role partition [{}, {}) exceeds the committee size n = {}",
+                    partition.lo(),
+                    partition.hi(),
+                    self.params.n
+                )));
+            }
+        }
+        let sb = ShardedBoard::new(board, partition)?;
         let bc = circuit.batched(self.params.k);
         let leak = LeakLog::new();
-        let mut setup = run_setup::<F, _>(
+        let mut setup = run_setup_in::<F, _>(
             rng,
             &self.params,
-            &board,
+            &sb,
             circuit.mul_depth(),
             circuit.clients(),
         )?;
@@ -240,23 +304,23 @@ impl Engine {
             let role_keys: Vec<yoso_the::mock::PkeKeyPair<F>> = (0..self.params.n)
                 .map(|_| yoso_the::mock::LinearPke::keygen(rng))
                 .collect();
-            let chain = crate::dkg::run_dkg(
+            let chain = crate::dkg::run_dkg_in(
                 rng,
-                &board,
+                &sb,
                 &committee,
                 &role_keys,
                 self.params.t,
                 &self.config,
             )?;
-            setup = crate::setup::rekey_setup(rng, &self.params, &board, setup, chain)?;
+            setup = rekey_setup_in(rng, &self.params, &sb, setup, chain)?;
         }
         setup.tsk.set_leak_log(leak.clone());
         let offline =
-            run_offline(rng, &self.params, &board, adversary, &self.config, &bc, &setup)?;
-        let online = run_online(
+            run_offline_in(rng, &self.params, &sb, adversary, &self.config, &bc, &setup)?;
+        let online = run_online_in(
             rng,
             &self.params,
-            &board,
+            &sb,
             adversary,
             &self.config,
             &bc,
@@ -265,9 +329,18 @@ impl Engine {
             inputs,
             &leak,
         )?;
+        sb.finish()?;
+        // A sharded worker's own meter saw only the posts it appended;
+        // rebuild the per-phase statistics from the shared transcript
+        // so every worker reports the full run.
+        let phases = if partition.is_solo() {
+            board.meter().phases()
+        } else {
+            yoso_runtime::phases_from_postings(&board.postings()?)
+        };
         Ok(RunResult {
             outputs: online.outputs,
-            phases: board.meter().phases(),
+            phases,
             mul_gates: circuit.mul_count(),
             wires: circuit.wire_count(),
             mu: online.mu,

@@ -27,8 +27,17 @@
 //!   **`Θ(n²/k)` per gate** — the gap helps the IT protocol too, by a
 //!   factor `k`, but the online cost still grows with `n`, which is
 //!   precisely why the paper moves to the computational setting.
+//!
+//! The member loops follow the same per-role work-item discipline as
+//! the main protocol (each member's dealing draws from a child RNG
+//! seeded from the parent stream, so the per-member work is
+//! order-independent), but **cross-process role sharding stops at this
+//! module's boundary**: the IT engine meters against its own internal
+//! board, so there is no shared transcript for a [`crate::
+//! RolePartition`] to synchronize on. Sharding it would first require
+//! threading an external board through [`ItEngine::run`].
 
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 
 use yoso_field::PrimeField;
 use yoso_pss_sharing::{PackedSharing, PackedShares};
@@ -223,6 +232,28 @@ fn live<F: PrimeField>(
     ))
 }
 
+/// Per-run re-sharing tables, computed once: the `k` recombination
+/// vectors over all `n` nodes (row `j` recovers secret `j`) and their
+/// per-member column sums (the cross-lane-sum coefficients `c_i`).
+/// Every committee shares one evaluation-point layout, so these are
+/// committee-independent — hoisting them out of the member loops turns
+/// `n·k` interpolations per re-share into `k` per run.
+struct ReshareTables<F: PrimeField> {
+    recomb: Vec<Vec<F>>,
+    lane_sum: Vec<F>,
+}
+
+impl<F: PrimeField> ReshareTables<F> {
+    fn new(scheme: &PackedSharing<F>, n: usize, k: usize) -> Result<Self, ProtocolError> {
+        let parties: Vec<usize> = (0..n).collect();
+        let recomb: Vec<Vec<F>> = (0..k)
+            .map(|j| scheme.recombination_vector(&parties, j))
+            .collect::<Result<_, _>>()?;
+        let lane_sum = (0..n).map(|i| recomb.iter().map(|w| w[i]).sum()).collect();
+        Ok(ReshareTables { recomb, lane_sum })
+    }
+}
+
 /// The information-theoretic semi-honest engine.
 #[derive(Debug, Clone, Copy)]
 pub struct ItEngine {
@@ -268,6 +299,7 @@ impl ItEngine {
         let n = self.params.n;
         let d = self.params.packing_degree();
         let scheme = PackedSharing::<F>::with_layout(n, self.params.k, self.params.layout)?;
+        let tables = ReshareTables::new(&scheme, n, self.params.k)?;
         let board: BulletinBoard<Post> = BulletinBoard::metered_only();
 
         // Last use of each value (to know what must survive a handover).
@@ -322,16 +354,21 @@ impl ItEngine {
                     // degree-reduce to the next committee, carrying all
                     // still-live vectors along.
                     let product = live(&state, a)?.mul_elementwise(live(&state, b)?);
-                    let reduced = self.reshare_vector(rng, &board, &scheme, &product, committee_idx)?;
-                    self.handover_live(rng, &board, &scheme, &mut state, &last_use, pos, committee_idx)?;
+                    let reduced =
+                        self.reshare_vector(rng, &board, &scheme, &tables, &product, committee_idx)?;
+                    self.handover_live(
+                        rng, &board, &scheme, &tables, &mut state, &last_use, pos, committee_idx,
+                    )?;
                     committee_idx += 1;
                     Some(reduced)
                 }
                 LaneOp::SumLanes(a) => {
                     let shares = live(&state, a)?;
                     let summed =
-                        self.sum_lanes_vector(rng, &board, &scheme, shares, committee_idx)?;
-                    self.handover_live(rng, &board, &scheme, &mut state, &last_use, pos, committee_idx)?;
+                        self.sum_lanes_vector(rng, &board, &scheme, &tables, shares, committee_idx)?;
+                    self.handover_live(
+                        rng, &board, &scheme, &tables, &mut state, &last_use, pos, committee_idx,
+                    )?;
                     committee_idx += 1;
                     Some(summed)
                 }
@@ -373,27 +410,30 @@ impl ItEngine {
     /// secrets. Works for any source degree `< n`, so it is both the
     /// handover re-share (source degree `d`) and the multiplication
     /// degree reduction (source degree `2d`).
+    ///
+    /// Each member's dealing is one work item: its randomness comes
+    /// from a child RNG seeded off the parent stream, so the item is
+    /// independent of loop position (same discipline as the sharded
+    /// phases, even though this board is process-internal).
+    #[allow(clippy::too_many_arguments)]
     fn reshare_vector<F: PrimeField, R: Rng + ?Sized>(
         &self,
         rng: &mut R,
         board: &BulletinBoard<Post>,
         scheme: &PackedSharing<F>,
+        tables: &ReshareTables<F>,
         source: &PackedShares<F>,
         committee_idx: usize,
     ) -> Result<PackedShares<F>, ProtocolError> {
         let n = self.params.n;
         let d = self.params.packing_degree();
-        let parties: Vec<usize> = (0..n).collect();
         let mut acc: Option<PackedShares<F>> = None;
         for i in 0..n {
+            let mut mrng = rand::rngs::StdRng::seed_from_u64(rng.next_u64());
             let s_i = source.share_of(i).value;
-            let vector: Vec<F> = (0..self.params.k)
-                .map(|j| {
-                    let w = scheme.recombination_vector(&parties, j)?;
-                    Ok(w[i] * s_i)
-                })
-                .collect::<Result<_, ProtocolError>>()?;
-            let dealt = scheme.share(rng, &vector, d)?;
+            let vector: Vec<F> =
+                tables.recomb.iter().map(|w| w[i] * s_i).collect();
+            let dealt = scheme.share(&mut mrng, &vector, d)?;
             board.post(
                 RoleId::new(format!("it-committee-{committee_idx}"), i),
                 Post::Contribution {
@@ -415,27 +455,26 @@ impl ItEngine {
     /// Cross-lane sum re-share: member `i` deals a sharing of the
     /// constant vector `(c_i·s_i, …, c_i·s_i)` with
     /// `c_i = Σ_j l_i(e_j)`; the sum of dealt sharings holds
-    /// `Σ_j v[j]` in every lane.
+    /// `Σ_j v[j]` in every lane. Same per-member work-item shape as
+    /// [`Self::reshare_vector`].
+    #[allow(clippy::too_many_arguments)]
     fn sum_lanes_vector<F: PrimeField, R: Rng + ?Sized>(
         &self,
         rng: &mut R,
         board: &BulletinBoard<Post>,
         scheme: &PackedSharing<F>,
+        tables: &ReshareTables<F>,
         source: &PackedShares<F>,
         committee_idx: usize,
     ) -> Result<PackedShares<F>, ProtocolError> {
         let n = self.params.n;
         let d = self.params.packing_degree();
-        let parties: Vec<usize> = (0..n).collect();
         let mut acc: Option<PackedShares<F>> = None;
         for i in 0..n {
+            let mut mrng = rand::rngs::StdRng::seed_from_u64(rng.next_u64());
             let s_i = source.share_of(i).value;
-            let mut c_i = F::ZERO;
-            for j in 0..self.params.k {
-                c_i += scheme.recombination_vector(&parties, j)?[i];
-            }
-            let vector = vec![c_i * s_i; self.params.k];
-            let dealt = scheme.share(rng, &vector, d)?;
+            let vector = vec![tables.lane_sum[i] * s_i; self.params.k];
+            let dealt = scheme.share(&mut mrng, &vector, d)?;
             board.post(
                 RoleId::new(format!("it-committee-{committee_idx}"), i),
                 Post::Contribution {
@@ -461,6 +500,7 @@ impl ItEngine {
         rng: &mut R,
         board: &BulletinBoard<Post>,
         scheme: &PackedSharing<F>,
+        tables: &ReshareTables<F>,
         state: &mut [Option<PackedShares<F>>],
         last_use: &[usize],
         pos: usize,
@@ -469,8 +509,9 @@ impl ItEngine {
         for i in 0..state.len() {
             if last_use[i] > pos {
                 if let Some(shares) = state[i].take() {
-                    state[i] =
-                        Some(self.reshare_vector(rng, board, scheme, &shares, committee_idx)?);
+                    state[i] = Some(
+                        self.reshare_vector(rng, board, scheme, tables, &shares, committee_idx)?,
+                    );
                 }
             } else {
                 state[i] = None; // dead value: erase (YOSO state hygiene)

@@ -73,9 +73,11 @@ pub mod parallel;
 mod params;
 pub mod setup;
 pub mod tsk;
+pub mod workitem;
 
 pub use engine::{crash_phases, BoardBackend, Engine, ExecutionConfig, RunResult};
 pub use params::ProtocolParams;
+pub use workitem::{RolePartition, ShardedBoard, WorkItem};
 pub use yoso_pss_sharing::PointLayout;
 
 use yoso_circuit::CircuitError;

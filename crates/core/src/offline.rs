@@ -44,6 +44,7 @@ use crate::messages::{self, ContributionStep, Post, CT_ELEMENTS, ENC_PROOF_ELEME
 use crate::parallel::PostBuffer;
 use crate::setup::SetupArtifacts;
 use crate::tsk::{ReencryptedValue, TskChain};
+use crate::workitem::ShardedBoard;
 use crate::{ExecutionConfig, ProtocolError};
 
 /// The re-encrypted packed shares of one multiplication batch: entry
@@ -89,6 +90,14 @@ struct Contribution<F: PrimeField> {
 /// garbage proof (also filtered — which is safe: sums of any subset of
 /// valid contributions that includes at least one honest one are
 /// uniform).
+///
+/// Every member's work runs from its own child RNG (seed drawn
+/// sequentially from `rng`), so a role-sharded worker that skips the
+/// proof work of members it does not own (`cfg.partition`) still draws
+/// identical values for every member — the per-member value draws
+/// precede the proof draws inside the child stream. Non-owned members'
+/// validity is behavior-predicted (honest ⇒ valid, malicious ⇒
+/// invalid), exactly the [`ExecutionConfig::sweep`] semantics.
 fn summed_contribution_into<F: PrimeField, R: Rng + ?Sized>(
     rng: &mut R,
     posts: &mut PostBuffer,
@@ -104,12 +113,15 @@ fn summed_contribution_into<F: PrimeField, R: Rng + ?Sized>(
         if !behavior.participates_at(crate::engine::phase_index(phase)) {
             continue;
         }
+        let mut mrng = rand::rngs::StdRng::seed_from_u64(rng.next_u64());
+        let owned = cfg.partition.owns(i);
+        let prove = cfg.produce_proofs && owned;
         let (ct, valid) = match behavior {
             Behavior::Honest | Behavior::Leaky | Behavior::FailStop { .. } => {
-                let m = F::random(rng);
-                let (ct, r) = MockTe::encrypt(rng, tpk, m);
-                let ok = if cfg.produce_proofs {
-                    let proof = enc_proof(rng, tpk, &ct, m, r);
+                let m = F::random(&mut mrng);
+                let (ct, r) = MockTe::encrypt(&mut mrng, tpk, m);
+                let ok = if prove {
+                    let proof = enc_proof(&mut mrng, tpk, &ct, m, r);
                     verify_enc_proof(tpk, &ct, &proof)
                 } else {
                     true
@@ -117,10 +129,10 @@ fn summed_contribution_into<F: PrimeField, R: Rng + ?Sized>(
                 (ct, ok)
             }
             Behavior::Malicious(_) => {
-                let junk = F::random(rng);
-                let (ct, _) = MockTe::encrypt(rng, tpk, junk);
-                let ok = if cfg.produce_proofs {
-                    let proof = EncProof::<F>::garbage(rng);
+                let junk = F::random(&mut mrng);
+                let (ct, _) = MockTe::encrypt(&mut mrng, tpk, junk);
+                let ok = if prove {
+                    let proof = EncProof::<F>::garbage(&mut mrng);
                     verify_enc_proof(tpk, &ct, &proof)
                 } else {
                     false
@@ -129,6 +141,7 @@ fn summed_contribution_into<F: PrimeField, R: Rng + ?Sized>(
             }
         };
         posts.record(
+            owned,
             committee.role(i),
             Post::Contribution { step, ciphertexts: 1 },
             phase,
@@ -149,10 +162,10 @@ fn summed_contribution_into<F: PrimeField, R: Rng + ?Sized>(
     Ok(MockTe::eval(&valid, &ones)?)
 }
 
-/// [`summed_contribution_into`] posting directly to the board.
+/// [`summed_contribution_into`] posting through the sharded board.
 fn summed_contribution<F: PrimeField, R: Rng + ?Sized>(
     rng: &mut R,
-    board: &BulletinBoard<Post>,
+    sb: &ShardedBoard<'_>,
     committee: &Committee,
     cfg: &ExecutionConfig,
     tpk: &yoso_the::mock::PublicKey<F>,
@@ -161,7 +174,7 @@ fn summed_contribution<F: PrimeField, R: Rng + ?Sized>(
 ) -> Result<Ciphertext<F>, ProtocolError> {
     let mut posts = PostBuffer::new();
     let result = summed_contribution_into(rng, &mut posts, committee, cfg, tpk, phase, step);
-    posts.flush(board)?;
+    sb.flush_buffer(posts)?;
     result
 }
 
@@ -190,7 +203,9 @@ fn one_triple<F: PrimeField, R: Rng + ?Sized>(
     let c_a = summed_contribution_into(rng, posts, c1, cfg, tpk, phase, ContributionStep::Beaver)?;
 
     // b-side: each C2 member posts (c_b_i, c_c_i = b_i·c^a) with a
-    // proof of the joint relation.
+    // proof of the joint relation. Per-member child RNGs keep the
+    // value draws identical when a sharded worker skips proof work
+    // for members it does not own.
     let mut b_parts: Vec<Contribution<F>> = Vec::new();
     let mut c_parts: Vec<Ciphertext<F>> = Vec::new();
     for i in 0..c2.n() {
@@ -198,13 +213,16 @@ fn one_triple<F: PrimeField, R: Rng + ?Sized>(
         if !behavior.participates_at(crate::engine::phase_index(phase)) {
             continue;
         }
+        let mut mrng = rand::rngs::StdRng::seed_from_u64(rng.next_u64());
+        let owned = cfg.partition.owns(i);
+        let prove = cfg.produce_proofs && owned;
         let (cb, cc, valid) = match behavior {
             Behavior::Honest | Behavior::Leaky | Behavior::FailStop { .. } => {
-                let b_i = F::random(rng);
-                let (cb, r) = MockTe::encrypt(rng, tpk, b_i);
+                let b_i = F::random(&mut mrng);
+                let (cb, r) = MockTe::encrypt(&mut mrng, tpk, b_i);
                 let cc = Ciphertext { u: b_i * c_a.u, v: b_i * c_a.v };
-                let ok = if cfg.produce_proofs {
-                    let proof = beaver_b_proof(rng, tpk, &c_a, &cb, &cc, b_i, r);
+                let ok = if prove {
+                    let proof = beaver_b_proof(&mut mrng, tpk, &c_a, &cb, &cc, b_i, r);
                     verify_beaver_b_proof(tpk, &c_a, &cb, &cc, &proof)
                 } else {
                     true
@@ -212,14 +230,14 @@ fn one_triple<F: PrimeField, R: Rng + ?Sized>(
                 (cb, cc, ok)
             }
             Behavior::Malicious(_) => {
-                let junk = F::random(rng);
-                let (cb, _) = MockTe::encrypt(rng, tpk, junk);
-                let fake = F::random(rng);
+                let junk = F::random(&mut mrng);
+                let (cb, _) = MockTe::encrypt(&mut mrng, tpk, junk);
+                let fake = F::random(&mut mrng);
                 let cc = Ciphertext { u: fake * c_a.u, v: fake * c_a.v + F::ONE };
-                let ok = if cfg.produce_proofs {
+                let ok = if prove {
                     let proof = nizk::LinearProof::<F> {
-                        commitment: vec![F::random(rng); 4],
-                        response: vec![F::random(rng); 2],
+                        commitment: vec![F::random(&mut mrng); 4],
+                        response: vec![F::random(&mut mrng); 2],
                     };
                     verify_beaver_b_proof(tpk, &c_a, &cb, &cc, &proof)
                 } else {
@@ -230,6 +248,7 @@ fn one_triple<F: PrimeField, R: Rng + ?Sized>(
         };
         let elements = 2 * CT_ELEMENTS + messages::proof_elements(4, 2);
         posts.record(
+            owned,
             c2.role(i),
             Post::Contribution { step: ContributionStep::Beaver, ciphertexts: 2 },
             phase,
@@ -269,6 +288,21 @@ pub fn beaver_triples<F: PrimeField, R: Rng + ?Sized>(
     tpk: &yoso_the::mock::PublicKey<F>,
     count: usize,
 ) -> Result<Vec<EncryptedTriple<F>>, ProtocolError> {
+    let sb = ShardedBoard::new(board, cfg.partition)?;
+    beaver_triples_in(rng, &sb, c1, c2, cfg, tpk, count)
+}
+
+/// [`beaver_triples`] posting through an existing sharded board, so an
+/// engine-level caller can keep one position accounting across phases.
+pub(crate) fn beaver_triples_in<F: PrimeField, R: Rng + ?Sized>(
+    rng: &mut R,
+    sb: &ShardedBoard<'_>,
+    c1: &Committee,
+    c2: &Committee,
+    cfg: &ExecutionConfig,
+    tpk: &yoso_the::mock::PublicKey<F>,
+    count: usize,
+) -> Result<Vec<EncryptedTriple<F>>, ProtocolError> {
     let phase = "offline/1-beaver";
     let seeds: Vec<u64> = (0..count).map(|_| rng.next_u64()).collect();
     let results = crate::parallel::par_map(cfg.num_threads, &seeds, |_, &seed| {
@@ -279,7 +313,7 @@ pub fn beaver_triples<F: PrimeField, R: Rng + ?Sized>(
     });
     let mut triples = Vec::with_capacity(count);
     for (triple, posts) in results {
-        posts.flush(board)?;
+        sb.flush_buffer(posts)?;
         triples.push(triple?);
     }
     Ok(triples)
@@ -371,11 +405,27 @@ pub fn pack_ciphertexts<F: PrimeField>(
 ///
 /// Propagates sub-step errors; under the declared corruption model
 /// none should occur (GOD).
-#[allow(clippy::too_many_lines, clippy::needless_range_loop)]
 pub fn run_offline<F: PrimeField, R: Rng + ?Sized>(
     rng: &mut R,
     params: &crate::ProtocolParams,
     board: &BulletinBoard<Post>,
+    adversary: &Adversary,
+    cfg: &ExecutionConfig,
+    bc: &BatchedCircuit<F>,
+    setup: &SetupArtifacts<F>,
+) -> Result<OfflineArtifacts<F>, ProtocolError> {
+    let sb = ShardedBoard::new(board, cfg.partition)?;
+    run_offline_in(rng, params, &sb, adversary, cfg, bc, setup)
+}
+
+/// [`run_offline`] posting through an existing sharded board (the
+/// engine keeps one accounting across setup/offline/online so worker
+/// processes agree on every canonical board position).
+#[allow(clippy::too_many_lines, clippy::needless_range_loop)]
+pub(crate) fn run_offline_in<F: PrimeField, R: Rng + ?Sized>(
+    rng: &mut R,
+    params: &crate::ProtocolParams,
+    sb: &ShardedBoard<'_>,
     adversary: &Adversary,
     cfg: &ExecutionConfig,
     bc: &BatchedCircuit<F>,
@@ -395,8 +445,8 @@ pub fn run_offline<F: PrimeField, R: Rng + ?Sized>(
         .iter()
         .flat_map(|layer| layer.iter().map(|w| w.0))
         .collect();
-    let triples = beaver_triples(rng, board, &c1, &c2, cfg, &tpk, mul_wires.len())?;
-    board.advance_round()?;
+    let triples = beaver_triples_in(rng, sb, &c1, &c2, cfg, &tpk, mul_wires.len())?;
+    sb.advance_round()?;
     // triple_of[wire] = index into `triples`.
     let mut triple_of = vec![usize::MAX; circuit.wire_count()];
     for (idx, &w) in mul_wires.iter().enumerate() {
@@ -412,7 +462,7 @@ pub fn run_offline<F: PrimeField, R: Rng + ?Sized>(
         if matches!(gate, Gate::Input { .. } | Gate::Mul(_, _)) {
             lambda_cts[w] = summed_contribution(
                 rng,
-                board,
+                sb,
                 &c3,
                 cfg,
                 &tpk,
@@ -422,7 +472,7 @@ pub fn run_offline<F: PrimeField, R: Rng + ?Sized>(
         }
     }
 
-    board.advance_round()?;
+    sb.advance_round()?;
 
     // ---- Step 3: dependent wire values (and Γ per mul gate),
     // processed in gate order; one decrypt committee per mul layer.
@@ -471,7 +521,7 @@ pub fn run_offline<F: PrimeField, R: Rng + ?Sized>(
             eps_delta.push(MockTe::eval(&[lambda_cts[a.0], tr.a], &[F::ONE, F::ONE])?);
             eps_delta.push(MockTe::eval(&[lambda_cts[b.0], tr.b], &[F::ONE, F::ONE])?);
         }
-        let opened = tsk.decrypt(rng, board, &committee, cfg, phase, &eps_delta)?;
+        let opened = tsk.decrypt_in(rng, sb, &committee, cfg, phase, &eps_delta)?;
         for (j, &gw) in layer.iter().enumerate() {
             let (_, b) = match circuit.gates()[gw.0] {
                 Gate::Mul(a, b) => (a, b),
@@ -494,8 +544,8 @@ pub fn run_offline<F: PrimeField, R: Rng + ?Sized>(
         // Hand tsk to the next committee in the chain.
         let next_keys: Vec<yoso_the::mock::PkeKeyPair<F>> =
             (0..n).map(|_| yoso_the::mock::LinearPke::keygen(rng)).collect();
-        tsk.handover(rng, board, &committee, cfg, "offline/handover", &next_keys)?;
-        board.advance_round()?;
+        tsk.handover_in(rng, sb, &committee, cfg, "offline/handover", &next_keys)?;
+        sb.advance_round()?;
     }
 
     // ---- Step 4: packing per batch (helpers contributed by c3 as part
@@ -522,7 +572,7 @@ pub fn run_offline<F: PrimeField, R: Rng + ?Sized>(
             for _ in 0..t {
                 helpers.push(summed_contribution(
                     rng,
-                    board,
+                    sb,
                     &c3,
                     cfg,
                     &tpk,
@@ -558,16 +608,16 @@ pub fn run_offline<F: PrimeField, R: Rng + ?Sized>(
             input_meta.push((w.0, client));
         }
     }
-    let input_vals = tsk.reencrypt(rng, board, &c5, cfg, phase5, &input_items)?;
+    let input_vals = tsk.reencrypt_in(rng, sb, &c5, cfg, phase5, &input_items)?;
     let input_reenc = input_meta
         .into_iter()
         .zip(input_vals)
         .map(|((w, client), v)| (w, client, v))
         .collect();
-    board.advance_round()?;
+    sb.advance_round()?;
     let next_keys: Vec<yoso_the::mock::PkeKeyPair<F>> =
         (0..n).map(|_| yoso_the::mock::LinearPke::keygen(rng)).collect();
-    tsk.handover(rng, board, &c5, cfg, "offline/handover", &next_keys)?;
+    tsk.handover_in(rng, sb, &c5, cfg, "offline/handover", &next_keys)?;
 
     // ---- Step 6: re-encrypt packed shares to the online roles' KFFs.
     let c6 = adversary.sample_committee(rng, "off-reenc-shares", n);
@@ -585,15 +635,15 @@ pub fn run_offline<F: PrimeField, R: Rng + ?Sized>(
         for i in 0..n {
             items.push((setup.kff_pairs[layer][i].public, gamma[i]));
         }
-        let mut vals = tsk.reencrypt(rng, board, &c6, cfg, phase6, &items)?;
+        let mut vals = tsk.reencrypt_in(rng, sb, &c6, cfg, phase6, &items)?;
         let gamma_v: Vec<ReencryptedValue<F>> = vals.split_off(2 * n);
         let beta_v: Vec<ReencryptedValue<F>> = vals.split_off(n);
         batch_shares.push(BatchShares { alpha: vals, beta: beta_v, gamma: gamma_v });
     }
     let next_keys: Vec<yoso_the::mock::PkeKeyPair<F>> =
         (0..n).map(|_| yoso_the::mock::LinearPke::keygen(rng)).collect();
-    tsk.handover(rng, board, &c6, cfg, "offline/handover", &next_keys)?;
-    board.advance_round()?;
+    tsk.handover_in(rng, sb, &c6, cfg, "offline/handover", &next_keys)?;
+    sb.advance_round()?;
 
     Ok(OfflineArtifacts { lambda_cts, batch_shares, input_reenc, tsk })
 }

@@ -37,7 +37,7 @@ use yoso_runtime::{ActiveAttack, Adversary, Behavior, BulletinBoard, LeakLog, Ro
 use yoso_the::mock::{LinearPke, PkeKeyPair, PkePublicKey};
 use yoso_the::nizk::{share_proof, verify_share_proof, ShareProof};
 
-use crate::messages::{self, Post, MULSHARE_PROOF_ELEMENTS};
+use crate::messages::{Post, MULSHARE_PROOF_ELEMENTS};
 use crate::offline::OfflineArtifacts;
 use crate::setup::SetupArtifacts;
 use crate::tsk::ReencryptedValue;
@@ -59,11 +59,30 @@ pub struct OnlineResult<F: PrimeField> {
 /// # Errors
 ///
 /// Propagates sub-step errors; within the corruption model none occur.
-#[allow(clippy::too_many_lines, clippy::too_many_arguments, clippy::needless_range_loop)]
+#[allow(clippy::too_many_arguments)]
 pub fn run_online<F: PrimeField, R: Rng + ?Sized>(
     rng: &mut R,
     params: &crate::ProtocolParams,
     board: &BulletinBoard<Post>,
+    adversary: &Adversary,
+    cfg: &ExecutionConfig,
+    bc: &BatchedCircuit<F>,
+    setup: &SetupArtifacts<F>,
+    offline: OfflineArtifacts<F>,
+    inputs: &[Vec<F>],
+    leak: &LeakLog,
+) -> Result<OnlineResult<F>, ProtocolError> {
+    let sb = crate::workitem::ShardedBoard::new(board, cfg.partition)?;
+    run_online_in(rng, params, &sb, adversary, cfg, bc, setup, offline, inputs, leak)
+}
+
+/// [`run_online`] posting through an existing sharded board (the
+/// engine-level entry point for role-sharded workers).
+#[allow(clippy::too_many_lines, clippy::too_many_arguments, clippy::needless_range_loop)]
+pub(crate) fn run_online_in<F: PrimeField, R: Rng + ?Sized>(
+    rng: &mut R,
+    params: &crate::ProtocolParams,
+    sb: &crate::workitem::ShardedBoard<'_>,
     adversary: &Adversary,
     cfg: &ExecutionConfig,
     bc: &BatchedCircuit<F>,
@@ -98,15 +117,15 @@ pub fn run_online<F: PrimeField, R: Rng + ?Sized>(
     for c in 0..clients {
         items.push((client_role_keys[c].public, setup.client_kff_cts[c]));
     }
-    let mut kff_prime = tsk.reencrypt(rng, board, &kd, cfg, phase_kd, &items)?;
+    let mut kff_prime = tsk.reencrypt_in(rng, sb, &kd, cfg, phase_kd, &items)?;
     let client_kff_prime: Vec<ReencryptedValue<F>> = kff_prime.split_off(layers * n);
     // kff_prime[l*n + i] targets role (l, i).
 
     // Hand tsk to the output committee (the last holder; Re-encrypt*
     // afterwards performs no further resharing).
     let output_keys: Vec<PkeKeyPair<F>> = (0..n).map(|_| LinearPke::keygen(rng)).collect();
-    tsk.handover(rng, board, &kd, cfg, "online/handover", &output_keys)?;
-    board.advance_round()?;
+    tsk.handover_in(rng, sb, &kd, cfg, "online/handover", &output_keys)?;
+    sb.advance_round()?;
 
     // Clients recover their KFF secrets through the protocol path.
     let client_kff_sk: Vec<F> = (0..clients)
@@ -133,17 +152,19 @@ pub fn run_online<F: PrimeField, R: Rng + ?Sized>(
         }
         if !wires.is_empty() {
             let elements = wires.len() as u64;
-            board.post(
+            // Client posts are not member-indexed: the leader worker
+            // appends them.
+            sb.post(
+                sb.is_leader(),
                 yoso_runtime::RoleId::new("client", client),
                 Post::InputMu { wires: wires.len() as u32 },
                 phase_in,
                 elements,
-                messages::to_bytes(elements),
             )?;
         }
     }
 
-    board.advance_round()?;
+    sb.advance_round()?;
 
     // ---- Gate-by-gate μ propagation; multiplications per batch.
     // Pre-index batches by layer for the committee loop.
@@ -243,6 +264,8 @@ pub fn run_online<F: PrimeField, R: Rng + ?Sized>(
                     if !behavior.participates_at(crate::engine::phase_index(phase_mul)) {
                         return Ok(out);
                     }
+                    let owned = cfg.partition.owns(i);
+                    let prove = cfg.produce_proofs && owned;
                     let kff_pk = setup.kff_pairs[layer_idx][i].public;
                     let ma = mu_alpha_sh.share_of(i).value;
                     let mb = mu_beta_sh.share_of(i).value;
@@ -272,7 +295,7 @@ pub fn run_online<F: PrimeField, R: Rng + ?Sized>(
                             let kff_sk = kff_prime[layer_idx * n + i]
                                 .open(role_keys[layer_idx][i].secret.scalar)?;
                             let value = offset - kff_sk * slope;
-                            let ok = if cfg.produce_proofs {
+                            let ok = if prove {
                                 let proof =
                                     share_proof(&mut mrng, &kff_pk, slope, offset, value, kff_sk);
                                 verify_share_proof(&kff_pk, slope, offset, value, &proof)
@@ -290,7 +313,7 @@ pub fn run_online<F: PrimeField, R: Rng + ?Sized>(
                                 ActiveAttack::AdditiveOffset => honest + F::ONE,
                                 _ => F::random(&mut mrng),
                             };
-                            let ok = if cfg.produce_proofs {
+                            let ok = if prove {
                                 let proof = ShareProof::<F>::garbage(&mut mrng);
                                 verify_share_proof(&kff_pk, slope, offset, value, &proof)
                             } else {
@@ -300,6 +323,7 @@ pub fn run_online<F: PrimeField, R: Rng + ?Sized>(
                         }
                     };
                     out.posts.record(
+                        owned,
                         committee.role(i),
                         Post::MulShare,
                         phase_mul,
@@ -314,7 +338,7 @@ pub fn run_online<F: PrimeField, R: Rng + ?Sized>(
             let mut posted: Vec<Share<F>> = Vec::new();
             for result in member_results {
                 let out = result?;
-                out.posts.flush(board)?;
+                sb.flush_buffer(out.posts)?;
                 for (role, object, piece) in out.leaks {
                     leak.record(role, object, piece);
                 }
@@ -335,7 +359,7 @@ pub fn run_online<F: PrimeField, R: Rng + ?Sized>(
                 mu[gw.0] = Some(mu_gamma[j]);
             }
         }
-        board.advance_round()?;
+        sb.advance_round()?;
     }
     propagate_linear(&mut mu);
 
@@ -347,7 +371,7 @@ pub fn run_online<F: PrimeField, R: Rng + ?Sized>(
         .iter()
         .map(|&(w, client)| (client_role_keys[client].public, offline.lambda_cts[w.0]))
         .collect();
-    let out_vals = tsk.reencrypt(rng, board, &out_committee, cfg, phase_out, &out_items)?;
+    let out_vals = tsk.reencrypt_in(rng, sb, &out_committee, cfg, phase_out, &out_items)?;
 
     let mut outputs: Vec<Vec<F>> = vec![Vec::new(); clients];
     for ((&(w, client), rv), _) in circuit.outputs().iter().zip(&out_vals).zip(0..) {

@@ -146,6 +146,14 @@ impl ProtocolParams {
     pub fn epsilon(&self) -> f64 {
         0.5 - self.t as f64 / self.n as f64
     }
+
+    /// The role range worker `worker` (of `total`) owns in a
+    /// role-sharded run of these parameters — the canonical contiguous
+    /// split of `0..n` (see [`crate::RolePartition::of_workers`]). All
+    /// workers of one run must use the same `total`.
+    pub fn worker_role_range(&self, worker: usize, total: usize) -> crate::RolePartition {
+        crate::RolePartition::of_workers(worker, total, self.n)
+    }
 }
 
 #[cfg(test)]

@@ -23,7 +23,7 @@ use yoso_field::PrimeField;
 use yoso_runtime::{BulletinBoard, RoleId};
 use yoso_the::mock::{Ciphertext, LinearPke, MockTe, PkeKeyPair};
 
-use crate::messages::{self, ContributionStep, Post, CT_ELEMENTS};
+use crate::messages::{ContributionStep, Post, CT_ELEMENTS};
 use crate::tsk::TskChain;
 use crate::{ProtocolError, ProtocolParams};
 
@@ -61,8 +61,24 @@ pub fn run_setup<F: PrimeField, R: Rng + ?Sized>(
     layers: usize,
     clients: usize,
 ) -> Result<SetupArtifacts<F>, ProtocolError> {
+    let sb = crate::workitem::ShardedBoard::solo(board);
+    run_setup_in(rng, params, &sb, layers, clients)
+}
+
+/// [`run_setup`] posting through an existing sharded board. The
+/// dealer's posts are not member-indexed, so the leader worker appends
+/// all of them; every worker still replicates the key generation (the
+/// artifacts are the shared protocol state).
+pub(crate) fn run_setup_in<F: PrimeField, R: Rng + ?Sized>(
+    rng: &mut R,
+    params: &ProtocolParams,
+    sb: &crate::workitem::ShardedBoard<'_>,
+    layers: usize,
+    clients: usize,
+) -> Result<SetupArtifacts<F>, ProtocolError> {
     let tsk = TskChain::keygen(rng, params.n, params.t)?;
     let dealer = RoleId::new("setup", 0);
+    let leader = sb.is_leader();
 
     let mut kff_pairs = Vec::with_capacity(layers);
     let mut kff_cts = Vec::with_capacity(layers);
@@ -73,12 +89,12 @@ pub fn run_setup<F: PrimeField, R: Rng + ?Sized>(
             let kp = LinearPke::keygen(rng);
             let (ct, _) = MockTe::encrypt(rng, &tsk.pk, kp.secret.scalar);
             // Public key (2 elements) + encrypted secret (2 elements).
-            board.post(
+            sb.post(
+                leader,
                 dealer.clone(),
                 Post::Contribution { step: ContributionStep::WireRandom, ciphertexts: 1 },
                 "setup",
                 2 * CT_ELEMENTS,
-                messages::to_bytes(2 * CT_ELEMENTS),
             )?;
             pairs.push(kp);
             cts.push(ct);
@@ -92,12 +108,12 @@ pub fn run_setup<F: PrimeField, R: Rng + ?Sized>(
     for _ in 0..clients {
         let kp = LinearPke::keygen(rng);
         let (ct, _) = MockTe::encrypt(rng, &tsk.pk, kp.secret.scalar);
-        board.post(
+        sb.post(
+            leader,
             dealer.clone(),
             Post::Contribution { step: ContributionStep::WireRandom, ciphertexts: 1 },
             "setup",
             2 * CT_ELEMENTS,
-            messages::to_bytes(2 * CT_ELEMENTS),
         )?;
         client_kff_pairs.push(kp);
         client_kff_cts.push(ct);
@@ -116,34 +132,48 @@ pub fn run_setup<F: PrimeField, R: Rng + ?Sized>(
 /// Propagates encryption errors (none occur).
 pub fn rekey_setup<F: PrimeField, R: Rng + ?Sized>(
     rng: &mut R,
-    _params: &ProtocolParams,
+    params: &ProtocolParams,
     board: &BulletinBoard<Post>,
+    setup: SetupArtifacts<F>,
+    chain: TskChain<F>,
+) -> Result<SetupArtifacts<F>, ProtocolError> {
+    let sb = crate::workitem::ShardedBoard::solo(board);
+    rekey_setup_in(rng, params, &sb, setup, chain)
+}
+
+/// [`rekey_setup`] posting through an existing sharded board
+/// (leader-owned dealer posts, same contract as [`run_setup_in`]).
+pub(crate) fn rekey_setup_in<F: PrimeField, R: Rng + ?Sized>(
+    rng: &mut R,
+    _params: &ProtocolParams,
+    sb: &crate::workitem::ShardedBoard<'_>,
     mut setup: SetupArtifacts<F>,
     chain: TskChain<F>,
 ) -> Result<SetupArtifacts<F>, ProtocolError> {
     let dealer = RoleId::new("setup-rekey", 0);
+    let leader = sb.is_leader();
     for (layer, pairs) in setup.kff_pairs.iter().enumerate() {
         for (i, kp) in pairs.iter().enumerate() {
             let (ct, _) = MockTe::encrypt(rng, &chain.pk, kp.secret.scalar);
             setup.kff_cts[layer][i] = ct;
-            board.post(
+            sb.post(
+                leader,
                 dealer.clone(),
                 Post::Contribution { step: ContributionStep::WireRandom, ciphertexts: 1 },
                 "setup",
                 CT_ELEMENTS,
-                messages::to_bytes(CT_ELEMENTS),
             )?;
         }
     }
     for (c, kp) in setup.client_kff_pairs.iter().enumerate() {
         let (ct, _) = MockTe::encrypt(rng, &chain.pk, kp.secret.scalar);
         setup.client_kff_cts[c] = ct;
-        board.post(
+        sb.post(
+            leader,
             dealer.clone(),
             Post::Contribution { step: ContributionStep::WireRandom, ciphertexts: 1 },
             "setup",
             CT_ELEMENTS,
-            messages::to_bytes(CT_ELEMENTS),
         )?;
     }
     setup.tsk = chain;

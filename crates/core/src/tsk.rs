@@ -21,7 +21,7 @@
 //! contributions, which under `t < n/2` always suffice — this is where
 //! guaranteed output delivery comes from.
 
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 
 use yoso_field::{lagrange, PrimeField};
 use yoso_pss_sharing::shamir;
@@ -227,7 +227,25 @@ impl<F: PrimeField> TskChain<F> {
         board: &BulletinBoard<Post>,
         committee: &Committee,
         cfg: &ExecutionConfig,
-        phase: &str,
+        phase: &'static str,
+        cts: &[Ciphertext<F>],
+    ) -> Result<Vec<F>, ProtocolError> {
+        let sb = crate::workitem::ShardedBoard::new(board, cfg.partition)?;
+        self.decrypt_in(rng, &sb, committee, cfg, phase, cts)
+    }
+
+    /// [`Self::decrypt`] posting through an existing sharded board.
+    ///
+    /// Each member runs from its own child RNG so a role-sharded
+    /// worker that skips proof work for non-owned members still draws
+    /// identical values everywhere.
+    pub(crate) fn decrypt_in<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        sb: &crate::workitem::ShardedBoard<'_>,
+        committee: &Committee,
+        cfg: &ExecutionConfig,
+        phase: &'static str,
         cts: &[Ciphertext<F>],
     ) -> Result<Vec<F>, ProtocolError> {
         self.record_leaks(committee);
@@ -238,12 +256,16 @@ impl<F: PrimeField> TskChain<F> {
             if !behavior.participates_at(crate::engine::phase_index(phase)) {
                 continue;
             }
+            let mut mrng = rand::rngs::StdRng::seed_from_u64(rng.next_u64());
+            let owned = cfg.partition.owns(i);
+            let prove = cfg.produce_proofs && owned;
             for (c_idx, ct) in cts.iter().enumerate() {
                 let (value, valid) = match behavior {
                     Behavior::Honest | Behavior::Leaky | Behavior::FailStop { .. } => {
                         let pd = MockTe::partial_decrypt(share, ct);
-                        let ok = if cfg.produce_proofs {
-                            let proof = pdec_proof(rng, &self.pk, ct, i, share.value, pd.value);
+                        let ok = if prove {
+                            let proof =
+                                pdec_proof(&mut mrng, &self.pk, ct, i, share.value, pd.value);
                             verify_pdec_proof(&self.pk, ct, i, pd.value, &proof)
                         } else {
                             true
@@ -253,10 +275,10 @@ impl<F: PrimeField> TskChain<F> {
                     Behavior::Malicious(attack) => {
                         let wrong = match attack {
                             ActiveAttack::BadProof => MockTe::partial_decrypt(share, ct).value,
-                            _ => F::random(rng),
+                            _ => F::random(&mut mrng),
                         };
-                        let ok = if cfg.produce_proofs {
-                            let proof = PdecProof::garbage(rng);
+                        let ok = if prove {
+                            let proof = PdecProof::garbage(&mut mrng);
                             verify_pdec_proof(&self.pk, ct, i, wrong, &proof)
                         } else {
                             false
@@ -264,12 +286,12 @@ impl<F: PrimeField> TskChain<F> {
                         (wrong, ok)
                     }
                 };
-                board.post(
+                sb.post(
+                    owned,
                     committee.role(i),
                     Post::PartialDec,
                     phase,
                     PDEC_ELEMENTS + PDEC_PROOF_ELEMENTS,
-                    messages::to_bytes(PDEC_ELEMENTS + PDEC_PROOF_ELEMENTS),
                 )?;
                 partials[c_idx].push((i, value, valid));
             }
@@ -320,6 +342,25 @@ impl<F: PrimeField> TskChain<F> {
         phase: &'static str,
         items: &[(PkePublicKey<F>, Ciphertext<F>)],
     ) -> Result<Vec<ReencryptedValue<F>>, ProtocolError> {
+        let sb = crate::workitem::ShardedBoard::new(board, cfg.partition)?;
+        self.reencrypt_in(rng, &sb, committee, cfg, phase, items)
+    }
+
+    /// [`Self::reencrypt`] posting through an existing sharded board.
+    ///
+    /// Inside each item, every member additionally runs from its own
+    /// child RNG (seeded from the item RNG), so a role-sharded worker
+    /// skipping non-owned members' proof work draws identical
+    /// ciphertexts for all of them.
+    pub(crate) fn reencrypt_in<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        sb: &crate::workitem::ShardedBoard<'_>,
+        committee: &Committee,
+        cfg: &ExecutionConfig,
+        phase: &'static str,
+        items: &[(PkePublicKey<F>, Ciphertext<F>)],
+    ) -> Result<Vec<ReencryptedValue<F>>, ProtocolError> {
         self.record_leaks(committee);
         let seeds: Vec<u64> = items.iter().map(|_| rng.next_u64()).collect();
         let worker_out = crate::parallel::par_map(cfg.num_threads, &seeds, |item_idx, &seed| {
@@ -338,13 +379,16 @@ impl<F: PrimeField> TskChain<F> {
                 if !behavior.participates_at(crate::engine::phase_index(phase)) {
                     continue;
                 }
+                let mut mrng = rand::rngs::StdRng::seed_from_u64(irng.next_u64());
+                let owned = cfg.partition.owns(i);
+                let prove = cfg.produce_proofs && owned;
                 let (enc, valid) = match behavior {
                     Behavior::Honest | Behavior::Leaky | Behavior::FailStop { .. } => {
                         let d = share.value * ct.u;
-                        let (enc, r) = LinearPke::encrypt(&mut irng, target, d);
-                        let ok = if cfg.produce_proofs {
+                        let (enc, r) = LinearPke::encrypt(&mut mrng, target, d);
+                        let ok = if prove {
                             let proof = encrypted_partial_proof(
-                                &mut irng, &self.pk, i, ct, target, &enc, d, r,
+                                &mut mrng, &self.pk, i, ct, target, &enc, d, r,
                             );
                             verify_encrypted_partial(&self.pk, i, ct, target, &enc, &proof)
                         } else {
@@ -355,13 +399,13 @@ impl<F: PrimeField> TskChain<F> {
                     Behavior::Malicious(attack) => {
                         let d = match attack {
                             ActiveAttack::BadProof => share.value * ct.u,
-                            _ => F::random(&mut irng),
+                            _ => F::random(&mut mrng),
                         };
-                        let (enc, _) = LinearPke::encrypt(&mut irng, target, d);
-                        let ok = if cfg.produce_proofs {
+                        let (enc, _) = LinearPke::encrypt(&mut mrng, target, d);
+                        let ok = if prove {
                             let proof = nizk::LinearProof::<F> {
-                                commitment: vec![F::random(&mut irng); 3],
-                                response: vec![F::random(&mut irng); 2],
+                                commitment: vec![F::random(&mut mrng); 3],
+                                response: vec![F::random(&mut mrng); 2],
                             };
                             verify_encrypted_partial(&self.pk, i, ct, target, &enc, &proof)
                         } else {
@@ -371,6 +415,7 @@ impl<F: PrimeField> TskChain<F> {
                     }
                 };
                 posts.record(
+                    owned,
                     committee.role(i),
                     Post::EncryptedPartial,
                     phase,
@@ -382,7 +427,7 @@ impl<F: PrimeField> TskChain<F> {
         });
         let mut out = Vec::with_capacity(items.len());
         for (val, posts) in worker_out {
-            posts.flush(board)?;
+            sb.flush_buffer(posts)?;
             out.push(val);
         }
         Ok(out)
@@ -403,7 +448,24 @@ impl<F: PrimeField> TskChain<F> {
         board: &BulletinBoard<Post>,
         outgoing: &Committee,
         cfg: &ExecutionConfig,
-        phase: &str,
+        phase: &'static str,
+        next_keys: &[PkeKeyPair<F>],
+    ) -> Result<(), ProtocolError> {
+        let sb = crate::workitem::ShardedBoard::new(board, cfg.partition)?;
+        self.handover_in(rng, &sb, outgoing, cfg, phase, next_keys)
+    }
+
+    /// [`Self::handover`] posting through an existing sharded board,
+    /// with per-member child RNGs (same sharding contract as
+    /// [`Self::decrypt_in`]).
+    #[allow(clippy::needless_range_loop)]
+    pub(crate) fn handover_in<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        sb: &crate::workitem::ShardedBoard<'_>,
+        outgoing: &Committee,
+        cfg: &ExecutionConfig,
+        phase: &'static str,
         next_keys: &[PkeKeyPair<F>],
     ) -> Result<(), ProtocolError> {
         self.record_leaks(outgoing);
@@ -419,6 +481,9 @@ impl<F: PrimeField> TskChain<F> {
             if !behavior.participates_at(crate::engine::phase_index(phase)) {
                 continue;
             }
+            let mut mrng = rand::rngs::StdRng::seed_from_u64(rng.next_u64());
+            let owned = cfg.partition.owns(i);
+            let prove = cfg.produce_proofs && owned;
             let posted = match behavior {
                 Behavior::Honest | Behavior::Leaky | Behavior::FailStop { .. } => {
                     // Sample the sub-sharing polynomial explicitly so we
@@ -426,7 +491,7 @@ impl<F: PrimeField> TskChain<F> {
                     let mut coeffs = Vec::with_capacity(t + 1);
                     coeffs.push(share.value);
                     for _ in 0..t {
-                        coeffs.push(F::random(rng));
+                        coeffs.push(F::random(&mut mrng));
                     }
                     let commitments: Vec<F> = coeffs.iter().map(|&a| a * self.pk.g).collect();
                     let mut enc_subshares = Vec::with_capacity(n);
@@ -437,13 +502,13 @@ impl<F: PrimeField> TskChain<F> {
                         for &a in coeffs.iter().rev() {
                             acc = acc * x + a;
                         }
-                        let (ct, r) = LinearPke::encrypt(rng, &recipient_pks[m], acc);
+                        let (ct, r) = LinearPke::encrypt(&mut mrng, &recipient_pks[m], acc);
                         enc_subshares.push(ct);
                         rands.push(r);
                     }
-                    let valid = if cfg.produce_proofs {
+                    let valid = if prove {
                         let proof = reshare_proof(
-                            rng,
+                            &mut mrng,
                             &self.pk,
                             &commitments,
                             &recipient_pks,
@@ -465,15 +530,15 @@ impl<F: PrimeField> TskChain<F> {
                     PostedReshare { from: i, commitments, enc_subshares, valid }
                 }
                 Behavior::Malicious(_) => {
-                    let commitments: Vec<F> = (0..=t).map(|_| F::random(rng)).collect();
+                    let commitments: Vec<F> = (0..=t).map(|_| F::random(&mut mrng)).collect();
                     let enc_subshares: Vec<Ciphertext<F>> = (0..n)
                         .map(|m| {
-                            let junk = F::random(rng);
-                            LinearPke::encrypt(rng, &recipient_pks[m], junk).0
+                            let junk = F::random(&mut mrng);
+                            LinearPke::encrypt(&mut mrng, &recipient_pks[m], junk).0
                         })
                         .collect();
-                    let valid = if cfg.produce_proofs {
-                        let proof = ReshareProof::<F>::garbage(rng, n, t);
+                    let valid = if prove {
+                        let proof = ReshareProof::<F>::garbage(&mut mrng, n, t);
                         verify_reshare_proof(
                             &self.pk,
                             i,
@@ -489,13 +554,7 @@ impl<F: PrimeField> TskChain<F> {
                 }
             };
             let elements = messages::reshare_elements(n as u64, t as u64);
-            board.post(
-                outgoing.role(i),
-                Post::TskReshare,
-                phase,
-                elements,
-                messages::to_bytes(elements),
-            )?;
+            sb.post(owned, outgoing.role(i), Post::TskReshare, phase, elements)?;
             msgs.push(posted);
         }
 

@@ -1,0 +1,188 @@
+//! Role-sharded worker parity: for a fixed seed, N workers splitting
+//! the committee roles over one shared board must produce a transcript
+//! byte-identical to the single-process run — same postings, same
+//! outputs, same μ values, same per-phase metering — for even and
+//! uneven role splits, including workers that own zero roles.
+
+use rand::SeedableRng;
+use yoso_circuit::generators;
+use yoso_core::messages::Post;
+use yoso_core::{
+    Engine, ExecutionConfig, ProtocolError, ProtocolParams, RolePartition, RunResult,
+};
+use yoso_field::F61;
+use yoso_runtime::{ActiveAttack, Adversary, BulletinBoard};
+
+fn f(v: u64) -> F61 {
+    F61::from(v)
+}
+
+const SEED: u64 = 4242;
+
+fn workload(params: ProtocolParams) -> (yoso_circuit::Circuit<F61>, Vec<Vec<F61>>) {
+    let width = 2 * params.k;
+    let circuit = generators::inner_product::<F61>(width).unwrap();
+    let inputs: Vec<Vec<F61>> = vec![
+        (1..=width as u64).map(f).collect(),
+        (10..10 + width as u64).map(f).collect(),
+    ];
+    (circuit, inputs)
+}
+
+/// Renders the complete posting log in the canonical line format used
+/// across the determinism suites.
+fn render(board: &BulletinBoard<Post>) -> String {
+    let mut transcript = String::new();
+    for p in board.postings().unwrap() {
+        transcript.push_str(&format!("{}|{}|{}|{:?}\n", p.round, p.from, p.phase, p.message));
+    }
+    transcript
+}
+
+/// The single-process reference run.
+fn solo_run(params: ProtocolParams, adversary: &Adversary) -> (String, RunResult<F61>) {
+    let (circuit, inputs) = workload(params);
+    let board: BulletinBoard<Post> = BulletinBoard::new();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(SEED);
+    let run = Engine::new(params, ExecutionConfig::default())
+        .run_with_board(&mut rng, &circuit, &inputs, adversary, &board)
+        .unwrap();
+    (render(&board), run)
+}
+
+/// Runs `workers` in-process simulated workers: one thread per worker,
+/// all sharing a cloned handle to the same board, each seeded with the
+/// same root seed and owning its canonical contiguous role range.
+fn sharded_run(
+    params: ProtocolParams,
+    workers: usize,
+    adversary: &Adversary,
+) -> (String, Vec<RunResult<F61>>) {
+    let (circuit, inputs) = workload(params);
+    let board: BulletinBoard<Post> = BulletinBoard::new();
+    let runs: Vec<RunResult<F61>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let board = board.clone();
+                let circuit = &circuit;
+                let inputs = &inputs;
+                s.spawn(move || {
+                    let cfg = ExecutionConfig::default()
+                        .with_partition(params.worker_role_range(w, workers));
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(SEED);
+                    Engine::new(params, cfg)
+                        .run_with_board(&mut rng, circuit, inputs, adversary, &board)
+                        .unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    (render(&board), runs)
+}
+
+#[test]
+fn sharded_transcript_byte_identical_to_solo() {
+    let params = ProtocolParams::new(10, 2, 3).unwrap();
+    let adv = Adversary::none();
+    let (solo_log, solo) = solo_run(params, &adv);
+    assert!(!solo_log.is_empty());
+    for workers in [2usize, 4, 8] {
+        let (log, runs) = sharded_run(params, workers, &adv);
+        assert_eq!(
+            solo_log, log,
+            "{workers}-worker transcript must be byte-identical to single-process"
+        );
+        for (w, run) in runs.iter().enumerate() {
+            assert_eq!(solo.outputs, run.outputs, "worker {w}/{workers} outputs");
+            assert_eq!(solo.mu, run.mu, "worker {w}/{workers} mu");
+            assert_eq!(solo.rounds, run.rounds, "worker {w}/{workers} rounds");
+            // Every worker rebuilds full-run metering from the shared
+            // log, so all workers agree with the solo meter.
+            assert_eq!(solo.phases, run.phases, "worker {w}/{workers} phases");
+        }
+    }
+}
+
+#[test]
+fn uneven_role_ranges_still_agree() {
+    // n = 10 does not divide by 4: ranges are 2/3/2/3 wide. n = 10
+    // with 8 workers mixes 1- and 2-wide ranges.
+    let params = ProtocolParams::new(10, 2, 3).unwrap();
+    for workers in [4usize, 8] {
+        let sizes: Vec<usize> = (0..workers)
+            .map(|w| {
+                let p = params.worker_role_range(w, workers);
+                p.hi() - p.lo()
+            })
+            .collect();
+        assert!(
+            sizes.iter().any(|&s| s != sizes[0]),
+            "split {workers} of n=10 should be uneven, got {sizes:?}"
+        );
+    }
+    let adv = Adversary::none();
+    let (solo_log, _) = solo_run(params, &adv);
+    let (log, _) = sharded_run(params, 4, &adv);
+    assert_eq!(solo_log, log);
+}
+
+#[test]
+fn zero_role_worker_participates_without_posting() {
+    // 12 workers over n = 10 roles: worker 0 owns the empty range
+    // [0, 0) (and is *not* the leader — worker 1 owning [0, 1) is).
+    // The run must still converge with the identical transcript.
+    let params = ProtocolParams::new(10, 2, 3).unwrap();
+    let empty = params.worker_role_range(0, 12);
+    assert_eq!((empty.lo(), empty.hi()), (0, 0));
+    assert!(!empty.is_leader());
+    assert!(params.worker_role_range(1, 12).is_leader());
+    let adv = Adversary::none();
+    let (solo_log, solo) = solo_run(params, &adv);
+    let (log, runs) = sharded_run(params, 12, &adv);
+    assert_eq!(solo_log, log);
+    // The zero-role worker still recovers the full result set.
+    assert_eq!(solo.outputs, runs[0].outputs);
+    assert_eq!(solo.mu, runs[0].mu);
+}
+
+#[test]
+fn sharded_parity_under_active_attack() {
+    // Corrupt members post garbage instead of skipping: the behavior
+    // tags (not the proofs, which only owners produce) decide validity
+    // identically on every worker.
+    let params = ProtocolParams::new(10, 2, 3).unwrap();
+    let adv = Adversary::active(2, ActiveAttack::WrongValue);
+    let (solo_log, solo) = solo_run(params, &adv);
+    let (log, runs) = sharded_run(params, 4, &adv);
+    assert_eq!(solo_log, log);
+    for run in &runs {
+        assert_eq!(solo.outputs, run.outputs);
+    }
+}
+
+#[test]
+fn sharded_run_requires_audit_board() {
+    let params = ProtocolParams::new(10, 2, 3).unwrap();
+    let (circuit, inputs) = workload(params);
+    let board: BulletinBoard<Post> = BulletinBoard::new();
+    let cfg = ExecutionConfig::sweep().with_partition(RolePartition::range(0, 5));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(SEED);
+    let err = Engine::new(params, cfg)
+        .run_with_board(&mut rng, &circuit, &inputs, &Adversary::none(), &board)
+        .unwrap_err();
+    assert!(matches!(err, ProtocolError::BadParameters(_)), "{err}");
+}
+
+#[test]
+fn sharded_run_rejects_partition_beyond_committee() {
+    let params = ProtocolParams::new(10, 2, 3).unwrap();
+    let (circuit, inputs) = workload(params);
+    let board: BulletinBoard<Post> = BulletinBoard::new();
+    let cfg = ExecutionConfig::default().with_partition(RolePartition::range(0, 11));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(SEED);
+    let err = Engine::new(params, cfg)
+        .run_with_board(&mut rng, &circuit, &inputs, &Adversary::none(), &board)
+        .unwrap_err();
+    assert!(matches!(err, ProtocolError::BadParameters(_)), "{err}");
+}

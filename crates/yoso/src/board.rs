@@ -313,6 +313,131 @@ impl<M> BulletinBoard<M> {
     pub fn subscribe(&self) -> BoardCursor<M> {
         BoardCursor { transport: Arc::clone(&self.transport), pos: 0 }
     }
+
+    /// Blocks until the board holds at least `target` postings and
+    /// returns the observed length. This is the worker-mode
+    /// synchronization primitive: a role-sharded worker waits for the
+    /// board to reach the canonical position of its next posting run
+    /// before appending, so the global posting order is identical to a
+    /// single-process run.
+    ///
+    /// Polls with a short spin-then-sleep backoff (the in-process
+    /// backend resolves in the spin window; TCP backends settle into
+    /// millisecond sleeps).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures, or [`BoardError::Protocol`] if
+    /// `timeout` elapses first (a peer worker died or desynced).
+    pub fn wait_len_at_least(
+        &self,
+        target: usize,
+        // lint:allow(determinism): the timeout only bounds polling; no
+        // wall-clock value is read into the posting log.
+        timeout: std::time::Duration,
+    ) -> Result<usize, BoardError> {
+        wait_until(timeout, || {
+            let len = self.len()?;
+            Ok(if len >= target { Some(len) } else { None })
+        })
+        .map_err(|e| match e {
+            WaitError::TimedOut => BoardError::Protocol(format!(
+                "timed out waiting for board length >= {target} (a peer worker \
+                 may have crashed or fallen behind)"
+            )),
+            WaitError::Board(b) => b,
+        })
+    }
+
+    /// Blocks until the board's round clock reaches at least `round`
+    /// and returns the observed round. Workers park here at each phase
+    /// boundary: the round tick (issued by the leader worker once all
+    /// of the round's postings have landed) *is* the YOSO handoff, so
+    /// no side channel is needed to release the barrier.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures, or [`BoardError::Protocol`] if
+    /// `timeout` elapses first.
+    pub fn wait_round_at_least(
+        &self,
+        round: u64,
+        // lint:allow(determinism): the timeout only bounds polling; no
+        // wall-clock value is read into the posting log.
+        timeout: std::time::Duration,
+    ) -> Result<u64, BoardError> {
+        wait_until(timeout, || {
+            let r = self.round()?;
+            Ok(if r >= round { Some(r) } else { None })
+        })
+        .map_err(|e| match e {
+            WaitError::TimedOut => BoardError::Protocol(format!(
+                "timed out waiting for board round >= {round} (the leader \
+                 worker may have crashed before ticking the round clock)"
+            )),
+            WaitError::Board(b) => b,
+        })
+    }
+}
+
+enum WaitError {
+    TimedOut,
+    Board(BoardError),
+}
+
+/// Polls `probe` with spin-then-sleep backoff until it yields a value
+/// or `timeout` elapses. First ~64 probes yield the CPU only (the
+/// in-process fast path), then sleeps escalate 1ms → 20ms.
+fn wait_until<T>(
+    // lint:allow(determinism): timing here decides only *when* we give
+    // up waiting, never *what* gets posted — a run that doesn't time
+    // out produces the same transcript regardless of poll timing.
+    timeout: std::time::Duration,
+    mut probe: impl FnMut() -> Result<Option<T>, BoardError>,
+) -> Result<T, WaitError> {
+    // lint:allow(determinism): see the `timeout` parameter — timeout
+    // bookkeeping only, nothing time-derived reaches the board.
+    use std::time::{Duration, Instant};
+    let start = Instant::now();
+    let mut spins = 0u32;
+    loop {
+        match probe().map_err(WaitError::Board)? {
+            Some(v) => return Ok(v),
+            None => {
+                if start.elapsed() >= timeout {
+                    return Err(WaitError::TimedOut);
+                }
+                if spins < 64 {
+                    spins += 1;
+                    std::thread::yield_now();
+                } else {
+                    let ms = (u64::from(spins) / 64).min(20);
+                    spins = spins.saturating_add(64);
+                    std::thread::sleep(Duration::from_millis(ms.max(1)));
+                }
+            }
+        }
+    }
+}
+
+/// Rebuilds per-phase communication stats from a posting log, in label
+/// order — the cross-worker metering aggregation path. Every posting
+/// carries its metered `elements`/`bytes`, so a reader holding the
+/// full log (an auditor, or a worker whose local [`CommMeter`] saw
+/// only its own share of the posts) reconstructs exactly what a
+/// single-process [`CommMeter::phases`] would report.
+pub fn phases_from_postings<M>(
+    postings: &[Posting<M>],
+) -> Vec<(String, crate::metrics::PhaseStats)> {
+    let mut by_phase =
+        std::collections::BTreeMap::<String, crate::metrics::PhaseStats>::new();
+    for p in postings {
+        let s = by_phase.entry(p.phase.to_string()).or_default();
+        s.elements += p.elements;
+        s.bytes += p.bytes;
+        s.messages += 1;
+    }
+    by_phase.into_iter().collect()
 }
 
 /// A stateful reader over a board transport: remembers how far it has
@@ -451,6 +576,49 @@ mod tests {
         assert_eq!(board.len().unwrap(), 0);
         assert_eq!(board.meter().phase("x").messages, 4);
         assert_eq!(board.meter().phase("x").elements, 7);
+    }
+
+    #[test]
+    fn wait_len_returns_immediately_when_satisfied() {
+        let board: BulletinBoard<u64> = BulletinBoard::new();
+        board.post(RoleId::new("c", 0), 1, "x", 1, 8).unwrap();
+        let len = board
+            .wait_len_at_least(1, std::time::Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(len, 1);
+    }
+
+    #[test]
+    fn wait_len_times_out_with_protocol_error() {
+        let board: BulletinBoard<u64> = BulletinBoard::new();
+        let err = board
+            .wait_len_at_least(1, std::time::Duration::from_millis(10))
+            .unwrap_err();
+        assert!(matches!(err, BoardError::Protocol(_)));
+    }
+
+    #[test]
+    fn wait_round_unblocks_on_cross_thread_tick() {
+        let board: BulletinBoard<u64> = BulletinBoard::new();
+        let clone = board.clone();
+        std::thread::scope(|s| {
+            let waiter = s.spawn(move || {
+                clone.wait_round_at_least(2, std::time::Duration::from_secs(30))
+            });
+            board.advance_round().unwrap();
+            board.advance_round().unwrap();
+            assert_eq!(waiter.join().unwrap().unwrap(), 2);
+        });
+    }
+
+    #[test]
+    fn phases_from_postings_matches_meter() {
+        let board: BulletinBoard<u64> = BulletinBoard::new();
+        board.post(RoleId::new("c", 0), 1, "b/phase", 3, 24).unwrap();
+        board.post(RoleId::new("c", 1), 2, "a/phase", 2, 16).unwrap();
+        board.post(RoleId::new("c", 2), 3, "a/phase", 5, 40).unwrap();
+        let rebuilt = phases_from_postings(&board.postings().unwrap());
+        assert_eq!(rebuilt, board.meter().phases());
     }
 
     #[test]
