@@ -136,6 +136,7 @@ pub fn decrypt(sk: &SecretKey, ct: &Ciphertext) -> Result<Vec<u8>, CryptoError> 
     if tag != ct.tag {
         return Err(CryptoError::DecryptionFailed);
     }
+    // lint:allow(taint-flow): decrypt's contract is returning the plaintext; callers own its hygiene
     let stream = derive_stream(shared, ct.ephemeral, ct.masked.len());
     Ok(ct.masked.iter().zip(&stream).map(|(m, s)| m ^ s).collect())
 }

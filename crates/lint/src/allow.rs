@@ -1,16 +1,24 @@
-//! `lint:allow` / `lint:redact` marker parsing and bookkeeping.
+//! `lint:allow` / `lint:redact` marker parsing and bookkeeping, plus the
+//! dataflow directives (`lint:taint`, `lint:sanitize`) the taint pass
+//! consumes.
 //!
 //! Grammar (inside any `//` or `/* */` comment):
 //!
 //! ```text
 //! lint:allow(<rule>): <justification>
 //! lint:redact: <justification>
+//! lint:taint(source): <justification>
+//! lint:sanitize: <justification>
 //! ```
 //!
 //! The justification is mandatory and must be non-empty — an allow without
 //! a reason is itself a violation (`bad-allow`). `lint:redact` is shorthand
 //! accepted on redacted `Debug`/`Display` impls and secret type
 //! definitions; it covers `secret-debug` and `secret-serialize`.
+//! `lint:taint(source)` declares the governed binding a secret source even
+//! though its type/name match no registry pattern; `lint:sanitize` declares
+//! the governed `fn` a sanitizer (its output is public material), extending
+//! the built-in `encrypt*`/`share*`/`commit*` prefix set.
 //!
 //! A marker on a code line governs that line. A marker on a comment-only
 //! line governs the next code line plus a 3-line grace window, so a
@@ -59,23 +67,17 @@ impl AllowTable {
             let (rules, justification) = match parsed {
                 Ok(ok) => ok,
                 Err(msg) => {
-                    table.parse_findings.push(Finding {
-                        file: file.to_string(),
-                        line: c.line,
-                        rule: RuleId::BadAllow,
-                        message: msg,
-                    });
+                    table.parse_findings.push(Finding::new(file, c.line, RuleId::BadAllow, msg));
                     continue;
                 }
             };
             if justification.trim().is_empty() {
-                table.parse_findings.push(Finding {
-                    file: file.to_string(),
-                    line: c.line,
-                    rule: RuleId::BadAllow,
-                    message: "lint marker requires a non-empty justification after `:`"
-                        .to_string(),
-                });
+                table.parse_findings.push(Finding::new(
+                    file,
+                    c.line,
+                    RuleId::BadAllow,
+                    "lint marker requires a non-empty justification after `:`",
+                ));
                 continue;
             }
             let (first_line, last_line) = if code_lines.contains(&c.line) {
@@ -117,21 +119,117 @@ impl AllowTable {
         self.markers
             .iter()
             .filter(|m| !m.used)
-            .map(|m| Finding {
-                file: file.to_string(),
-                line: m.comment_line,
-                rule: RuleId::UnusedAllow,
-                message: format!(
-                    "lint marker for [{}] suppressed nothing",
-                    m.rules
-                        .iter()
-                        .map(|r| r.name())
-                        .collect::<Vec<_>>()
-                        .join(", ")
-                ),
+            .map(|m| {
+                Finding::new(
+                    file,
+                    m.comment_line,
+                    RuleId::UnusedAllow,
+                    format!(
+                        "lint marker for [{}] suppressed nothing",
+                        m.rules
+                            .iter()
+                            .map(|r| r.name())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                )
             })
             .collect()
     }
+}
+
+/// Dataflow directives for one file: line ranges the taint pass treats as
+/// extra taint sources or as sanitizer declarations.
+#[derive(Debug, Default)]
+pub struct Directives {
+    /// Inclusive line ranges governed by a `lint:taint(source)` marker.
+    taint_ranges: Vec<(usize, usize)>,
+    /// Inclusive line ranges governed by a `lint:sanitize` marker.
+    sanitize_ranges: Vec<(usize, usize)>,
+    /// `bad-allow` findings for malformed directives.
+    pub parse_findings: Vec<Finding>,
+}
+
+impl Directives {
+    /// Build the directive table from a lexed file. Shares the marker line
+    /// governance of [`AllowTable`]: trailing comments govern their own
+    /// line, standalone comments the next code line plus grace.
+    pub fn build(file: &str, lexed: &Lexed) -> Directives {
+        let code_lines = lexed.code_lines();
+        let mut out = Directives::default();
+        for c in &lexed.comments {
+            if c.text.starts_with('/') || c.text.starts_with('!') || c.text.starts_with('*') {
+                continue;
+            }
+            let (which, parsed) = if c.text.contains("lint:taint") {
+                (0, parse_directive(&c.text, "lint:taint", Some("source")))
+            } else if c.text.contains("lint:sanitize") {
+                (1, parse_directive(&c.text, "lint:sanitize", None))
+            } else {
+                continue;
+            };
+            if let Err(msg) = parsed {
+                out.parse_findings.push(Finding::new(file, c.line, RuleId::BadAllow, msg));
+                continue;
+            }
+            let range = if code_lines.contains(&c.line) {
+                (c.line, c.line)
+            } else {
+                match code_lines.range(c.line..).next() {
+                    Some(&l) => (l, l + GRACE_LINES),
+                    None => (c.line, c.line),
+                }
+            };
+            if which == 0 {
+                out.taint_ranges.push(range);
+            } else {
+                out.sanitize_ranges.push(range);
+            }
+        }
+        out
+    }
+
+    /// True if a binding introduced on `line` is a declared taint source.
+    pub fn taint_source(&self, line: usize) -> bool {
+        self.taint_ranges.iter().any(|&(a, b)| (a..=b).contains(&line))
+    }
+
+    /// True if a `fn` whose header is on `line` is a declared sanitizer.
+    pub fn sanitizer_fn(&self, line: usize) -> bool {
+        self.sanitize_ranges.iter().any(|&(a, b)| (a..=b).contains(&line))
+    }
+}
+
+/// Parse a directive marker: `<name>(<arg>): <justification>` when `arg`
+/// is required, `<name>: <justification>` otherwise.
+fn parse_directive(text: &str, name: &str, arg: Option<&str>) -> Result<(), String> {
+    let idx = text.find(name).expect("caller checked substring");
+    let rest = &text[idx + name.len()..];
+    let rest = match arg {
+        Some(expected) => {
+            let Some(open) = rest.strip_prefix('(') else {
+                return Err(format!("expected `({expected})` after {name}"));
+            };
+            let Some(close) = open.find(')') else {
+                return Err(format!("unclosed `(` in {name}"));
+            };
+            if open[..close].trim() != expected {
+                return Err(format!(
+                    "expected `{expected}` in {name}(...), got `{}`",
+                    open[..close].trim()
+                ));
+            }
+            &open[close + 1..]
+        }
+        None => rest,
+    };
+    let Some(justification) = rest.trim_start().strip_prefix(':') else {
+        return Err(format!("expected `: <justification>` after {name}"));
+    };
+    if justification.trim().is_empty() {
+        return Err(format!("{name} requires a non-empty justification after `:`"));
+    }
+    Ok(())
 }
 
 /// Parse one comment body. `None` = no marker present; `Some(Err)` =

@@ -28,6 +28,21 @@ pub enum RuleId {
     /// Crate root missing `#![forbid(unsafe_code)]`, or an `unsafe` token
     /// anywhere outside the vendored shims.
     UnsafePolicy,
+    /// A secret-tainted value reaches a sink (format macro, posting
+    /// payload, serialization, raw-byte return) without passing through
+    /// a sanctioned sanitizer (`encrypt*`/`share*`/`commit*` or a
+    /// `lint:sanitize`-marked function).
+    TaintFlow,
+    /// A sharded-board posting whose ownership flag is not derived from
+    /// a `RolePartition::owns`/`is_leader` guard, or a raw-board post
+    /// bypassing the `ShardedBoard` position accounting in `core`.
+    UnguardedPost,
+    /// Round-barrier misuse: `advance_round` on a raw board outside a
+    /// leader/solo guard, or a transcript read before a barrier.
+    RoundDiscipline,
+    /// The phase RNG is drawn directly inside an ownership-conditional
+    /// item loop instead of through a per-item child seed.
+    SeedHygiene,
     /// Malformed `lint:allow` marker: unknown rule or missing
     /// justification.
     BadAllow,
@@ -48,7 +63,7 @@ pub enum Level {
 
 impl RuleId {
     /// All rules, in reporting order.
-    pub const ALL: [RuleId; 9] = [
+    pub const ALL: [RuleId; 13] = [
         RuleId::Panic,
         RuleId::Index,
         RuleId::SecretDebug,
@@ -56,6 +71,10 @@ impl RuleId {
         RuleId::SecretFormat,
         RuleId::Determinism,
         RuleId::UnsafePolicy,
+        RuleId::TaintFlow,
+        RuleId::UnguardedPost,
+        RuleId::RoundDiscipline,
+        RuleId::SeedHygiene,
         RuleId::BadAllow,
         RuleId::UnusedAllow,
     ];
@@ -70,6 +89,10 @@ impl RuleId {
             RuleId::SecretFormat => "secret-format",
             RuleId::Determinism => "determinism",
             RuleId::UnsafePolicy => "unsafe-policy",
+            RuleId::TaintFlow => "taint-flow",
+            RuleId::UnguardedPost => "unguarded-post",
+            RuleId::RoundDiscipline => "round-discipline",
+            RuleId::SeedHygiene => "seed-hygiene",
             RuleId::BadAllow => "bad-allow",
             RuleId::UnusedAllow => "unused-allow",
         }
@@ -110,6 +133,18 @@ impl RuleId {
             }
             RuleId::UnsafePolicy => {
                 "crate root missing #![forbid(unsafe_code)], or any unsafe token"
+            }
+            RuleId::TaintFlow => {
+                "secret-tainted value reaching a sink without a sanctioned sanitizer"
+            }
+            RuleId::UnguardedPost => {
+                "board posting whose ownership is not derived from owns()/is_leader()"
+            }
+            RuleId::RoundDiscipline => {
+                "advance_round outside a leader/solo guard, or a read before a barrier"
+            }
+            RuleId::SeedHygiene => {
+                "phase RNG drawn inside an ownership-conditional item loop"
             }
             RuleId::BadAllow => "lint:allow marker with unknown rule or empty justification",
             RuleId::UnusedAllow => "lint:allow marker that suppressed nothing",
@@ -197,6 +232,16 @@ pub const FORMAT_MACROS: [&str; 10] = [
     "println", "print", "eprintln", "eprint", "format", "format_args", "write", "writeln",
     "log", "panic",
 ];
+
+/// Call-name prefixes the taint pass accepts as sanitizers: routing a
+/// tainted value through one of these produces public material
+/// (ciphertexts, shares, commitments). Extended per-file by
+/// `lint:sanitize`-marked functions.
+pub const SANITIZER_PREFIXES: [&str; 3] = ["encrypt", "share", "commit"];
+
+/// Callee names the taint pass treats as serialization sinks when a
+/// tainted value is the receiver or an argument.
+pub const SERIALIZE_SINKS: [&str; 4] = ["serialize", "to_bytes", "to_writer", "encode"];
 
 /// Identifiers that signal nondeterminism inside transcript modules.
 pub const NONDET_IDENTS: [&str; 7] = [

@@ -186,10 +186,22 @@ pub fn lex(src: &str) -> Lexed {
                 out.tokens.push(Token { kind: TokKind::Num, text, line });
             }
             _ if is_ident_start(b) => {
-                // r"..." / r#"..."# raw strings and b"..." byte strings lex as
-                // string literals, r#ident as a raw identifier.
+                // b'x' byte chars lex as char literals, not ident + char —
+                // otherwise the unmatched quote desyncs everything after.
+                if b == b'b' && cur.peek_at(1) == Some(b'\'') {
+                    cur.bump();
+                    lex_quote(&mut cur, &mut out, line);
+                    continue;
+                }
+                // r"..." / r#"..."# raw strings, b"..." byte strings and
+                // br"..." / br#"..."# byte-raw strings lex as string
+                // literals, r#ident as a raw identifier.
+                let starts_string = matches!(cur.peek_at(1), Some(b'"') | Some(b'#'))
+                    || (b == b'b'
+                        && cur.peek_at(1) == Some(b'r')
+                        && matches!(cur.peek_at(2), Some(b'"') | Some(b'#')));
                 if (b == b'r' || b == b'b')
-                    && matches!(cur.peek_at(1), Some(b'"') | Some(b'#'))
+                    && starts_string
                     && raw_or_byte_string(&mut cur, &mut out, line)
                 {
                     continue;
@@ -445,5 +457,58 @@ mod tests {
     fn raw_identifier() {
         let lx = lex("let r#type = 1;");
         assert!(lx.tokens.iter().any(|t| t.is_ident("type")));
+    }
+
+    #[test]
+    fn byte_raw_strings_do_not_desync() {
+        // Before the `br` fix this lexed as ident `br` + a mis-matched
+        // string, swallowing the rest of the file — including the unwrap.
+        let lx = lex(r###"let a = br"raw bytes"; let b = br#"with "quote""#; x.unwrap();"###);
+        let strs: Vec<_> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, ["raw bytes", r#"with "quote""#]);
+        assert!(lx.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert!(!lx.tokens.iter().any(|t| t.is_ident("br")));
+    }
+
+    #[test]
+    fn byte_char_literals_do_not_desync() {
+        // `b'"'` used to lex as ident `b` + a char starting at the quote;
+        // with an embedded double quote that desynced string detection.
+        let lx = lex("let q = b'\"'; let nl = b'\\n'; let d = b'0'; y.unwrap();");
+        assert_eq!(
+            lx.tokens.iter().filter(|t| t.kind == TokKind::Char).count(),
+            3
+        );
+        assert!(!lx.tokens.iter().any(|t| t.is_ident("b")));
+        assert!(lx.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert_eq!(
+            lx.tokens.iter().filter(|t| t.kind == TokKind::Str).count(),
+            0
+        );
+    }
+
+    #[test]
+    fn raw_string_with_comment_openers_does_not_hide_code() {
+        // Sink detection must not be desynced by literal content that
+        // looks like comments or markers.
+        let lx = lex(
+            "let s = r#\"// lint:allow(panic): not a real marker /* \"#;\nz.unwrap();",
+        );
+        assert!(lx.comments.is_empty());
+        assert!(lx.tokens.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn unterminated_nested_block_comment_terminates() {
+        let lx = lex("/* a /* b */ still open\nlet x = 1;");
+        assert_eq!(lx.comments.len(), 1);
+        // Everything fell into the unterminated comment — but the lexer
+        // must not loop or panic.
+        assert!(lx.tokens.is_empty());
     }
 }

@@ -2,8 +2,10 @@
 //! workspace.
 //!
 //! The workspace builds offline from vendored shims, so the analyzer
-//! tokenizes Rust sources with a hand-rolled lexer (no `syn`) and enforces
-//! four rule families over the token stream:
+//! tokenizes Rust sources with a hand-rolled lexer (no `syn`) and runs two
+//! layers of analysis:
+//!
+//! **Token-stream rules** (PR 2):
 //!
 //! 1. **panic-freedom** (`panic`, `index`) — no `unwrap`/`expect`/
 //!    `panic!`-family macros and no unchecked slice indexing in non-test
@@ -20,17 +22,42 @@
 //!    `#![forbid(unsafe_code)]` and no `unsafe` token appears outside the
 //!    shims.
 //!
-//! Escape hatch: `// lint:allow(<rule>): <justification>` (justification
-//! mandatory) or, for redacted secret impls, `// lint:redact: <why>`.
+//! **Dataflow passes** over a lightweight shape parse ([`parse`]):
+//!
+//! 5. **secret-taint dataflow** (`taint-flow`) — per-function taint from
+//!    secret-typed/-named bindings (plus `lint:taint(source)` markers)
+//!    through assignments, field access and passthroughs to sinks
+//!    (format macros, posting payloads, serialization, raw-byte
+//!    returns), cleared only by sanitizers (`encrypt*`/`share*`/
+//!    `commit*` or `lint:sanitize`-marked fns).
+//! 6. **board-protocol discipline** (`unguarded-post`,
+//!    `round-discipline`, `seed-hygiene`) — owner-only posting, leader
+//!    -only round ticks, barrier-before-read ordering, and per-item
+//!    child-seed hygiene in `core`'s sharded-board call sites.
+//!
+//! Findings carry stable fingerprints; a checked-in `lint-baseline.json`
+//! at the lint root marks accepted pre-existing findings so only *new*
+//! findings fail CI ([`baseline`]). Reports render as text, plain JSON,
+//! or SARIF 2.1.0 ([`emit`]).
+//!
+//! Escape hatches: `// lint:allow(<rule>): <justification>` (justification
+//! mandatory), `// lint:redact: <why>` for redacted secret impls,
+//! `// lint:taint(source): <why>` / `// lint:sanitize: <why>` for the
+//! taint pass.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod allow;
+pub mod baseline;
 pub mod config;
+pub mod emit;
 pub mod findings;
 pub mod lexer;
+pub mod parse;
+pub mod protocol;
 pub mod rules;
+pub mod taint;
 pub mod walk;
 
 pub use config::{Level, LintConfig, RuleId};
@@ -41,7 +68,9 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
-/// Lint every workspace `.rs` file under `root` with `cfg`.
+/// Lint every workspace `.rs` file under `root` with `cfg`. Findings come
+/// back sorted with stable ids assigned; baseline application is the
+/// caller's choice (see [`baseline::Baseline::apply`]).
 pub fn lint_root(root: &Path, cfg: &LintConfig) -> io::Result<Report> {
     let mut report = Report::default();
     for (abs, meta) in walk::collect(root)? {
@@ -52,5 +81,6 @@ pub fn lint_root(root: &Path, cfg: &LintConfig) -> io::Result<Report> {
     report
         .findings
         .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    report.assign_ids();
     Ok(report)
 }

@@ -1,6 +1,7 @@
-//! The four rule families, driven off the token stream.
+//! The token-stream rule families, plus dispatch into the dataflow
+//! passes ([`crate::taint`], [`crate::protocol`]).
 
-use crate::allow::AllowTable;
+use crate::allow::{AllowTable, Directives};
 use crate::config::{
     is_secret_binding, is_secret_type, Level, LintConfig, RuleId, FORMAT_MACROS, NONDET_IDENTS,
 };
@@ -40,7 +41,7 @@ pub fn lint_source(meta: &FileMeta, source: &str, cfg: &LintConfig) -> Vec<Findi
         if allows.suppressed(line, rule) {
             return;
         }
-        out.push(Finding { file: meta.rel_path.clone(), line, rule, message });
+        out.push(Finding::new(meta.rel_path.clone(), line, rule, message));
     };
 
     if meta.is_protocol {
@@ -66,7 +67,24 @@ pub fn lint_source(meta: &FileMeta, source: &str, cfg: &LintConfig) -> Vec<Findi
         push(&mut out, &mut allows, r, l, m)
     });
 
+    // Dataflow passes over the shape parse.
+    let mut directives = Directives::build(&meta.rel_path, &lexed);
+    if meta.is_protocol || meta.crate_name.as_deref() == Some("core") {
+        let fns = crate::parse::parse(&lexed.tokens);
+        if meta.is_protocol {
+            crate::taint::taint_pass(&lexed.tokens, &fns, &test_mask, &directives, &mut |r, l, m| {
+                push(&mut out, &mut allows, r, l, m)
+            });
+        }
+        if meta.crate_name.as_deref() == Some("core") {
+            crate::protocol::protocol_pass(&lexed.tokens, &fns, &test_mask, &mut |r, l, m| {
+                push(&mut out, &mut allows, r, l, m)
+            });
+        }
+    }
+
     out.append(&mut allows.parse_findings);
+    out.append(&mut directives.parse_findings);
     if cfg.level(RuleId::UnusedAllow) != Level::Allow {
         out.extend(allows.unused(&meta.rel_path));
     }

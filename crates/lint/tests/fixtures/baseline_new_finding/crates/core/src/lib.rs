@@ -1,0 +1,12 @@
+//! Two seeded violations; the checked-in baseline accepts only the
+//! first, so the second must still fail the run.
+#![forbid(unsafe_code)]
+
+pub fn deal(sk: &SecretKey, sb: &mut ShardedBoard, owned: bool) {
+    let payload = sk.to_vec();
+    sb.post(owned, role(), payload, "deal", 1);
+}
+
+pub fn flood(sb: &mut ShardedBoard) {
+    sb.post(true, role(), msg(), "flood", 1);
+}

@@ -1,0 +1,6 @@
+//! Seeded violation: every worker ticks the round clock.
+#![forbid(unsafe_code)]
+
+pub fn tick(board: &BulletinBoard) {
+    board.advance_round();
+}

@@ -1,0 +1,12 @@
+//! Seeded violation: the phase RNG is drawn inside an ownership-guarded
+//! branch, so the stream depends on which items this worker owns.
+#![forbid(unsafe_code)]
+
+pub fn deal_owned(rng: &mut StdRng, cfg: &Cfg, n: usize) {
+    for i in 0..n {
+        if cfg.partition.owns(i) {
+            let share = sample_share(rng, i);
+            stash(share);
+        }
+    }
+}

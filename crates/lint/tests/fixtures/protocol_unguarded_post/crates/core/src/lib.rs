@@ -1,0 +1,7 @@
+//! Seeded violation: the posting ownership flag is a bare literal with
+//! no owns()/is_leader()/is_solo() pedigree.
+#![forbid(unsafe_code)]
+
+pub fn flood(sb: &mut ShardedBoard) {
+    sb.post(true, role(), msg(), "flood", 1);
+}

@@ -1,0 +1,8 @@
+//! Clean fixture: the secret is routed through a sanitizer before it
+//! reaches the board, so the taint pass stays silent.
+#![forbid(unsafe_code)]
+
+pub fn deal(sk: &SecretKey, pk: &PublicKey, sb: &mut ShardedBoard, owned: bool) {
+    let ct = encrypt_for(pk, sk);
+    sb.post(owned, role(), ct, "deal", 1);
+}

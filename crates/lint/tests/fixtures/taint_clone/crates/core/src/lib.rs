@@ -1,0 +1,9 @@
+//! Seeded violation: a clone under a non-secret name reaches a format
+//! macro. `leaked` matches no secret naming pattern, so the token-level
+//! secret-format rule cannot see it; only dataflow can.
+#![forbid(unsafe_code)]
+
+pub fn trace(sk: &SecretKey) {
+    let leaked = sk.clone();
+    println!("share material: {:?}", leaked);
+}

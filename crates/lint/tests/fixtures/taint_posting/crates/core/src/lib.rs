@@ -1,0 +1,9 @@
+//! Seeded violation: a secret-typed value is renamed and lands raw in a
+//! board posting payload. The rename hides it from the token-level
+//! secret-format/secret-serialize rules; only the taint pass sees it.
+#![forbid(unsafe_code)]
+
+pub fn deal(sk: &SecretKey, sb: &mut ShardedBoard, owned: bool) {
+    let payload = sk.to_vec();
+    sb.post(owned, role(), payload, "deal", 1);
+}

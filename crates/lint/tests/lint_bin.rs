@@ -131,6 +131,115 @@ fn workspace_itself_is_lint_clean() {
 }
 
 #[test]
+fn taint_clean_encrypt_fixture_passes() {
+    let out = run_on_fixture("taint_clean_encrypt", &[]);
+    assert!(out.status.success(), "{}", stdout(&out));
+}
+
+#[test]
+fn taint_posting_fixture_fails_where_token_rules_are_blind() {
+    let out = run_on_fixture("taint_posting", &[]);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    let text = stdout(&out);
+    assert!(text.contains("[taint-flow]"), "{text}");
+    assert!(text.contains("payload"), "{text}");
+    // The negative half of the acceptance criterion: the rename hides
+    // the leak from the PR 2 token rules, which must stay silent.
+    assert!(!text.contains("[secret-format]"), "{text}");
+    assert!(!text.contains("[secret-serialize]"), "{text}");
+}
+
+#[test]
+fn taint_clone_fixture_fails_where_token_rules_are_blind() {
+    let out = run_on_fixture("taint_clone", &[]);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    let text = stdout(&out);
+    assert!(text.contains("[taint-flow]"), "{text}");
+    assert!(text.contains("leaked"), "{text}");
+    assert!(!text.contains("[secret-format]"), "{text}");
+    assert!(!text.contains("[secret-serialize]"), "{text}");
+}
+
+#[test]
+fn protocol_fixtures_fail_with_their_rules() {
+    for (fixture, rule) in [
+        ("protocol_unguarded_post", "[unguarded-post]"),
+        ("protocol_nonleader_advance", "[round-discipline]"),
+        ("protocol_rng_reuse", "[seed-hygiene]"),
+    ] {
+        let out = run_on_fixture(fixture, &[]);
+        assert_eq!(out.status.code(), Some(1), "{fixture}: {}", stdout(&out));
+        assert!(stdout(&out).contains(rule), "{fixture}: {}", stdout(&out));
+    }
+}
+
+#[test]
+fn baseline_is_auto_detected_and_accepts_old_findings() {
+    // The fixture's lint-baseline.json covers its one finding: exit 0.
+    let out = run_on_fixture("baseline_accepted", &[]);
+    assert!(out.status.success(), "{}", stdout(&out));
+    assert!(stdout(&out).contains("(baselined)"), "{}", stdout(&out));
+    // Without the baseline the same tree fails.
+    let out = run_on_fixture("baseline_accepted", &["--no-baseline"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+}
+
+#[test]
+fn new_finding_fails_despite_baseline() {
+    let out = run_on_fixture("baseline_new_finding", &[]);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    let text = stdout(&out);
+    // The accepted finding renders as baselined; the new one does not.
+    assert!(text.contains("[taint-flow]") && text.contains("(baselined)"), "{text}");
+    assert!(text.contains("[unguarded-post]"), "{text}");
+}
+
+#[test]
+fn json_output_is_valid_and_carries_ids() {
+    let out = run_on_fixture("taint_posting", &["--format", "json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = stdout(&out);
+    yoso_lint::baseline::validate_json(&text).expect("valid JSON");
+    assert!(text.contains("\"rule\": \"taint-flow\""), "{text}");
+    assert!(text.contains("\"id\": \""), "{text}");
+}
+
+#[test]
+fn sarif_output_is_valid_and_well_formed() {
+    let out = run_on_fixture("taint_posting", &["--format", "sarif"]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = stdout(&out);
+    yoso_lint::baseline::validate_json(&text).expect("valid JSON");
+    assert!(text.contains("\"version\": \"2.1.0\""), "{text}");
+    assert!(text.contains("\"name\": \"yoso-lint\""), "{text}");
+    assert!(text.contains("\"ruleId\": \"taint-flow\""), "{text}");
+    assert!(text.contains("yosoLintFingerprint/v1"), "{text}");
+}
+
+#[test]
+fn sarif_marks_baselined_findings_suppressed() {
+    let out = run_on_fixture("baseline_new_finding", &["--format", "sarif"]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = stdout(&out);
+    yoso_lint::baseline::validate_json(&text).expect("valid JSON");
+    assert!(text.contains("\"suppressions\""), "{text}");
+}
+
+#[test]
+fn write_baseline_round_trips() {
+    let dir = std::env::temp_dir().join("yoso-lint-bl-test");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("lint-baseline.json");
+    let path_s = path.to_str().expect("utf-8 path");
+    let out = run_on_fixture("taint_posting", &["--write-baseline", path_s]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // Feeding the freshly written baseline back accepts every finding.
+    let out = run_on_fixture("taint_posting", &["--baseline", path_s]);
+    assert!(out.status.success(), "{}", stdout(&out));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn unknown_rule_is_usage_error() {
     let out = run_lint(&["--deny", "warp-core"]);
     assert_eq!(out.status.code(), Some(2));
@@ -149,6 +258,10 @@ fn list_rules_names_all_families() {
         "secret-format",
         "determinism",
         "unsafe-policy",
+        "taint-flow",
+        "unguarded-post",
+        "round-discipline",
+        "seed-hygiene",
         "bad-allow",
         "unused-allow",
     ] {
