@@ -265,19 +265,40 @@ struct BoardRow {
     inproc_bytes_per_sec: f64,
     tcp_posts_per_sec: f64,
     tcp_bytes_per_sec: f64,
+    tcp_pipelined_ns: f64,
+    tcp_pipelined_posts_per_sec: f64,
+    tcp_pipeline_speedup: f64,
 }
 
 /// Elements metered per posting in the board-throughput bench (a
 /// μ-share with its NIZK: ciphertext + proof, as in the online phase).
 const BOARD_POST_ELEMENTS: u64 = 5;
 
+/// Frame cap for the TCP posting columns: small enough that a batch
+/// spans many wire frames, which is the regime the pipelined protocol
+/// targets (an engine flush of a full parallel buffer splits into many
+/// frames under the 64MiB server cap; at the default cap a small bench
+/// batch would fit one frame and both modes would degenerate to one
+/// round trip). Both TCP columns use the same cap, so the comparison
+/// isolates the ack discipline: one round trip per frame (lockstep) vs
+/// one per window (pipelined). 512 B ≈ 8 posts per frame, so a batch
+/// of 256 spans ~32 frames — lockstep pays ~32 ack waits where
+/// pipelined pays one, which is the gap the headline assert pins.
+const TCP_BENCH_FRAME_CAP: usize = 512;
+
+/// Pipelining window for the pipelined TCP column (the client
+/// default).
+const TCP_BENCH_WINDOW: usize = 32;
+
 /// Board posting throughput: `batch` μ-share posts issued one
 /// [`BulletinBoard::post`] call at a time vs one
 /// [`BulletinBoard::post_batch`] call, on the in-process backend (both
 /// pay board construction per iteration, so the comparison isolates
 /// the per-post lock/meter/alloc overhead the batched path removes),
-/// plus the same `post_batch` over a loopback-TCP `board-server` (one
-/// wire frame per batch). Returns ns per post for each mode.
+/// plus the same `post_batch` over a loopback-TCP `board-server` in
+/// both wire modes: lockstep (one round trip per frame) and pipelined
+/// (windowed frames, coalesced acks), at the same capped frame size so
+/// each batch spans many frames. Returns ns per post for each mode.
 fn bench_board(batch: usize) -> BoardRow {
     use yoso_runtime::RoleId;
 
@@ -303,10 +324,31 @@ fn bench_board(batch: usize) -> BoardRow {
             .unwrap();
     });
     drop(board);
-    // One server for all iterations (spawning a listener per iteration
-    // would swamp the frame cost being measured).
-    let (mut handle, board) = yoso_runtime::tcp::loopback::<Post>().expect("loopback server");
+    // One server per mode for all its iterations (spawning a listener
+    // per iteration would swamp the frame cost being measured). Both
+    // TCP modes post through the same capped chunking (see
+    // [`TCP_BENCH_FRAME_CAP`]); only the ack discipline differs.
+    let lockstep_opts = yoso_runtime::TcpOptions {
+        pipeline_window: 1,
+        max_post_frame_bytes: TCP_BENCH_FRAME_CAP,
+        ..yoso_runtime::TcpOptions::default()
+    };
+    let (mut handle, board) =
+        yoso_runtime::tcp::loopback_with::<Post>(lockstep_opts).expect("loopback server");
     let tcp_total = time_ns(iters, || {
+        board
+            .post_batch(role.clone(), "bench/board", &msgs, BOARD_POST_ELEMENTS, bytes)
+            .unwrap();
+    });
+    handle.shutdown();
+    let pipelined_opts = yoso_runtime::TcpOptions {
+        pipeline_window: TCP_BENCH_WINDOW,
+        max_post_frame_bytes: TCP_BENCH_FRAME_CAP,
+        ..yoso_runtime::TcpOptions::default()
+    };
+    let (mut handle, board) =
+        yoso_runtime::tcp::loopback_with::<Post>(pipelined_opts).expect("loopback server");
+    let tcp_pipelined_total = time_ns(iters, || {
         board
             .post_batch(role.clone(), "bench/board", &msgs, BOARD_POST_ELEMENTS, bytes)
             .unwrap();
@@ -316,6 +358,7 @@ fn bench_board(batch: usize) -> BoardRow {
     let per_post_ns = per_post_total / batch as f64;
     let batch_post_ns = batch_total / batch as f64;
     let tcp_batch_ns = tcp_total / batch as f64;
+    let tcp_pipelined_ns = tcp_pipelined_total / batch as f64;
     BoardRow {
         batch,
         per_post_ns,
@@ -326,6 +369,9 @@ fn bench_board(batch: usize) -> BoardRow {
         inproc_bytes_per_sec: 1e9 / batch_post_ns * bytes as f64,
         tcp_posts_per_sec: 1e9 / tcp_batch_ns,
         tcp_bytes_per_sec: 1e9 / tcp_batch_ns * bytes as f64,
+        tcp_pipelined_ns,
+        tcp_pipelined_posts_per_sec: 1e9 / tcp_pipelined_ns,
+        tcp_pipeline_speedup: tcp_batch_ns / tcp_pipelined_ns,
     }
 }
 
@@ -333,6 +379,9 @@ struct WorkerRow {
     workers: usize,
     wall_ns: f64,
     speedup: f64,
+    /// Worker 0's per-stage wall-clock seconds (setup/offline/online),
+    /// showing where the pipeline's time goes as the fleet scales.
+    stage_secs: Vec<(&'static str, f64)>,
 }
 
 /// End-to-end pipeline wall-clock with the committee work role-sharded
@@ -341,7 +390,7 @@ struct WorkerRow {
 /// spawn and TCP overhead. `workers == 1` is the solo engine. Proofs
 /// stay on (the per-member NIZK work is exactly what the partition
 /// distributes).
-fn bench_worker_pipeline(n: usize, workers: usize) -> f64 {
+fn bench_worker_pipeline(n: usize, workers: usize) -> (f64, Vec<(&'static str, f64)>) {
     use yoso_core::{Engine, ProtocolParams};
     use yoso_runtime::Adversary;
 
@@ -355,30 +404,39 @@ fn bench_worker_pipeline(n: usize, workers: usize) -> f64 {
         .map(|ws| ws.iter().map(|_| F61::random(&mut r)).collect())
         .collect();
     let adversary = Adversary::none();
-    time_ns(1, || {
+    // Worker 0's per-stage wall-clock: where a sharded run's time goes
+    // (compute is split across workers, board waits are not).
+    let stages = std::sync::Mutex::new(Vec::new());
+    let wall = time_ns(1, || {
         let board: BulletinBoard<Post> = BulletinBoard::new();
         if workers == 1 {
             let mut wr = rng(29);
-            Engine::new(params, ExecutionConfig::default())
+            let run = Engine::new(params, ExecutionConfig::default())
                 .run_with_board(&mut wr, &circuit, &inputs, &adversary, &board)
                 .unwrap();
+            *stages.lock().unwrap() = run.stage_wall_secs;
             return;
         }
         std::thread::scope(|s| {
             for w in 0..workers {
                 let board = board.clone();
                 let (circuit, inputs, adversary) = (&circuit, &inputs, &adversary);
+                let stages = &stages;
                 s.spawn(move || {
                     let cfg = ExecutionConfig::default()
                         .with_partition(params.worker_role_range(w, workers));
                     let mut wr = rng(29);
-                    Engine::new(params, cfg)
+                    let run = Engine::new(params, cfg)
                         .run_with_board(&mut wr, circuit, inputs, adversary, &board)
                         .unwrap();
+                    if w == 0 {
+                        *stages.lock().unwrap() = run.stage_wall_secs;
+                    }
                 });
             }
         });
-    })
+    });
+    (wall, stages.into_inner().unwrap())
 }
 
 /// Cold interpolation over an order-`size` subgroup: naive Lagrange
@@ -490,20 +548,22 @@ fn main() {
     let board_batches: Vec<usize> = if smoke { vec![32] } else { vec![64, 256, 1024] };
     let mut board_rows = Vec::new();
     println!(
-        "\n{:>6} {:>12} {:>13} {:>8} {:>12} {:>14} {:>14}",
-        "batch", "per-post ns", "post_batch ns", "speedup", "tcp batch ns", "inproc post/s", "tcp post/s"
+        "\n{:>6} {:>12} {:>13} {:>8} {:>12} {:>14} {:>14} {:>15} {:>8}   (tcp frame cap {TCP_BENCH_FRAME_CAP} B, window {TCP_BENCH_WINDOW})",
+        "batch", "per-post ns", "post_batch ns", "speedup", "tcp batch ns", "inproc post/s", "tcp post/s", "tcp piped post/s", "speedup"
     );
     for &batch in &board_batches {
         let row = bench_board(batch);
         println!(
-            "{:>6} {:>12.0} {:>13.0} {:>7.1}x {:>12.0} {:>14.0} {:>14.0}",
+            "{:>6} {:>12.0} {:>13.0} {:>7.1}x {:>12.0} {:>14.0} {:>14.0} {:>15.0} {:>7.1}x",
             row.batch,
             row.per_post_ns,
             row.batch_post_ns,
             row.batch_speedup,
             row.tcp_batch_ns,
             row.inproc_posts_per_sec,
-            row.tcp_posts_per_sec
+            row.tcp_posts_per_sec,
+            row.tcp_pipelined_posts_per_sec,
+            row.tcp_pipeline_speedup
         );
         board_rows.push(row);
     }
@@ -520,10 +580,20 @@ fn main() {
         "workers", "wall ms", "speedup"
     );
     for &workers in &worker_counts {
-        let wall_ns = bench_worker_pipeline(worker_n, workers);
+        let (wall_ns, stage_secs) = bench_worker_pipeline(worker_n, workers);
         let speedup = worker_rows.first().map_or(1.0, |base| base.wall_ns / wall_ns);
-        println!("{:>8} {:>16.1} {:>7.2}x", workers, wall_ns / 1e6, speedup);
-        worker_rows.push(WorkerRow { workers, wall_ns, speedup });
+        let breakdown: Vec<String> = stage_secs
+            .iter()
+            .map(|(name, secs)| format!("{name} {:.0}ms", secs * 1e3))
+            .collect();
+        println!(
+            "{:>8} {:>16.1} {:>7.2}x   [{}]",
+            workers,
+            wall_ns / 1e6,
+            speedup,
+            breakdown.join("  ")
+        );
+        worker_rows.push(WorkerRow { workers, wall_ns, speedup, stage_secs });
     }
 
     let mut json = String::from("{\n  \"bench\": \"hotpath\",\n  \"field\": \"F61\",\n");
@@ -569,14 +639,18 @@ fn main() {
         );
         json.push_str(if i + 1 < interp_rows.len() { ",\n" } else { "\n" });
     }
-    json.push_str("  ],\n  \"board_configs\": [\n");
+    let _ = writeln!(json, "  ],\n  \"tcp_frame_cap_bytes\": {TCP_BENCH_FRAME_CAP},");
+    let _ = writeln!(json, "  \"tcp_pipeline_window\": {TCP_BENCH_WINDOW},");
+    json.push_str("  \"board_configs\": [\n");
     for (i, r) in board_rows.iter().enumerate() {
         let _ = write!(
             json,
             "    {{\"batch\": {}, \"per_post_ns\": {:.0}, \"post_batch_ns\": {:.0}, \
              \"post_batch_speedup\": {:.2}, \"tcp_post_batch_ns\": {:.0}, \
              \"inproc_posts_per_sec\": {:.0}, \"inproc_bytes_per_sec\": {:.0}, \
-             \"tcp_posts_per_sec\": {:.0}, \"tcp_bytes_per_sec\": {:.0}}}",
+             \"tcp_posts_per_sec\": {:.0}, \"tcp_bytes_per_sec\": {:.0}, \
+             \"tcp_pipelined_post_ns\": {:.0}, \"tcp_pipelined_posts_per_sec\": {:.0}, \
+             \"tcp_pipeline_speedup\": {:.2}}}",
             r.batch,
             r.per_post_ns,
             r.batch_post_ns,
@@ -585,7 +659,10 @@ fn main() {
             r.inproc_posts_per_sec,
             r.inproc_bytes_per_sec,
             r.tcp_posts_per_sec,
-            r.tcp_bytes_per_sec
+            r.tcp_bytes_per_sec,
+            r.tcp_pipelined_ns,
+            r.tcp_pipelined_posts_per_sec,
+            r.tcp_pipeline_speedup
         );
         json.push_str(if i + 1 < board_rows.len() { ",\n" } else { "\n" });
     }
@@ -594,9 +671,16 @@ fn main() {
     for (i, r) in worker_rows.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"workers\": {}, \"wall_ns\": {:.0}, \"speedup\": {:.2}}}",
+            "    {{\"workers\": {}, \"wall_ns\": {:.0}, \"speedup\": {:.2}, \"stages_ms\": {{",
             r.workers, r.wall_ns, r.speedup
         );
+        for (j, (name, secs)) in r.stage_secs.iter().enumerate() {
+            let _ = write!(json, "\"{name}\": {:.1}", secs * 1e3);
+            if j + 1 < r.stage_secs.len() {
+                json.push_str(", ");
+            }
+        }
+        json.push_str("}}");
         json.push_str(if i + 1 < worker_rows.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ]\n}\n");
@@ -646,6 +730,18 @@ fn main() {
             "post_batch at batch {} must be ≥5× per-post posting (got {:.1}×)",
             r.batch,
             r.batch_speedup
+        );
+    }
+    // The pipelined wire protocol must close the TCP-vs-in-process gap
+    // it targets: at batch ≥ 256, where a flush spans many frames,
+    // coalescing acks (one round trip per window instead of one per
+    // frame) must deliver ≥3× the lockstep posting rate.
+    for r in board_rows.iter().filter(|r| r.batch >= 256) {
+        assert!(
+            r.tcp_pipeline_speedup >= 3.0,
+            "pipelined TCP posting at batch {} must be ≥3× lockstep (got {:.1}×)",
+            r.batch,
+            r.tcp_pipeline_speedup
         );
     }
     // Parallel re-encryption must never lose to sequential: below the

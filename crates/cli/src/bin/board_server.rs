@@ -2,10 +2,12 @@
 //! drivers and auditors run as separate OS processes.
 //!
 //! The server is message-type agnostic: payloads are stored as opaque
-//! bytes, so one server binary serves any protocol built on
-//! `yoso_runtime::tcp`. Postings are sequenced under a single lock in
-//! frame-arrival order, which is what makes a remote run's transcript
-//! byte-identical to an in-process run (see DESIGN §10).
+//! bytes (one arena copy per post frame), so one server binary serves
+//! any protocol built on `yoso_runtime::tcp`. Postings are sequenced
+//! in frame-arrival order — a round-clock lock plus per-round append
+//! shards, so concurrent clients contend only within a round — which
+//! is what makes a remote run's transcript byte-identical to an
+//! in-process run, lockstep or pipelined (see DESIGN §10).
 //!
 //! ```text
 //! board-server --listen 127.0.0.1:7310

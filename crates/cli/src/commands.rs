@@ -128,6 +128,13 @@ fn prepare_run(opts: &Opts) -> Result<PreparedRun, String> {
     if let Some(board) = opts.get("board") {
         config = config.with_board(BoardBackend::Tcp(parse_board_addr(board)?));
     }
+    let board_window: usize = get(opts, "board-window", 0)?;
+    if board_window > 0 {
+        if !opts.contains_key("board") && !opts.contains_key("spawn-workers") {
+            return Err("--board-window only applies to a TCP board (--board / --spawn-workers)".into());
+        }
+        config = config.with_board_window(board_window);
+    }
     Ok(PreparedRun { params, circuit, inputs, adversary, rng, config })
 }
 
@@ -163,6 +170,16 @@ fn execute_and_report(prepared: PreparedRun) -> Result<(), String> {
         result.offline_elements_per_gate(),
         elapsed
     );
+    // Where the wall-clock went, stage by stage: over a TCP board the
+    // gap between this and a local run is board round trips, which is
+    // what the pipelining window shrinks. (CI diffs strip this line
+    // along with the wall line above — timings are not deterministic.)
+    let stages: Vec<String> = result
+        .stage_wall_secs
+        .iter()
+        .map(|(name, secs)| format!("{name} {secs:.2}s"))
+        .collect();
+    println!("stage wall: {}", stages.join("   "));
     if !correct {
         return Err("output mismatch".into());
     }
@@ -226,8 +243,10 @@ pub fn worker(opts: &Opts) -> Result<(), String> {
 
 /// Options forwarded verbatim from `run --spawn-workers` to the
 /// children, so every worker prepares the identical run.
-const FORWARDED_OPTS: [&str; 10] =
-    ["circuit", "size", "clients", "n", "eps", "attack", "t-mal", "crashes", "seed", "threads"];
+const FORWARDED_OPTS: [&str; 11] = [
+    "circuit", "size", "clients", "n", "eps", "attack", "t-mal", "crashes", "seed", "threads",
+    "board-window",
+];
 
 /// `yoso run --spawn-workers N`: in-tree board server + N local worker
 /// processes (this process is worker 0, the leader).
@@ -333,6 +352,25 @@ pub fn board_stats(opts: &Opts) -> Result<(), String> {
     }
     println!("{:<28} {:>12} {:>12} {:>10}", "total", total.0, total.1, total.2);
 
+    // The server's own wire counters: posting throughput shape (frames,
+    // coalesced acks, largest pipeline window) as the server saw it
+    // across every client that ever connected.
+    let stats_conn = yoso_runtime::TcpTransport::<Post>::connect(
+        addr,
+        yoso_runtime::TcpOptions::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    let w = stats_conn.server_stats().map_err(|e| e.to_string())?;
+    println!("\nserver wire counters:");
+    println!("  request frames       {:>12}", w.frames);
+    println!("  post frames          {:>12}", w.post_frames);
+    println!("  postings appended    {:>12}", w.postings);
+    println!("  payload bytes        {:>12}", w.payload_bytes);
+    println!("  coalesced acks       {:>12}", w.sync_acks);
+    println!("  pipelined frames     {:>12}", w.acked_frames);
+    println!("  max pipeline window  {:>12}", w.max_window);
+    println!("  posting reads        {:>12}", w.reads);
+
     if let Some(path) = opts.get("dump") {
         let mut out = String::new();
         for p in &postings {
@@ -343,12 +381,7 @@ pub fn board_stats(opts: &Opts) -> Result<(), String> {
     }
 
     if opts.contains_key("shutdown") {
-        let t = yoso_runtime::TcpTransport::<Post>::connect(
-            addr,
-            yoso_runtime::TcpOptions::default(),
-        )
-        .map_err(|e| e.to_string())?;
-        t.shutdown_server().map_err(|e| e.to_string())?;
+        stats_conn.shutdown_server().map_err(|e| e.to_string())?;
         println!("\nserver shut down");
     }
     Ok(())

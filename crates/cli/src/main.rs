@@ -111,6 +111,10 @@ RUN OPTIONS:
   --no-proofs       skip NIZK computation (metering unchanged)
   --board ADDR      post to a shared board-server (tcp://HOST:PORT)
                     instead of the in-process board
+  --board-window N  post frames kept in flight per flush on a TCP
+                    board: 1 = strict lockstep (one round trip per
+                    frame), larger = pipelined with one coalesced ack
+                    per window; never affects the transcript  [transport default, 32]
   --spawn-workers N run role-sharded: in-tree board server + N local
                     worker processes (this process leads as worker 0)
 

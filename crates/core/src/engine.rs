@@ -29,12 +29,31 @@ pub enum BoardBackend {
 }
 
 impl BoardBackend {
-    /// Builds a board for this backend, honoring `audit`.
+    /// Builds a board for this backend, honoring `audit`. TCP boards
+    /// use the transport's default pipelining window; use
+    /// [`BoardBackend::make_board_with`] to pick one explicitly.
     ///
     /// # Errors
     ///
     /// [`ProtocolError::Transport`] if the TCP backend cannot connect.
     pub fn make_board(&self, audit: bool) -> Result<BulletinBoard<Post>, ProtocolError> {
+        self.make_board_with(audit, 0)
+    }
+
+    /// [`BoardBackend::make_board`] with an explicit post-pipelining
+    /// window for the TCP backend: `0` keeps the transport default,
+    /// `1` forces strict lockstep (one round trip per post frame),
+    /// larger values stream that many frames per coalesced ack. The
+    /// in-process backend ignores the window (it has no wire).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Transport`] if the TCP backend cannot connect.
+    pub fn make_board_with(
+        &self,
+        audit: bool,
+        window: usize,
+    ) -> Result<BulletinBoard<Post>, ProtocolError> {
         match self {
             BoardBackend::InProcess => Ok(if audit {
                 BulletinBoard::new()
@@ -42,7 +61,11 @@ impl BoardBackend {
                 BulletinBoard::metered_only()
             }),
             BoardBackend::Tcp(addr) => {
-                Ok(BulletinBoard::connect_tcp(*addr)?.with_audit(audit))
+                let mut opts = yoso_runtime::TcpOptions::default();
+                if window > 0 {
+                    opts.pipeline_window = window;
+                }
+                Ok(BulletinBoard::connect_tcp_with(*addr, opts)?.with_audit(audit))
             }
         }
     }
@@ -74,6 +97,12 @@ pub struct ExecutionConfig {
     /// Which board transport the run posts to. The protocol logic is
     /// transport-agnostic: any backend yields the same transcript.
     pub board: BoardBackend,
+    /// Post-pipelining window for the TCP board: `0` (the default)
+    /// keeps the transport default, `1` forces strict lockstep, larger
+    /// values stream that many post frames per coalesced ack. Never
+    /// affects the transcript — only how many round trips a flush
+    /// costs. Ignored by the in-process backend.
+    pub board_window: usize,
     /// The contiguous role range this process owns. The default
     /// ([`RolePartition::solo`]) owns every role — single-process
     /// execution. A worker in a role-sharded run owns `[lo, hi)`:
@@ -93,6 +122,7 @@ impl Default for ExecutionConfig {
             dealerless_setup: false,
             num_threads: 1,
             board: BoardBackend::InProcess,
+            board_window: 0,
             partition: RolePartition::solo(),
         }
     }
@@ -124,6 +154,13 @@ impl ExecutionConfig {
     /// Selects the board transport backend.
     pub fn with_board(mut self, board: BoardBackend) -> Self {
         self.board = board;
+        self
+    }
+
+    /// Sets the TCP board's post-pipelining window (`0` = transport
+    /// default, `1` = strict lockstep).
+    pub fn with_board_window(mut self, window: usize) -> Self {
+        self.board_window = window;
         self
     }
 
@@ -187,6 +224,11 @@ pub struct RunResult<F: PrimeField> {
     /// The adversarial-view log: which shares of which secret objects
     /// the corrupted roles exposed (privacy accounting).
     pub leaks: LeakLog,
+    /// Wall-clock seconds per protocol stage (`setup`, `dkg`,
+    /// `offline`, `online`), in execution order. Diagnostics only —
+    /// never feeds the transcript; workers use it to report where a
+    /// run's time went (compute vs board round trips).
+    pub stage_wall_secs: Vec<(&'static str, f64)>,
 }
 
 impl<F: PrimeField> RunResult<F> {
@@ -243,7 +285,10 @@ impl Engine {
         inputs: &[Vec<F>],
         adversary: &Adversary,
     ) -> Result<RunResult<F>, ProtocolError> {
-        let board: BulletinBoard<Post> = self.config.board.make_board(self.config.audit_board)?;
+        let board: BulletinBoard<Post> = self
+            .config
+            .board
+            .make_board_with(self.config.audit_board, self.config.board_window)?;
         self.run_with_board(rng, circuit, inputs, adversary, &board)
     }
 
@@ -290,6 +335,14 @@ impl Engine {
         let sb = ShardedBoard::new(board, partition)?;
         let bc = circuit.batched(self.params.k);
         let leak = LeakLog::new();
+        // Stage timing is diagnostics only (worker wall-clock reports);
+        // nothing derived from these clocks reaches the board.
+        let mut stage_wall_secs: Vec<(&'static str, f64)> = Vec::new();
+        let mut stage_start = std::time::Instant::now();
+        let mut note_stage = |name: &'static str, start: &mut std::time::Instant| {
+            stage_wall_secs.push((name, start.elapsed().as_secs_f64()));
+            *start = std::time::Instant::now();
+        };
         let mut setup = run_setup_in::<F, _>(
             rng,
             &self.params,
@@ -297,6 +350,7 @@ impl Engine {
             circuit.mul_depth(),
             circuit.clients(),
         )?;
+        note_stage("setup", &mut stage_start);
         if self.config.dealerless_setup {
             // Replace the dealer's key with a DKG among the first
             // committee, then re-encrypt the KFF secrets under it.
@@ -313,10 +367,12 @@ impl Engine {
                 &self.config,
             )?;
             setup = rekey_setup_in(rng, &self.params, &sb, setup, chain)?;
+            note_stage("dkg", &mut stage_start);
         }
         setup.tsk.set_leak_log(leak.clone());
         let offline =
             run_offline_in(rng, &self.params, &sb, adversary, &self.config, &bc, &setup)?;
+        note_stage("offline", &mut stage_start);
         let online = run_online_in(
             rng,
             &self.params,
@@ -329,6 +385,7 @@ impl Engine {
             inputs,
             &leak,
         )?;
+        note_stage("online", &mut stage_start);
         sb.finish()?;
         // A sharded worker's own meter saw only the posts it appended;
         // rebuild the per-phase statistics from the shared transcript
@@ -346,6 +403,7 @@ impl Engine {
             mu: online.mu,
             rounds: board.round()?,
             leaks: leak,
+            stage_wall_secs,
         })
     }
 }

@@ -71,13 +71,15 @@ impl PostBuffer {
         self.posts.push(BufferedPost { owned, role, post, phase, elements });
     }
 
-    /// Converts the buffer into transport records in recording order,
-    /// tagged with the recorder's ownership flags. Consecutive posts
-    /// sharing a phase label share one `Arc<str>` allocation.
-    pub(crate) fn into_records(self) -> Vec<(bool, PostRecord<Post>)> {
-        let mut records = Vec::with_capacity(self.posts.len());
+    /// Converts the buffer into a lazy stream of transport records in
+    /// recording order, tagged with the recorder's ownership flags.
+    /// Consecutive posts sharing a phase label share one `Arc<str>`
+    /// allocation.
+    pub(crate) fn into_record_iter(
+        self,
+    ) -> impl Iterator<Item = (bool, PostRecord<Post>)> {
         let mut last: Option<(&'static str, Arc<str>)> = None;
-        for p in self.posts {
+        self.posts.into_iter().map(move |p| {
             let phase = match &last {
                 Some((label, shared)) if *label == p.phase => Arc::clone(shared),
                 _ => {
@@ -86,7 +88,7 @@ impl PostBuffer {
                     shared
                 }
             };
-            records.push((
+            (
                 p.owned,
                 PostRecord {
                     from: p.role,
@@ -95,16 +97,17 @@ impl PostBuffer {
                     elements: p.elements,
                     bytes: messages::to_bytes(p.elements),
                 },
-            ));
-        }
-        records
+            )
+        })
     }
 
     /// Replays the buffered posts onto the board, in recording order,
-    /// as **one** transport batch: the write lock (or TCP frame) is
-    /// taken once per buffer instead of once per post.
+    /// as **one** transport flush: the write lock (or TCP connection)
+    /// is taken once per buffer instead of once per post, and records
+    /// stream straight into the transport's frame encoder without an
+    /// intermediate `Vec<PostRecord>`.
     pub(crate) fn flush(self, board: &BulletinBoard<Post>) -> Result<(), BoardError> {
-        board.post_records(self.into_records().into_iter().map(|(_, r)| r).collect())
+        board.post_record_stream(self.into_record_iter().map(|(_, r)| r)).map(|_| ())
     }
 }
 

@@ -306,7 +306,7 @@ impl<'a> ShardedBoard<'a> {
             return Ok(());
         }
         let mut st = self.lock();
-        for (owned, record) in buffer.into_records() {
+        for (owned, record) in buffer.into_record_iter() {
             let pos = st.pos;
             st.pos += 1;
             if owned {
@@ -336,9 +336,10 @@ impl<'a> ShardedBoard<'a> {
                      posted out of its range)"
                 )));
             }
-            let records: Vec<PostRecord<Post>> =
-                pending[i..j].iter().map(|(_, r)| r.clone()).collect();
-            self.board.post_records(records)?;
+            // Stream the run straight into the transport's frame
+            // encoder — no intermediate Vec of cloned records.
+            self.board
+                .post_record_stream(pending[i..j].iter().map(|(_, r)| r.clone()))?;
             i = j;
         }
         Ok(())

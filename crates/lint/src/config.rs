@@ -183,7 +183,7 @@ pub const PROTOCOL_CRATES: [&str; 5] = ["core", "the", "pss", "crypto", "sortiti
 
 /// Modules whose control flow feeds the bulletin-board transcript; any
 /// nondeterminism here breaks the byte-identical-transcript guarantee.
-pub const TRANSCRIPT_MODULES: [&str; 7] = [
+pub const TRANSCRIPT_MODULES: [&str; 8] = [
     "crates/core/src/online.rs",
     "crates/core/src/offline.rs",
     "crates/core/src/parallel.rs",
@@ -194,6 +194,7 @@ pub const TRANSCRIPT_MODULES: [&str; 7] = [
     "crates/yoso/src/board.rs",
     "crates/yoso/src/transport.rs",
     "crates/yoso/src/tcp.rs",
+    "crates/yoso/src/frame.rs",
 ];
 
 /// True if `type_name` names secret material per the registry.

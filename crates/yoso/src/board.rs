@@ -119,7 +119,23 @@ impl<M: WireMessage + Clone + Send + Sync + 'static> BulletinBoard<M> {
     /// Returns [`BoardError::Io`] if the server stays unreachable past
     /// the retry budget.
     pub fn connect_tcp(addr: std::net::SocketAddr) -> Result<Self, BoardError> {
-        let t = crate::tcp::TcpTransport::connect(addr, crate::tcp::TcpOptions::default())?;
+        Self::connect_tcp_with(addr, crate::tcp::TcpOptions::default())
+    }
+
+    /// Like [`BulletinBoard::connect_tcp`] with explicit
+    /// [`crate::tcp::TcpOptions`] — the hook for tuning the pipelining
+    /// window (`pipeline_window: 1` restores strict lockstep posting)
+    /// or frame-chunking thresholds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoardError::Io`] if the server stays unreachable past
+    /// the retry budget.
+    pub fn connect_tcp_with(
+        addr: std::net::SocketAddr,
+        opts: crate::tcp::TcpOptions,
+    ) -> Result<Self, BoardError> {
+        let t = crate::tcp::TcpTransport::connect(addr, opts)?;
         Ok(Self::with_transport(Arc::new(t)))
     }
 }
@@ -224,26 +240,29 @@ impl<M> BulletinBoard<M> {
     ///
     /// Propagates transport failures (remote backends only).
     pub fn post_records(&self, records: Vec<PostRecord<M>>) -> Result<(), BoardError> {
-        let mut i = 0;
-        while i < records.len() {
-            let phase = &records[i].phase;
-            let mut elements = 0u64;
-            let mut bytes = 0u64;
-            let mut count = 0u64;
-            let mut j = i;
-            while j < records.len() && records[j].phase.as_ref() == phase.as_ref() {
-                elements += records[j].elements;
-                bytes += records[j].bytes;
-                count += 1;
-                j += 1;
-            }
-            self.meter.record_many(phase, elements, bytes, count);
-            i = j;
+        self.post_record_stream(records.into_iter()).map(|_| ())
+    }
+
+    /// Streaming variant of [`BulletinBoard::post_records`]: the
+    /// transport drains the iterator straight into its log (or wire
+    /// frames) while metering is aggregated per run of equal phase
+    /// labels on the fly — no intermediate `Vec` of records is ever
+    /// built. This is the parallel engine's buffer-flush hot path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures (remote backends only).
+    pub fn post_record_stream(
+        &self,
+        records: impl Iterator<Item = PostRecord<M>>,
+    ) -> Result<u64, BoardError> {
+        let mut metered =
+            MeteredRecords { inner: records, meter: &self.meter, run: None };
+        if !self.audit {
+            let n = (&mut metered).count() as u64;
+            return Ok(n);
         }
-        if !self.audit || records.is_empty() {
-            return Ok(());
-        }
-        self.transport.post_batch(records)
+        self.transport.post_stream(&mut metered)
     }
 
     /// Number of postings so far.
@@ -377,6 +396,66 @@ impl<M> BulletinBoard<M> {
             )),
             WaitError::Board(b) => b,
         })
+    }
+}
+
+/// Iterator adapter behind [`BulletinBoard::post_record_stream`]:
+/// forwards records unchanged while folding consecutive equal-phase
+/// records into one [`CommMeter::record_many`] call per run. The
+/// trailing run is flushed when the inner iterator ends (and on drop,
+/// so a transport that stops draining early still meters what it
+/// consumed).
+struct MeteredRecords<'a, M, I: Iterator<Item = PostRecord<M>>> {
+    inner: I,
+    meter: &'a CommMeter,
+    run: Option<(Arc<str>, u64, u64, u64)>,
+}
+
+impl<M, I: Iterator<Item = PostRecord<M>>> MeteredRecords<'_, M, I> {
+    fn flush_run(&mut self) {
+        if let Some((phase, elements, bytes, count)) = self.run.take() {
+            self.meter.record_many(&phase, elements, bytes, count);
+        }
+    }
+}
+
+impl<M, I: Iterator<Item = PostRecord<M>>> Iterator for MeteredRecords<'_, M, I> {
+    type Item = PostRecord<M>;
+
+    fn next(&mut self) -> Option<PostRecord<M>> {
+        match self.inner.next() {
+            Some(r) => {
+                match &mut self.run {
+                    Some((phase, elements, bytes, count))
+                        if phase.as_ref() == r.phase.as_ref() =>
+                    {
+                        *elements += r.elements;
+                        *bytes += r.bytes;
+                        *count += 1;
+                    }
+                    _ => {
+                        self.flush_run();
+                        self.run =
+                            Some((Arc::clone(&r.phase), r.elements, r.bytes, 1));
+                    }
+                }
+                Some(r)
+            }
+            None => {
+                self.flush_run();
+                None
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<M, I: Iterator<Item = PostRecord<M>>> Drop for MeteredRecords<'_, M, I> {
+    fn drop(&mut self) {
+        self.flush_run();
     }
 }
 
@@ -566,6 +645,30 @@ mod tests {
         assert_eq!(board.meter().phase("a").messages, 2);
         assert_eq!(board.meter().phase("b").bytes, 8);
         assert_eq!(board.len().unwrap(), 3);
+    }
+
+    #[test]
+    fn post_record_stream_matches_vec_flush() {
+        let rec = |i: usize, phase: &str| PostRecord {
+            from: RoleId::new("c", i),
+            phase: Arc::from(phase),
+            message: i as u64,
+            elements: 2,
+            bytes: 16,
+        };
+        let a: BulletinBoard<u64> = BulletinBoard::new();
+        let b: BulletinBoard<u64> = BulletinBoard::new();
+        let records = vec![rec(0, "a"), rec(1, "a"), rec(2, "b"), rec(3, "a")];
+        a.post_records(records.clone()).unwrap();
+        let n = b.post_record_stream(records.into_iter()).unwrap();
+        assert_eq!(n, 4);
+        assert_eq!(a.meter().phases(), b.meter().phases());
+        assert_eq!(a.meter().phase("a").messages, 3);
+        let (pa, pb) = (a.postings().unwrap(), b.postings().unwrap());
+        assert_eq!(pa.len(), pb.len());
+        for (x, y) in pa.iter().zip(pb.iter()) {
+            assert_eq!((x.round, &x.from, &*x.phase, x.message), (y.round, &y.from, &*y.phase, y.message));
+        }
     }
 
     #[test]

@@ -33,6 +33,7 @@
 
 pub mod adversary;
 pub mod board;
+pub(crate) mod frame;
 pub mod metrics;
 pub mod role;
 pub mod sortition;
@@ -44,6 +45,6 @@ pub use adversary::{ActiveAttack, Adversary, Behavior};
 pub use board::{phases_from_postings, BoardCursor, BulletinBoard, Posting};
 pub use metrics::{CommMeter, PhaseStats};
 pub use role::{Committee, RoleId, SpeakOnce, SpokeError};
-pub use tcp::{BoardServer, ServerHandle, TcpOptions, TcpTransport};
+pub use tcp::{BoardServer, ServerHandle, ServerWireStats, TcpOptions, TcpTransport, WireStats};
 pub use transport::{BoardError, BoardTransport, InProcessTransport, PostRecord, WireMessage};
 pub use views::{LeakEntry, LeakLog};

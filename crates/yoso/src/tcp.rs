@@ -16,44 +16,68 @@
 //! | 0x05 | `ReadRound`   | round `u64`                                 |
 //! | 0x06 | `ReadFrom`    | cursor `u64`                                |
 //! | 0x07 | `Shutdown`    | —                                           |
+//! | 0x08 | `PostPipe`    | same body as `PostBatch`; **no** per-frame ack |
+//! | 0x09 | `PostSync`    | — (collects one coalesced ack for the run)  |
+//! | 0x0A | `GetStats`    | —                                           |
 //!
 //! Responses: `0x80` ok, `0x81` value (`u64`), `0x82` postings
 //! (`u32` count, then per posting: round `u64`, committee str, index
 //! `u64`, phase str, elements `u64`, bytes `u64`, payload bytes),
-//! `0xEE` error (str). Strings and byte strings are `u32`-length
-//! prefixed.
+//! `0x83` coalesced ack (`u64` frames acknowledged), `0x84` stats
+//! (`u32` field count, then `u64` fields), `0xEE` error (str).
+//! Strings and byte strings are `u32`-length prefixed.
+//!
+//! # Pipelined posting (v2)
+//!
+//! `PostBatch` is strict lockstep — one `RESP_OK` per frame, so every
+//! frame pays a full round trip. The v2 extension removes that wait:
+//! a client streams a **window** of `PostPipe` frames back-to-back
+//! (coalesced into large socket writes) and then sends one `PostSync`,
+//! which the server answers with `RESP_OK_N` carrying the count of
+//! pipelined frames appended since the previous sync. The client
+//! checks that count against what it sent, so a flush returns only
+//! after every one of its frames is sequenced — pipelining changes
+//! latency, never the ordering or durability contract. If a pipelined
+//! frame fails, the server replies `RESP_ERR` naming the offending
+//! frame's index within the unacknowledged run and **closes the
+//! connection**, so no later buffered frame can append after a hole
+//! (silent transcript divergence is impossible). Legacy lockstep
+//! clients (and `pipeline_window: 1`) interoperate unchanged.
 //!
 //! # Sequencing = determinism
 //!
-//! The server appends each `PostBatch` frame **atomically** under one
-//! lock, in frame-arrival order, tagging records with the current
-//! round — the same total-order contract as the in-process backend's
-//! single write lock. A driver posting from one logical thread (the
-//! engine's coordinator, which already serializes the parallel
-//! workers' buffers in item order) therefore produces a byte-identical
-//! posting log over TCP and in-process; the transport-parity suite in
-//! `yoso-core` asserts exactly that. Message payloads cross the wire
-//! via the deterministic [`WireMessage`] codec, never a `Debug` or
-//! serde format.
+//! The server appends each post frame **atomically** in frame-arrival
+//! order, tagging records with the current round — the same
+//! total-order contract as the in-process backend's single write lock.
+//! Storage is a [`ShardedRoundLog`]: a small round-clock lock plus one
+//! append lock per round, so concurrent worker connections contend
+//! only when writing the same round, and history reads never block
+//! writers. A driver posting from one logical thread (the engine's
+//! coordinator, which already serializes the parallel workers' buffers
+//! in item order) therefore produces a byte-identical posting log over
+//! TCP and in-process; the transport-parity suite in `yoso-core`
+//! asserts exactly that, in both lockstep and pipelined modes. Message
+//! payloads cross the wire via the deterministic [`WireMessage`]
+//! codec, never a `Debug` or serde format.
 //!
 //! A logical batch whose encoding exceeds [`TcpOptions::max_post_frame_bytes`]
-//! is split client-side into several consecutive `PostBatch` frames
-//! sent back-to-back on the one connection (the lock is held across
-//! all chunks), so arbitrarily large buffer flushes stay under the
+//! is split client-side into several consecutive post frames sent
+//! back-to-back on the one connection (the lock is held across all
+//! chunks), so arbitrarily large buffer flushes stay under the
 //! server's frame cap without reordering; each frame is still appended
 //! atomically, but whole-batch atomicity is relaxed to per-frame for
 //! oversized batches.
 //!
-//! The server stores payloads as opaque bytes — it needs no knowledge
-//! of the message type, so one `board-server` binary serves any
-//! protocol. Clients retry connects (the server may still be starting)
-//! and idempotent reads; posts and round advances are never retried
-//! blindly, so a hard failure surfaces as [`BoardError::Io`] instead
-//! of a duplicated posting.
+//! The server stores payloads as opaque byte slices borrowed from a
+//! per-frame arena (one copy of the frame body, shared by all of its
+//! records), so one `board-server` binary serves any protocol with no
+//! per-record payload allocation. Clients retry connects (the server
+//! may still be starting) and idempotent reads; posts and round
+//! advances are never retried blindly, so a hard failure surfaces as
+//! [`BoardError::Io`] instead of a duplicated posting.
 
-use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 // lint:allow(determinism): `Duration` is used only for socket
 // timeouts and retry backoff — no wall-clock value is ever read or
@@ -63,163 +87,48 @@ use std::time::Duration;
 use parking_lot::Mutex;
 
 use crate::board::Posting;
+use crate::frame::{
+    append_frame, flush_wire, io_err, op, read_frame_into, write_frame, FrameRead, FrameReader,
+    MAX_FRAME,
+};
 use crate::role::RoleId;
 use crate::transport::{
-    put_bytes, put_str, put_u32, put_u64, BoardError, BoardTransport, PostRecord, RoundLog,
-    WireCursor, WireMessage,
+    put_bytes, put_str, put_u32, put_u64, BoardError, BoardTransport, PostRecord,
+    ShardedRoundLog, WireCursor, WireMessage,
 };
 
-/// Frames larger than this are rejected (corrupt length prefix guard).
-const MAX_FRAME: usize = 64 << 20;
-
-mod op {
-    pub const POST_BATCH: u8 = 0x01;
-    pub const ADVANCE_ROUND: u8 = 0x02;
-    pub const GET_ROUND: u8 = 0x03;
-    pub const GET_LEN: u8 = 0x04;
-    pub const READ_ROUND: u8 = 0x05;
-    pub const READ_FROM: u8 = 0x06;
-    pub const SHUTDOWN: u8 = 0x07;
-    pub const RESP_OK: u8 = 0x80;
-    pub const RESP_VALUE: u8 = 0x81;
-    pub const RESP_POSTINGS: u8 = 0x82;
-    pub const RESP_ERR: u8 = 0xEE;
-}
-
-fn io_err(context: &str, e: &std::io::Error) -> BoardError {
-    BoardError::Io(format!("{context}: {e}"))
-}
-
-/// Writes one length-prefixed frame.
-fn write_frame(stream: &mut TcpStream, body: &[u8]) -> Result<(), BoardError> {
-    let len = u32::try_from(body.len()).map_err(|_| {
-        BoardError::Protocol(format!(
-            "frame body of {} bytes exceeds the u32 length prefix",
-            body.len()
-        ))
-    })?;
-    stream.write_all(&len.to_le_bytes()).map_err(|e| io_err("write frame length", &e))?;
-    stream.write_all(body).map_err(|e| io_err("write frame body", &e))?;
-    stream.flush().map_err(|e| io_err("flush frame", &e))
-}
-
-/// Reads one length-prefixed frame (client side: a read timeout here is
-/// a hard error — the caller drops and reconnects, so partial reads
-/// cannot desync the stream). `Ok(None)` means the peer closed the
-/// connection cleanly before a new frame began.
-fn read_frame(stream: &mut TcpStream) -> Result<Option<Vec<u8>>, BoardError> {
-    let mut len_buf = [0u8; 4];
-    match stream.read_exact(&mut len_buf) {
-        Ok(()) => {}
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(io_err("read frame length", &e)),
-    }
-    let len = u32::from_le_bytes(len_buf) as usize;
-    if len > MAX_FRAME {
-        return Err(BoardError::Protocol(format!("frame of {len} bytes exceeds cap")));
-    }
-    let mut body = vec![0u8; len];
-    stream.read_exact(&mut body).map_err(|e| io_err("read frame body", &e))?;
-    Ok(Some(body))
-}
-
-/// Whether an I/O error is a socket read-timeout expiry. On Unix a
-/// `SO_RCVTIMEO` expiry surfaces as `WouldBlock` ("Resource temporarily
-/// unavailable"), on Windows as `TimedOut` — match the [`std::io::ErrorKind`],
-/// never the display string.
-fn is_timeout(e: &std::io::Error) -> bool {
-    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
-}
-
-/// Outcome of one poll-aware server-side frame read.
-enum FrameRead {
-    /// A complete frame body.
-    Frame(Vec<u8>),
-    /// The poll timeout expired before any byte of the next frame
-    /// arrived — the connection is idle, not broken.
-    Idle,
-    /// The peer closed the connection cleanly between frames.
-    Closed,
-}
-
-/// Consecutive idle-poll ticks tolerated *mid-frame* before the
-/// connection is declared dead (300 × 200ms = 60s without a byte).
-const MAX_MIDFRAME_STALL_TICKS: u32 = 300;
-
-/// Reads one frame on a connection whose read timeout doubles as the
-/// idle-poll tick. A timeout before the first byte of the next frame is
-/// `Idle` (the caller re-checks its shutdown flag and polls again); a
-/// timeout *mid-frame* keeps reading from where the partial read left
-/// off — `read_exact` discards consumed bytes on timeout, so restarting
-/// the frame would desync the stream. A peer that stalls mid-frame for
-/// [`MAX_MIDFRAME_STALL_TICKS`] consecutive ticks is treated as dead.
-fn read_frame_polled(stream: &mut TcpStream) -> Result<FrameRead, BoardError> {
-    let mut len_buf = [0u8; 4];
-    let mut filled = 0usize;
-    let mut stalled = 0u32;
-    while filled < len_buf.len() {
-        match stream.read(&mut len_buf[filled..]) {
-            Ok(0) if filled == 0 => return Ok(FrameRead::Closed),
-            Ok(0) => {
-                return Err(BoardError::Protocol("peer closed mid-frame".into()));
-            }
-            Ok(n) => {
-                filled += n;
-                stalled = 0;
-            }
-            Err(e) if is_timeout(&e) => {
-                if filled == 0 {
-                    return Ok(FrameRead::Idle);
-                }
-                stalled += 1;
-                if stalled > MAX_MIDFRAME_STALL_TICKS {
-                    return Err(io_err("read frame length (peer stalled mid-frame)", &e));
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(io_err("read frame length", &e)),
-        }
-    }
-    let len = u32::from_le_bytes(len_buf) as usize;
-    if len > MAX_FRAME {
-        return Err(BoardError::Protocol(format!("frame of {len} bytes exceeds cap")));
-    }
-    let mut body = vec![0u8; len];
-    let mut got = 0usize;
-    let mut stalled = 0u32;
-    while got < len {
-        match stream.read(&mut body[got..]) {
-            Ok(0) => {
-                return Err(BoardError::Protocol("peer closed mid-frame".into()));
-            }
-            Ok(n) => {
-                got += n;
-                stalled = 0;
-            }
-            Err(e) if is_timeout(&e) => {
-                stalled += 1;
-                if stalled > MAX_MIDFRAME_STALL_TICKS {
-                    return Err(io_err("read frame body (peer stalled mid-frame)", &e));
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(io_err("read frame body", &e)),
-        }
-    }
-    Ok(FrameRead::Frame(body))
-}
+/// Outbound coalescing threshold for pipelined post frames: staged
+/// frames are flushed to the socket once this many bytes accumulate
+/// (or at a sync point), so many small frames share one `write`.
+const WIRE_COALESCE_BYTES: usize = 128 * 1024;
 
 /// One posting as the server stores it: all board metadata plus the
-/// message payload as opaque bytes.
+/// message payload as an opaque slice of the frame arena.
 #[derive(Debug, Clone)]
 struct RawPosting {
     round: u64,
-    committee: String,
+    committee: Arc<str>,
     index: u64,
-    phase: String,
+    phase: Arc<str>,
     elements: u64,
     bytes: u64,
-    payload: Vec<u8>,
+    payload: PayloadSlice,
+}
+
+/// A payload borrowed from a frame arena: the whole post frame's body
+/// is copied **once** into a shared `Arc<[u8]>` and every record's
+/// payload is an offset/length view into it — no per-record copy.
+#[derive(Debug, Clone)]
+struct PayloadSlice {
+    arena: Arc<[u8]>,
+    off: u32,
+    len: u32,
+}
+
+impl PayloadSlice {
+    fn as_slice(&self) -> &[u8] {
+        &self.arena[self.off as usize..(self.off + self.len) as usize]
+    }
 }
 
 fn encode_raw_posting(out: &mut Vec<u8>, p: &RawPosting) -> Result<(), BoardError> {
@@ -229,169 +138,427 @@ fn encode_raw_posting(out: &mut Vec<u8>, p: &RawPosting) -> Result<(), BoardErro
     put_str(out, &p.phase)?;
     put_u64(out, p.elements);
     put_u64(out, p.bytes);
-    put_bytes(out, &p.payload)
+    put_bytes(out, p.payload.as_slice())
 }
 
-/// Builds a `RESP_ERR` body carrying `msg`.
-fn err_response(msg: &str) -> Vec<u8> {
-    let mut out = vec![op::RESP_ERR];
-    if put_str(&mut out, msg).is_err() {
+/// Rebuilds a `RESP_ERR` body carrying `msg` in a reusable buffer.
+fn write_err(out: &mut Vec<u8>, msg: &str) {
+    out.clear();
+    out.push(op::RESP_ERR);
+    if put_str(out, msg).is_err() {
         // An error string over u32::MAX bytes cannot occur in practice;
         // keep the frame well-formed if it somehow does.
         out.truncate(1);
-        let _ = put_str(&mut out, "error message too large");
+        let _ = put_str(out, "error message too large");
     }
-    out
-}
-
-fn decode_posting<M: WireMessage>(cur: &mut WireCursor<'_>) -> Result<Posting<M>, BoardError> {
-    let round = cur.u64()?;
-    let committee = cur.str()?.to_string();
-    let index = cur.u64()? as usize;
-    let phase: Arc<str> = Arc::from(cur.str()?);
-    let elements = cur.u64()?;
-    let bytes = cur.u64()?;
-    let payload = cur.bytes()?;
-    let mut pc = WireCursor::new(payload);
-    let message = M::decode(&mut pc)?;
-    Ok(Posting { round, from: RoleId::new(committee, index), phase, message, elements, bytes })
 }
 
 // ---------------------------------------------------------------------------
 // Server
 // ---------------------------------------------------------------------------
 
+/// A per-connection cache of committee/phase labels: post frames
+/// repeat a handful of labels thousands of times, so interning turns
+/// per-record string allocation into a refcount bump. Most-recently
+/// used first; bounded so a hostile client cannot grow it unboundedly.
+#[derive(Debug, Default)]
+struct Interner {
+    cache: Vec<Arc<str>>,
+}
+
+impl Interner {
+    const CAP: usize = 64;
+
+    fn intern(&mut self, s: &str) -> Arc<str> {
+        if let Some(i) = self.cache.iter().position(|a| &**a == s) {
+            if i != 0 {
+                self.cache.swap(0, i);
+            }
+            return Arc::clone(&self.cache[0]);
+        }
+        let a: Arc<str> = Arc::from(s);
+        if self.cache.len() >= Self::CAP {
+            self.cache.pop();
+        }
+        self.cache.insert(0, Arc::clone(&a));
+        a
+    }
+}
+
+/// Decoded-but-not-yet-appended record of a post frame: label `Arc`s
+/// plus the payload's offsets into the frame body. Kept in a reusable
+/// per-connection scratch so validation allocates nothing per frame.
+#[derive(Debug)]
+struct RecHeader {
+    committee: Arc<str>,
+    index: u64,
+    phase: Arc<str>,
+    elements: u64,
+    bytes: u64,
+    off: u32,
+    len: u32,
+}
+
+/// Per-connection server state: the reusable response buffer, the
+/// pipelined-frame ack counter, label interners and the record
+/// scratch. Nothing here is shared — each connection handler owns one.
+#[derive(Debug, Default)]
+struct Conn {
+    resp: Vec<u8>,
+    /// `PostPipe` frames appended since the last `PostSync`.
+    pending: u64,
+    committees: Interner,
+    phases: Interner,
+    recs: Vec<RecHeader>,
+}
+
+/// What the connection loop should do with the dispatch result.
+enum Action {
+    /// Send `conn.resp` and keep serving.
+    Reply,
+    /// Nothing to send (a pipelined post frame).
+    NoReply,
+    /// Send `conn.resp`, then close the connection.
+    ReplyClose,
+    /// Send `conn.resp`, then set the shutdown flag (the ack must be
+    /// on the wire before the accept loop starts tearing sockets down).
+    ReplyShutdown,
+}
+
+/// Server wire/throughput counters, served by `GetStats`.
+#[derive(Debug, Default)]
+struct ServerStats {
+    frames: AtomicU64,
+    post_frames: AtomicU64,
+    postings: AtomicU64,
+    payload_bytes: AtomicU64,
+    sync_acks: AtomicU64,
+    acked_frames: AtomicU64,
+    max_window: AtomicU64,
+    reads: AtomicU64,
+}
+
+impl ServerStats {
+    fn note_window(&self, pending: u64) {
+        self.max_window.fetch_max(pending, Ordering::Relaxed);
+    }
+}
+
+/// A snapshot of the server's wire counters (`GetStats`), decoded
+/// client-side. All counters are since server start.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerWireStats {
+    /// Request frames received, all opcodes.
+    pub frames: u64,
+    /// Post frames received (`PostBatch` + `PostPipe`).
+    pub post_frames: u64,
+    /// Posting records appended.
+    pub postings: u64,
+    /// Payload bytes appended (message encodings only, not headers).
+    pub payload_bytes: u64,
+    /// `PostSync` round trips answered (coalesced acks sent).
+    pub sync_acks: u64,
+    /// Pipelined frames acknowledged through coalesced acks.
+    pub acked_frames: u64,
+    /// Largest run of unacknowledged pipelined frames any connection
+    /// reached (the effective client window).
+    pub max_window: u64,
+    /// Posting reads served (`ReadRound` + `ReadFrom`).
+    pub reads: u64,
+}
+
 /// State shared between the accept loop and connection handlers.
 #[derive(Debug, Default)]
 struct ServerShared {
-    log: Mutex<RoundLog<RawPosting>>,
+    log: ShardedRoundLog<RawPosting>,
     shutdown: AtomicBool,
+    /// Registered connections (clone of each accepted stream), used to
+    /// wake handlers parked in blocking reads when the server stops.
+    conns: Mutex<Vec<(u64, TcpStream)>>,
+    next_conn: AtomicU64,
+    stats: ServerStats,
 }
 
 impl ServerShared {
-    /// Handles one decoded request body, returning the response body.
-    fn dispatch(&self, body: &[u8]) -> Vec<u8> {
-        match self.try_dispatch(body) {
-            Ok(resp) => resp,
-            Err(e) => err_response(&e.to_string()),
+    /// Handles one decoded request body. The response (if any) is left
+    /// in `conn.resp`; the returned [`Action`] tells the connection
+    /// loop whether to send it and whether to keep the connection.
+    fn dispatch(&self, conn: &mut Conn, body: &[u8]) -> Action {
+        self.stats.frames.fetch_add(1, Ordering::Relaxed);
+        let Some(&opcode) = body.first() else {
+            write_err(&mut conn.resp, "empty request frame");
+            return Action::ReplyClose;
+        };
+        // A run of unacknowledged pipelined frames may only continue or
+        // sync: anything else indicates a desynced client, and serving
+        // it could interleave reads with half-acknowledged appends.
+        if conn.pending > 0 && !matches!(opcode, op::POST_PIPE | op::POST_SYNC) {
+            write_err(
+                &mut conn.resp,
+                &format!(
+                    "request opcode {opcode:#x} while {} pipelined frames are unacknowledged",
+                    conn.pending
+                ),
+            );
+            return Action::ReplyClose;
         }
-    }
-
-    fn try_dispatch(&self, body: &[u8]) -> Result<Vec<u8>, BoardError> {
-        let mut cur = WireCursor::new(body);
-        let opcode = cur.u8()?;
         match opcode {
-            op::POST_BATCH => {
-                let count = cur.u32()? as usize;
-                let mut records = Vec::with_capacity(count);
-                for _ in 0..count {
-                    let committee = cur.str()?.to_string();
-                    let index = cur.u64()?;
-                    let phase = cur.str()?.to_string();
-                    let elements = cur.u64()?;
-                    let bytes = cur.u64()?;
-                    let payload = cur.bytes()?.to_vec();
-                    records.push((committee, index, phase, elements, bytes, payload));
+            op::POST_BATCH => match self.append_post_frame(conn, body) {
+                Ok(()) => {
+                    conn.resp.clear();
+                    conn.resp.push(op::RESP_OK);
+                    Action::Reply
                 }
-                // One lock for the whole batch: the atomic append that
-                // makes server arrival order the global posting order.
-                let mut g = self.log.lock();
-                let round = g.round;
-                for (committee, index, phase, elements, bytes, payload) in records {
-                    g.postings.push(RawPosting {
-                        round,
-                        committee,
-                        index,
-                        phase,
-                        elements,
-                        bytes,
-                        payload,
-                    });
+                // Decode errors leave the log untouched and the frame
+                // stream intact: lockstep clients get the error as the
+                // frame's (only) response and may keep the connection.
+                Err(e) => {
+                    write_err(&mut conn.resp, &e.to_string());
+                    Action::Reply
                 }
-                Ok(vec![op::RESP_OK])
+            },
+            op::POST_PIPE => match self.append_post_frame(conn, body) {
+                Ok(()) => {
+                    conn.pending += 1;
+                    self.stats.note_window(conn.pending);
+                    Action::NoReply
+                }
+                // Name the offending frame's index within the unacked
+                // run, then close: later frames are already buffered on
+                // the socket, and appending any of them after a failed
+                // frame would silently fork the transcript.
+                Err(e) => {
+                    write_err(
+                        &mut conn.resp,
+                        &format!("pipelined frame {} rejected: {e}", conn.pending),
+                    );
+                    Action::ReplyClose
+                }
+            },
+            op::POST_SYNC => {
+                let acked = conn.pending;
+                conn.pending = 0;
+                self.stats.sync_acks.fetch_add(1, Ordering::Relaxed);
+                self.stats.acked_frames.fetch_add(acked, Ordering::Relaxed);
+                conn.resp.clear();
+                conn.resp.push(op::RESP_OK_N);
+                put_u64(&mut conn.resp, acked);
+                Action::Reply
             }
-            op::ADVANCE_ROUND => {
-                let round = self.log.lock().advance();
-                let mut out = vec![op::RESP_VALUE];
-                put_u64(&mut out, round);
-                Ok(out)
-            }
-            op::GET_ROUND => {
-                let round = self.log.lock().round;
-                let mut out = vec![op::RESP_VALUE];
-                put_u64(&mut out, round);
-                Ok(out)
-            }
-            op::GET_LEN => {
-                let len = self.log.lock().postings.len() as u64;
-                let mut out = vec![op::RESP_VALUE];
-                put_u64(&mut out, len);
-                Ok(out)
-            }
+            op::ADVANCE_ROUND => self.value_reply(conn, self.log.advance()),
+            op::GET_ROUND => self.value_reply(conn, self.log.round()),
+            op::GET_LEN => self.value_reply(conn, self.log.len() as u64),
             op::READ_ROUND => {
-                let round = cur.u64()?;
-                let g = self.log.lock();
-                let range = g.round_range(round);
-                encode_postings(&g.postings[range])
+                self.stats.reads.fetch_add(1, Ordering::Relaxed);
+                match self.encode_round(conn, body) {
+                    Ok(()) => Action::Reply,
+                    Err(e) => {
+                        write_err(&mut conn.resp, &e.to_string());
+                        Action::Reply
+                    }
+                }
             }
             op::READ_FROM => {
-                let cursor = cur.u64()? as usize;
-                let g = self.log.lock();
-                let lo = cursor.min(g.postings.len());
-                encode_postings(&g.postings[lo..])
-            }
-            op::SHUTDOWN => {
-                self.shutdown.store(true, Ordering::SeqCst);
-                Ok(vec![op::RESP_OK])
-            }
-            other => Err(BoardError::Protocol(format!("unknown opcode {other:#x}"))),
-        }
-    }
-}
-
-fn encode_postings(postings: &[RawPosting]) -> Result<Vec<u8>, BoardError> {
-    let count = u32::try_from(postings.len()).map_err(|_| {
-        BoardError::Protocol(format!("{} postings exceed the u32 count prefix", postings.len()))
-    })?;
-    let mut out = vec![op::RESP_POSTINGS];
-    put_u32(&mut out, count);
-    for p in postings {
-        encode_raw_posting(&mut out, p)?;
-    }
-    Ok(out)
-}
-
-fn handle_connection(shared: &ServerShared, mut stream: TcpStream) {
-    // A finite read timeout lets the handler notice a server shutdown
-    // even while a client holds the connection open but idle;
-    // `read_frame_polled` reports those expiries as `FrameRead::Idle`
-    // only while no frame is in flight.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
-    let _ = stream.set_nodelay(true);
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        match read_frame_polled(&mut stream) {
-            Ok(FrameRead::Frame(body)) => {
-                let resp = shared.dispatch(&body);
-                if write_frame(&mut stream, &resp).is_err() {
-                    return;
+                self.stats.reads.fetch_add(1, Ordering::Relaxed);
+                match self.encode_from(conn, body) {
+                    Ok(()) => Action::Reply,
+                    Err(e) => {
+                        write_err(&mut conn.resp, &e.to_string());
+                        Action::Reply
+                    }
                 }
             }
+            op::GET_STATS => {
+                let s = &self.stats;
+                let fields = [
+                    s.frames.load(Ordering::Relaxed),
+                    s.post_frames.load(Ordering::Relaxed),
+                    s.postings.load(Ordering::Relaxed),
+                    s.payload_bytes.load(Ordering::Relaxed),
+                    s.sync_acks.load(Ordering::Relaxed),
+                    s.acked_frames.load(Ordering::Relaxed),
+                    s.max_window.load(Ordering::Relaxed),
+                    s.reads.load(Ordering::Relaxed),
+                ];
+                conn.resp.clear();
+                conn.resp.push(op::RESP_STATS);
+                put_u32(&mut conn.resp, fields.len() as u32);
+                for f in fields {
+                    put_u64(&mut conn.resp, f);
+                }
+                Action::Reply
+            }
+            op::SHUTDOWN => {
+                conn.resp.clear();
+                conn.resp.push(op::RESP_OK);
+                Action::ReplyShutdown
+            }
+            other => {
+                write_err(&mut conn.resp, &format!("unknown opcode {other:#x}"));
+                Action::Reply
+            }
+        }
+    }
+
+    fn value_reply(&self, conn: &mut Conn, v: u64) -> Action {
+        conn.resp.clear();
+        conn.resp.push(op::RESP_VALUE);
+        put_u64(&mut conn.resp, v);
+        Action::Reply
+    }
+
+    /// Validates and appends one post frame (`PostBatch` or
+    /// `PostPipe`). The whole frame is decoded into the connection's
+    /// scratch **before** the log is touched — a malformed record
+    /// rejects the frame without appending a prefix of it — then the
+    /// frame body is copied once into a shared arena and all records
+    /// are appended atomically, their payloads borrowing from it.
+    fn append_post_frame(&self, conn: &mut Conn, body: &[u8]) -> Result<(), BoardError> {
+        let mut cur = WireCursor::new(body);
+        let _opcode = cur.u8()?;
+        let count = cur.u32()? as usize;
+        let recs = &mut conn.recs;
+        recs.clear();
+        recs.reserve(count);
+        let mut payload_bytes = 0u64;
+        for _ in 0..count {
+            let committee = conn.committees.intern(cur.str()?);
+            let index = cur.u64()?;
+            let phase = conn.phases.intern(cur.str()?);
+            let elements = cur.u64()?;
+            let bytes = cur.u64()?;
+            let payload = cur.bytes()?;
+            payload_bytes += payload.len() as u64;
+            let off = (cur.position() - payload.len()) as u32;
+            recs.push(RecHeader {
+                committee,
+                index,
+                phase,
+                elements,
+                bytes,
+                off,
+                len: payload.len() as u32,
+            });
+        }
+        if !recs.is_empty() {
+            let arena: Arc<[u8]> = Arc::from(body);
+            self.log.append_with(|round, out| {
+                out.reserve(recs.len());
+                for r in recs.drain(..) {
+                    out.push(RawPosting {
+                        round,
+                        committee: r.committee,
+                        index: r.index,
+                        phase: r.phase,
+                        elements: r.elements,
+                        bytes: r.bytes,
+                        payload: PayloadSlice {
+                            arena: Arc::clone(&arena),
+                            off: r.off,
+                            len: r.len,
+                        },
+                    });
+                }
+            });
+        }
+        self.stats.post_frames.fetch_add(1, Ordering::Relaxed);
+        self.stats.postings.fetch_add(count as u64, Ordering::Relaxed);
+        self.stats.payload_bytes.fetch_add(payload_bytes, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn encode_round(&self, conn: &mut Conn, body: &[u8]) -> Result<(), BoardError> {
+        let mut cur = WireCursor::new(body);
+        let _opcode = cur.u8()?;
+        let round = cur.u64()?;
+        let resp = &mut conn.resp;
+        resp.clear();
+        resp.push(op::RESP_POSTINGS);
+        self.log.with_round(round, |ps| {
+            let count = u32::try_from(ps.len()).map_err(|_| {
+                BoardError::Protocol(format!(
+                    "{} postings exceed the u32 count prefix",
+                    ps.len()
+                ))
+            })?;
+            put_u32(resp, count);
+            for p in ps {
+                encode_raw_posting(resp, p)?;
+            }
+            Ok(())
+        })
+    }
+
+    fn encode_from(&self, conn: &mut Conn, body: &[u8]) -> Result<(), BoardError> {
+        let mut cur = WireCursor::new(body);
+        let _opcode = cur.u8()?;
+        let cursor = cur.u64()? as usize;
+        let resp = &mut conn.resp;
+        resp.clear();
+        resp.push(op::RESP_POSTINGS);
+        put_u32(resp, 0); // patched below
+        let mut n: u64 = 0;
+        self.log.try_for_each_from(cursor, &mut |p| {
+            n += 1;
+            encode_raw_posting(resp, p)
+        })?;
+        let count = u32::try_from(n).map_err(|_| {
+            BoardError::Protocol(format!("{n} postings exceed the u32 count prefix"))
+        })?;
+        resp[1..5].copy_from_slice(&count.to_le_bytes());
+        Ok(())
+    }
+}
+
+fn handle_connection(shared: &ServerShared, mut stream: TcpStream, conn_id: u64) {
+    let _ = stream.set_nodelay(true);
+    // The reader owns the socket's read-timeout policy: short idle
+    // polls right after traffic (fast shutdown notice), escalating to
+    // the ~200ms cap, then a parked blocking read — an idle fleet
+    // burns no wakeups, and the accept loop wakes parked handlers via
+    // the connection registry when the server stops.
+    let mut reader = FrameReader::new();
+    let mut conn = Conn::default();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match reader.next_frame(&mut stream) {
+            Ok(FrameRead::Frame(body)) => match shared.dispatch(&mut conn, body) {
+                Action::Reply => {
+                    if write_frame(&mut stream, &conn.resp).is_err() {
+                        break;
+                    }
+                }
+                Action::NoReply => {}
+                Action::ReplyClose => {
+                    let _ = write_frame(&mut stream, &conn.resp);
+                    break;
+                }
+                Action::ReplyShutdown => {
+                    // Ack first, then raise the flag: the accept loop
+                    // tears sockets down once it sees the flag, and the
+                    // requester must get its ok before that.
+                    let _ = write_frame(&mut stream, &conn.resp);
+                    shared.shutdown.store(true, Ordering::SeqCst);
+                    break;
+                }
+            },
             Ok(FrameRead::Idle) => continue, // re-check the shutdown flag
-            Ok(FrameRead::Closed) => return, // clean disconnect
+            Ok(FrameRead::Closed) => break,  // clean disconnect
             Err(e) => {
                 // Framing violation or hard I/O error: the stream
                 // position is no longer trustworthy, so the connection
                 // must close — but name the cause first, so the
                 // client's non-retried post surfaces the violation
                 // instead of a generic "server closed the connection".
-                let _ = write_frame(&mut stream, &err_response(&e.to_string()));
-                return;
+                write_err(&mut conn.resp, &e.to_string());
+                let _ = write_frame(&mut stream, &conn.resp);
+                break;
             }
         }
     }
+    shared.conns.lock().retain(|(id, _)| *id != conn_id);
 }
 
 /// A board server bound to a TCP address, serving any number of
@@ -443,22 +610,36 @@ impl BoardServer {
 }
 
 fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    let mut idle_sleep = Duration::from_millis(1);
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
-            return;
+            break;
         }
         match listener.accept() {
             Ok((stream, _)) => {
+                idle_sleep = Duration::from_millis(1);
+                let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+                if let Ok(clone) = stream.try_clone() {
+                    shared.conns.lock().push((conn_id, clone));
+                }
                 let shared = Arc::clone(shared);
                 let _ = std::thread::Builder::new()
                     .name("board-conn".into())
-                    .spawn(move || handle_connection(&shared, stream));
+                    .spawn(move || handle_connection(&shared, stream, conn_id));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(1));
+                std::thread::sleep(idle_sleep);
+                idle_sleep = (idle_sleep * 2).min(Duration::from_millis(64));
             }
             Err(_) => std::thread::sleep(Duration::from_millis(1)),
         }
+    }
+    // Wake every parked connection handler: their blocking reads
+    // return immediately once the socket is shut down, they observe
+    // the flag and exit. Without this an idle connection could sit in
+    // a parked read forever.
+    for (_, s) in shared.conns.lock().iter() {
+        let _ = s.shutdown(std::net::Shutdown::Both);
     }
 }
 
@@ -478,7 +659,8 @@ impl ServerHandle {
     }
 
     /// Stops the accept loop and joins the server thread. Connection
-    /// handlers notice the flag within their poll tick and exit.
+    /// handlers are woken from parked reads via the connection
+    /// registry; polling handlers notice the flag within their tick.
     pub fn shutdown(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         if let Some(t) = self.thread.take() {
@@ -497,7 +679,8 @@ impl Drop for ServerHandle {
 // Client
 // ---------------------------------------------------------------------------
 
-/// Client-side knobs: connect retry budget and I/O timeouts.
+/// Client-side knobs: connect retry budget, I/O timeouts, frame
+/// chunking and the pipelining window.
 #[derive(Debug, Clone, Copy)]
 pub struct TcpOptions {
     /// Connection attempts before giving up (the server may still be
@@ -511,12 +694,19 @@ pub struct TcpOptions {
     /// round advances are never retried: a retry after a partially
     /// processed frame could duplicate a posting.
     pub read_retries: u32,
-    /// Soft cap on one `PostBatch` frame body. A logical batch larger
-    /// than this (a full parallel buffer flush can exceed the server's
+    /// Soft cap on one post frame body. A logical batch larger than
+    /// this (a full parallel buffer flush can exceed the server's
     /// 64MB frame cap) is split into multiple frames, sent back-to-back
     /// on the single connection — see [`TcpTransport::post_stream`] for
-    /// the atomicity contract. Clamped to [`MAX_FRAME`].
+    /// the atomicity contract. Clamped to the 64MiB frame cap.
     pub max_post_frame_bytes: usize,
+    /// Post frames kept in flight between `PostSync` barriers. `1` (or
+    /// `0`) selects strict lockstep posting — one `PostBatch` frame,
+    /// one `RESP_OK`, one round trip each; larger windows stream that
+    /// many `PostPipe` frames before blocking on one coalesced ack.
+    /// Either way a flush returns only after the server has sequenced
+    /// every frame of it.
+    pub pipeline_window: usize,
 }
 
 impl Default for TcpOptions {
@@ -527,8 +717,37 @@ impl Default for TcpOptions {
             io_timeout: Duration::from_secs(10),
             read_retries: 3,
             max_post_frame_bytes: MAX_FRAME / 2,
+            pipeline_window: 32,
         }
     }
+}
+
+/// Client-side wire counters (per transport).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Post frames sent (`PostBatch` + `PostPipe`), i.e. how many
+    /// chunks flushes were split into.
+    pub post_frames: u64,
+    /// `PostSync` round trips awaited (pipelined mode only).
+    pub sync_round_trips: u64,
+}
+
+/// Reusable per-connection client buffers, all living under the one
+/// connection lock: the steady state of a posting loop allocates
+/// nothing.
+#[derive(Debug, Default)]
+struct ClientConn {
+    stream: Option<TcpStream>,
+    /// Outbound coalescing buffer for pipelined frames.
+    wire: Vec<u8>,
+    /// The post frame body under construction.
+    body: Vec<u8>,
+    /// One record's encoding (header + payload).
+    record: Vec<u8>,
+    /// One message's payload encoding.
+    payload: Vec<u8>,
+    /// The last response frame body.
+    resp: Vec<u8>,
 }
 
 /// A [`BoardTransport`] over one TCP connection to a `board-server`.
@@ -544,7 +763,9 @@ pub struct TcpTransport<M> {
     /// bench tables should name the actual deployment shape.
     label: &'static str,
     opts: TcpOptions,
-    stream: Mutex<Option<TcpStream>>,
+    conn: Mutex<ClientConn>,
+    sent_post_frames: AtomicU64,
+    sent_syncs: AtomicU64,
     _marker: std::marker::PhantomData<fn() -> M>,
 }
 
@@ -562,7 +783,9 @@ impl<M> TcpTransport<M> {
             addr,
             label,
             opts,
-            stream: Mutex::new(Some(stream)),
+            conn: Mutex::new(ClientConn { stream: Some(stream), ..ClientConn::default() }),
+            sent_post_frames: AtomicU64::new(0),
+            sent_syncs: AtomicU64::new(0),
             _marker: std::marker::PhantomData,
         })
     }
@@ -572,69 +795,45 @@ impl<M> TcpTransport<M> {
         self.addr
     }
 
-    /// Sends `body` and returns the response body. `idempotent`
-    /// requests are retried with a fresh connection on I/O failure.
-    fn call(&self, body: &[u8], idempotent: bool) -> Result<Vec<u8>, BoardError> {
-        let mut guard = self.stream.lock();
-        self.call_locked(&mut guard, body, idempotent)
+    /// The options this transport was connected with.
+    pub fn options(&self) -> &TcpOptions {
+        &self.opts
     }
 
-    /// [`Self::call`] against an already-locked connection slot, so a
-    /// multi-frame operation (chunked `post_stream`) keeps its frames
-    /// contiguous in the server's arrival order.
-    fn call_locked(
-        &self,
-        guard: &mut Option<TcpStream>,
-        body: &[u8],
-        idempotent: bool,
-    ) -> Result<Vec<u8>, BoardError> {
-        let attempts = 1 + if idempotent { self.opts.read_retries } else { 0 };
-        let mut last_err = BoardError::Io("no attempt made".into());
-        for attempt in 0..attempts {
-            if attempt > 0 {
-                std::thread::sleep(self.opts.retry_delay);
-            }
-            if guard.is_none() {
-                match connect_with_retry(self.addr, &self.opts) {
-                    Ok(s) => *guard = Some(s),
-                    Err(e) => {
-                        last_err = e;
-                        continue;
-                    }
-                }
-            }
-            let Some(stream) = guard.as_mut() else { continue };
-            let result = write_frame(stream, body).and_then(|()| read_frame(stream));
-            match result {
-                Ok(Some(resp)) => return check_response(resp),
-                Ok(None) => {
-                    last_err = BoardError::Io("server closed the connection".into());
-                    *guard = None;
-                }
-                Err(e) => {
-                    last_err = e;
-                    *guard = None;
-                }
-            }
+    /// Snapshot of this transport's wire counters.
+    pub fn wire_stats(&self) -> WireStats {
+        WireStats {
+            post_frames: self.sent_post_frames.load(Ordering::Relaxed),
+            sync_round_trips: self.sent_syncs.load(Ordering::Relaxed),
         }
-        Err(last_err)
     }
 
-    /// Sends one `PostBatch` frame holding `count` records: patches the
-    /// count prefix, issues the call on the locked connection, and
-    /// resets `body` to an empty `PostBatch` header for the next chunk.
-    fn send_post_frame(
-        &self,
-        guard: &mut Option<TcpStream>,
-        body: &mut Vec<u8>,
-        count: u32,
-    ) -> Result<(), BoardError> {
-        body[1..5].copy_from_slice(&count.to_le_bytes());
-        let resp = self.call_locked(guard, body, false)?;
-        if resp.first() != Some(&op::RESP_OK) {
-            return Err(BoardError::Protocol("expected ok response to post".into()));
+    /// Fetches the server's wire/throughput counters (`GetStats`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures reaching the server.
+    pub fn server_stats(&self) -> Result<ServerWireStats, BoardError> {
+        let mut g = self.conn.lock();
+        let c = &mut *g;
+        request(self.addr, &self.opts, &mut c.stream, &mut c.resp, &[op::GET_STATS], true)?;
+        expect_stats(&c.resp)
+    }
+
+    /// Asks the server to shut down (used by tests and single-owner
+    /// deployments; multi-client deployments usually just kill the
+    /// server process).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures reaching the server.
+    pub fn shutdown_server(&self) -> Result<(), BoardError> {
+        let mut g = self.conn.lock();
+        let c = &mut *g;
+        request(self.addr, &self.opts, &mut c.stream, &mut c.resp, &[op::SHUTDOWN], false)?;
+        if c.resp.first() != Some(&op::RESP_OK) {
+            return Err(BoardError::Protocol("expected ok response to shutdown".into()));
         }
-        body.truncate(5);
         Ok(())
     }
 }
@@ -662,16 +861,59 @@ fn connect_with_retry(addr: SocketAddr, opts: &TcpOptions) -> Result<TcpStream, 
     )))
 }
 
-/// Splits a response body into (opcode, payload), surfacing server-side
-/// errors as [`BoardError::Protocol`].
-fn check_response(resp: Vec<u8>) -> Result<Vec<u8>, BoardError> {
+/// Sends `body` and reads the response into `resp`. `idempotent`
+/// requests are retried with a fresh connection on I/O failure; posts
+/// and round advances are not (a blind retry could double-append).
+fn request(
+    addr: SocketAddr,
+    opts: &TcpOptions,
+    slot: &mut Option<TcpStream>,
+    resp: &mut Vec<u8>,
+    body: &[u8],
+    idempotent: bool,
+) -> Result<(), BoardError> {
+    let attempts = 1 + if idempotent { opts.read_retries } else { 0 };
+    let mut last_err = BoardError::Io("no attempt made".into());
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            std::thread::sleep(opts.retry_delay);
+        }
+        if slot.is_none() {
+            match connect_with_retry(addr, opts) {
+                Ok(s) => *slot = Some(s),
+                Err(e) => {
+                    last_err = e;
+                    continue;
+                }
+            }
+        }
+        let Some(stream) = slot.as_mut() else { continue };
+        let result = write_frame(stream, body).and_then(|()| read_frame_into(stream, resp));
+        match result {
+            Ok(true) => return check_response(resp),
+            Ok(false) => {
+                last_err = BoardError::Io("server closed the connection".into());
+                *slot = None;
+            }
+            Err(e) => {
+                last_err = e;
+                *slot = None;
+            }
+        }
+    }
+    Err(last_err)
+}
+
+/// Surfaces server-side errors carried in a response body as
+/// [`BoardError::Protocol`].
+fn check_response(resp: &[u8]) -> Result<(), BoardError> {
     match resp.first() {
         None => Err(BoardError::Protocol("empty response frame".into())),
         Some(&op::RESP_ERR) => {
             let mut cur = WireCursor::new(&resp[1..]);
             Err(BoardError::Protocol(format!("server error: {}", cur.str()?)))
         }
-        Some(_) => Ok(resp),
+        Some(_) => Ok(()),
     }
 }
 
@@ -683,6 +925,31 @@ fn expect_value(resp: &[u8]) -> Result<u64, BoardError> {
     cur.u64()
 }
 
+fn expect_stats(resp: &[u8]) -> Result<ServerWireStats, BoardError> {
+    let mut cur = WireCursor::new(resp);
+    if cur.u8()? != op::RESP_STATS {
+        return Err(BoardError::Protocol("expected stats response".into()));
+    }
+    let count = cur.u32()? as usize;
+    let mut fields = [0u64; 8];
+    for i in 0..count {
+        let v = cur.u64()?;
+        if let Some(slot) = fields.get_mut(i) {
+            *slot = v; // unknown trailing fields from newer servers are ignored
+        }
+    }
+    Ok(ServerWireStats {
+        frames: fields[0],
+        post_frames: fields[1],
+        postings: fields[2],
+        payload_bytes: fields[3],
+        sync_acks: fields[4],
+        acked_frames: fields[5],
+        max_window: fields[6],
+        reads: fields[7],
+    })
+}
+
 fn expect_postings<M: WireMessage>(resp: &[u8]) -> Result<Vec<Posting<M>>, BoardError> {
     let mut cur = WireCursor::new(resp);
     if cur.u8()? != op::RESP_POSTINGS {
@@ -690,10 +957,257 @@ fn expect_postings<M: WireMessage>(resp: &[u8]) -> Result<Vec<Posting<M>>, Board
     }
     let count = cur.u32()? as usize;
     let mut out = Vec::with_capacity(count);
+    // Consecutive postings overwhelmingly repeat the same committee
+    // and phase labels; reuse the previous `Arc` instead of allocating
+    // a fresh string per posting.
+    let mut last_committee: Option<Arc<str>> = None;
+    let mut last_phase: Option<Arc<str>> = None;
     for _ in 0..count {
-        out.push(decode_posting(&mut cur)?);
+        let round = cur.u64()?;
+        let committee = intern_cached(&mut last_committee, cur.str()?);
+        let index = cur.u64()? as usize;
+        let phase = intern_cached(&mut last_phase, cur.str()?);
+        let elements = cur.u64()?;
+        let bytes = cur.u64()?;
+        let payload = cur.bytes()?;
+        let mut pc = WireCursor::new(payload);
+        let message = M::decode(&mut pc)?;
+        out.push(Posting { round, from: RoleId { committee, index }, phase, message, elements, bytes });
     }
     Ok(out)
+}
+
+fn intern_cached(last: &mut Option<Arc<str>>, s: &str) -> Arc<str> {
+    match last {
+        Some(a) if &**a == s => Arc::clone(a),
+        _ => {
+            let a: Arc<str> = Arc::from(s);
+            *last = Some(Arc::clone(&a));
+            a
+        }
+    }
+}
+
+/// Encodes one record (header + payload) into `record`, using
+/// `payload` as the message-encoding scratch.
+fn encode_record<M: WireMessage>(
+    record: &mut Vec<u8>,
+    payload: &mut Vec<u8>,
+    r: &PostRecord<M>,
+) -> Result<(), BoardError> {
+    record.clear();
+    put_str(record, &r.from.committee)?;
+    put_u64(record, r.from.index as u64);
+    put_str(record, &r.phase)?;
+    put_u64(record, r.elements);
+    put_u64(record, r.bytes);
+    payload.clear();
+    r.message.encode(payload)?;
+    put_bytes(record, payload)
+}
+
+fn oversized_record_err(encoded: usize) -> BoardError {
+    BoardError::Protocol(format!(
+        "single posting of {encoded} encoded bytes exceeds the {MAX_FRAME}-byte frame cap"
+    ))
+}
+
+/// Sends one lockstep `PostBatch` frame holding `count` records:
+/// patches the count prefix, waits for the per-frame `RESP_OK`, and
+/// resets `body` to an empty header for the next chunk.
+fn send_lockstep_frame(
+    addr: SocketAddr,
+    opts: &TcpOptions,
+    slot: &mut Option<TcpStream>,
+    resp: &mut Vec<u8>,
+    body: &mut Vec<u8>,
+    count: u32,
+) -> Result<(), BoardError> {
+    body[1..5].copy_from_slice(&count.to_le_bytes());
+    request(addr, opts, slot, resp, body, false)?;
+    if resp.first() != Some(&op::RESP_OK) {
+        return Err(BoardError::Protocol("expected ok response to post".into()));
+    }
+    body.truncate(5);
+    Ok(())
+}
+
+/// Stages one pipelined `PostPipe` frame into the outbound coalescing
+/// buffer (flushing it to the socket past the coalescing threshold)
+/// without waiting for any response.
+fn stage_pipelined_frame(
+    stream: &mut TcpStream,
+    wire: &mut Vec<u8>,
+    body: &mut Vec<u8>,
+    count: u32,
+) -> Result<(), BoardError> {
+    body[1..5].copy_from_slice(&count.to_le_bytes());
+    append_frame(wire, body)?;
+    body.truncate(5);
+    if wire.len() >= WIRE_COALESCE_BYTES {
+        flush_wire(stream, wire)?;
+    }
+    Ok(())
+}
+
+/// Emits a `PostSync` barrier and blocks until the server's coalesced
+/// ack arrives; `expected` is how many frames were staged since the
+/// previous sync, and a mismatch (or a server `RESP_ERR` naming the
+/// offending frame) fails the flush.
+fn pipeline_sync(
+    stream: &mut TcpStream,
+    wire: &mut Vec<u8>,
+    resp: &mut Vec<u8>,
+    expected: u64,
+) -> Result<(), BoardError> {
+    append_frame(wire, &[op::POST_SYNC])?;
+    flush_wire(stream, wire)?;
+    if !read_frame_into(stream, resp)? {
+        return Err(BoardError::Io(
+            "server closed the connection during a pipelined flush".into(),
+        ));
+    }
+    check_response(resp)?;
+    let mut cur = WireCursor::new(resp);
+    if cur.u8()? != op::RESP_OK_N {
+        return Err(BoardError::Protocol("expected coalesced ack to post sync".into()));
+    }
+    let acked = cur.u64()?;
+    if acked != expected {
+        return Err(BoardError::Protocol(format!(
+            "server acknowledged {acked} of {expected} pipelined frames"
+        )));
+    }
+    Ok(())
+}
+
+/// After a failed pipelined write, the server has usually already sent
+/// the `RESP_ERR` naming the offending frame (and closed the
+/// connection, which is what broke the write). Drain it so the flush
+/// fails with the named cause rather than a bare broken pipe.
+fn surface_pipeline_error(stream: &mut TcpStream, resp: &mut Vec<u8>, orig: BoardError) -> BoardError {
+    if matches!(orig, BoardError::Io(_)) {
+        if let Ok(true) = read_frame_into(stream, resp) {
+            if let Err(named) = check_response(resp) {
+                return named;
+            }
+        }
+    }
+    orig
+}
+
+impl<M: WireMessage + Clone + Send + Sync> TcpTransport<M> {
+    /// The strict lockstep flush: one `PostBatch` frame, one `RESP_OK`,
+    /// one round trip per chunk.
+    fn post_stream_lockstep(
+        &self,
+        c: &mut ClientConn,
+        records: &mut dyn Iterator<Item = PostRecord<M>>,
+    ) -> Result<u64, BoardError> {
+        let chunk_cap = self.opts.max_post_frame_bytes.min(MAX_FRAME);
+        c.body.clear();
+        c.body.extend_from_slice(&[op::POST_BATCH, 0, 0, 0, 0]);
+        let mut count: u32 = 0;
+        let mut total: u64 = 0;
+        for r in records {
+            encode_record(&mut c.record, &mut c.payload, &r)?;
+            if 5 + c.record.len() > MAX_FRAME {
+                return Err(oversized_record_err(c.record.len()));
+            }
+            if count > 0 && c.body.len() + c.record.len() > chunk_cap {
+                send_lockstep_frame(
+                    self.addr, &self.opts, &mut c.stream, &mut c.resp, &mut c.body, count,
+                )?;
+                self.sent_post_frames.fetch_add(1, Ordering::Relaxed);
+                total += u64::from(count);
+                count = 0;
+            }
+            c.body.extend_from_slice(&c.record);
+            count += 1;
+        }
+        if count > 0 || total == 0 {
+            send_lockstep_frame(
+                self.addr, &self.opts, &mut c.stream, &mut c.resp, &mut c.body, count,
+            )?;
+            self.sent_post_frames.fetch_add(1, Ordering::Relaxed);
+            total += u64::from(count);
+        }
+        Ok(total)
+    }
+
+    /// The pipelined flush: stream `PostPipe` frames, syncing every
+    /// `pipeline_window` frames and once at the end, so the call
+    /// returns only after the server sequenced everything — and any
+    /// failure surfaces in **this** flush, never a later call.
+    fn post_stream_pipelined(
+        &self,
+        c: &mut ClientConn,
+        records: &mut dyn Iterator<Item = PostRecord<M>>,
+    ) -> Result<u64, BoardError> {
+        let mut stream = match c.stream.take() {
+            Some(s) => s,
+            None => connect_with_retry(self.addr, &self.opts)?,
+        };
+        let result = self.pipelined_flush(&mut stream, c, records);
+        match result {
+            Ok(total) => {
+                c.stream = Some(stream);
+                Ok(total)
+            }
+            // The connection is not reusable after a failed flush (the
+            // server closes it on pipelined errors; on client-side
+            // failures its position is unknown) — drop it so the next
+            // operation reconnects.
+            Err(e) => Err(surface_pipeline_error(&mut stream, &mut c.resp, e)),
+        }
+    }
+
+    fn pipelined_flush(
+        &self,
+        stream: &mut TcpStream,
+        c: &mut ClientConn,
+        records: &mut dyn Iterator<Item = PostRecord<M>>,
+    ) -> Result<u64, BoardError> {
+        let chunk_cap = self.opts.max_post_frame_bytes.min(MAX_FRAME);
+        let window = self.opts.pipeline_window as u64;
+        c.body.clear();
+        c.body.extend_from_slice(&[op::POST_PIPE, 0, 0, 0, 0]);
+        c.wire.clear();
+        let mut count: u32 = 0;
+        let mut total: u64 = 0;
+        let mut inflight: u64 = 0;
+        for r in records {
+            encode_record(&mut c.record, &mut c.payload, &r)?;
+            if 5 + c.record.len() > MAX_FRAME {
+                return Err(oversized_record_err(c.record.len()));
+            }
+            if count > 0 && c.body.len() + c.record.len() > chunk_cap {
+                stage_pipelined_frame(stream, &mut c.wire, &mut c.body, count)?;
+                self.sent_post_frames.fetch_add(1, Ordering::Relaxed);
+                inflight += 1;
+                total += u64::from(count);
+                count = 0;
+                if inflight >= window {
+                    pipeline_sync(stream, &mut c.wire, &mut c.resp, inflight)?;
+                    self.sent_syncs.fetch_add(1, Ordering::Relaxed);
+                    inflight = 0;
+                }
+            }
+            c.body.extend_from_slice(&c.record);
+            count += 1;
+        }
+        if count > 0 {
+            stage_pipelined_frame(stream, &mut c.wire, &mut c.body, count)?;
+            self.sent_post_frames.fetch_add(1, Ordering::Relaxed);
+            inflight += 1;
+            total += u64::from(count);
+        }
+        // The terminal barrier: the flush's contract is "returned ⇒
+        // sequenced", in lockstep and pipelined mode alike.
+        pipeline_sync(stream, &mut c.wire, &mut c.resp, inflight)?;
+        self.sent_syncs.fetch_add(1, Ordering::Relaxed);
+        Ok(total)
+    }
 }
 
 impl<M: WireMessage + Clone + Send + Sync> BoardTransport<M> for TcpTransport<M> {
@@ -715,87 +1229,56 @@ impl<M: WireMessage + Clone + Send + Sync> BoardTransport<M> for TcpTransport<M>
         // is appended atomically, and a failure between frames can
         // leave a prefix of the batch posted — the same
         // "no blind retry" contract as a single lost post.
-        let chunk_cap = self.opts.max_post_frame_bytes.min(MAX_FRAME);
-        let mut body = vec![op::POST_BATCH, 0, 0, 0, 0];
-        let mut record_buf = Vec::new();
-        let mut payload = Vec::new();
-        let mut count: u32 = 0;
-        let mut total: u64 = 0;
-        let mut guard = self.stream.lock();
-        for r in records {
-            record_buf.clear();
-            put_str(&mut record_buf, &r.from.committee)?;
-            put_u64(&mut record_buf, r.from.index as u64);
-            put_str(&mut record_buf, &r.phase)?;
-            put_u64(&mut record_buf, r.elements);
-            put_u64(&mut record_buf, r.bytes);
-            payload.clear();
-            r.message.encode(&mut payload)?;
-            put_bytes(&mut record_buf, &payload)?;
-            if 5 + record_buf.len() > MAX_FRAME {
-                return Err(BoardError::Protocol(format!(
-                    "single posting of {} encoded bytes exceeds the {MAX_FRAME}-byte frame cap",
-                    record_buf.len()
-                )));
-            }
-            if count > 0 && body.len() + record_buf.len() > chunk_cap {
-                self.send_post_frame(&mut guard, &mut body, count)?;
-                total += u64::from(count);
-                count = 0;
-            }
-            body.extend_from_slice(&record_buf);
-            count += 1;
+        let mut guard = self.conn.lock();
+        let c = &mut *guard;
+        if self.opts.pipeline_window > 1 {
+            self.post_stream_pipelined(c, records)
+        } else {
+            self.post_stream_lockstep(c, records)
         }
-        if count > 0 || total == 0 {
-            self.send_post_frame(&mut guard, &mut body, count)?;
-            total += u64::from(count);
-        }
-        Ok(total)
     }
 
     fn advance_round(&self) -> Result<u64, BoardError> {
-        expect_value(&self.call(&[op::ADVANCE_ROUND], false)?)
+        let mut g = self.conn.lock();
+        let c = &mut *g;
+        request(self.addr, &self.opts, &mut c.stream, &mut c.resp, &[op::ADVANCE_ROUND], false)?;
+        expect_value(&c.resp)
     }
 
     fn round(&self) -> Result<u64, BoardError> {
-        expect_value(&self.call(&[op::GET_ROUND], true)?)
+        let mut g = self.conn.lock();
+        let c = &mut *g;
+        request(self.addr, &self.opts, &mut c.stream, &mut c.resp, &[op::GET_ROUND], true)?;
+        expect_value(&c.resp)
     }
 
     fn len(&self) -> Result<usize, BoardError> {
-        Ok(expect_value(&self.call(&[op::GET_LEN], true)?)? as usize)
+        let mut g = self.conn.lock();
+        let c = &mut *g;
+        request(self.addr, &self.opts, &mut c.stream, &mut c.resp, &[op::GET_LEN], true)?;
+        Ok(expect_value(&c.resp)? as usize)
     }
 
     fn read_round(&self, round: u64) -> Result<Vec<Posting<M>>, BoardError> {
         let mut body = vec![op::READ_ROUND];
         put_u64(&mut body, round);
-        expect_postings(&self.call(&body, true)?)
+        let mut g = self.conn.lock();
+        let c = &mut *g;
+        request(self.addr, &self.opts, &mut c.stream, &mut c.resp, &body, true)?;
+        expect_postings(&c.resp)
     }
 
     fn read_from(&self, cursor: usize) -> Result<Vec<Posting<M>>, BoardError> {
         let mut body = vec![op::READ_FROM];
         put_u64(&mut body, cursor as u64);
-        expect_postings(&self.call(&body, true)?)
+        let mut g = self.conn.lock();
+        let c = &mut *g;
+        request(self.addr, &self.opts, &mut c.stream, &mut c.resp, &body, true)?;
+        expect_postings(&c.resp)
     }
 
     fn backend_name(&self) -> &'static str {
         self.label
-    }
-}
-
-impl<M> TcpTransport<M> {
-    /// Asks the server to shut down (used by tests and single-owner
-    /// deployments; multi-client deployments usually just kill the
-    /// server process).
-    ///
-    /// # Errors
-    ///
-    /// Propagates I/O failures reaching the server.
-    pub fn shutdown_server(&self) -> Result<(), BoardError> {
-        let resp = self.call(&[op::SHUTDOWN], false)?;
-        if resp.first() != Some(&op::RESP_OK) {
-            return Err(BoardError::Protocol("expected ok response to shutdown".into()));
-        }
-        Ok(())
     }
 }
 
@@ -808,15 +1291,29 @@ impl<M> TcpTransport<M> {
 /// Returns [`BoardError::Io`] if binding or connecting fails.
 pub fn loopback<M: WireMessage + Clone + Send + Sync + 'static>(
 ) -> Result<(ServerHandle, crate::BulletinBoard<M>), BoardError> {
+    loopback_with(TcpOptions::default())
+}
+
+/// [`loopback`] with explicit client [`TcpOptions`] — the hook for
+/// exercising lockstep (`pipeline_window: 1`) vs pipelined posting
+/// against the same server implementation.
+///
+/// # Errors
+///
+/// Returns [`BoardError::Io`] if binding or connecting fails.
+pub fn loopback_with<M: WireMessage + Clone + Send + Sync + 'static>(
+    opts: TcpOptions,
+) -> Result<(ServerHandle, crate::BulletinBoard<M>), BoardError> {
     let server = BoardServer::bind(SocketAddr::from(([127, 0, 0, 1], 0)))?;
     let handle = server.spawn()?;
-    let board = crate::BulletinBoard::connect_tcp(handle.addr())?;
+    let board = crate::BulletinBoard::connect_tcp_with(handle.addr(), opts)?;
     Ok((handle, board))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::{Read, Write};
 
     #[test]
     fn loopback_post_and_read_roundtrip() {
@@ -898,15 +1395,40 @@ mod tests {
 
     #[test]
     fn idle_client_survives_poll_timeouts() {
-        // A driver computing for longer than the server's 200ms poll
-        // tick must not be disconnected: the tick is an idle signal,
-        // not a deadline (SO_RCVTIMEO expiry is WouldBlock on Unix).
+        // A driver computing for longer than the server's idle poll
+        // schedule must not be disconnected: the tick is an idle
+        // signal, not a deadline (SO_RCVTIMEO expiry is WouldBlock on
+        // Unix).
         let (mut handle, board) = loopback::<u64>().unwrap();
         board.post(RoleId::new("c", 0), 1, "x", 1, 8).unwrap();
         std::thread::sleep(Duration::from_millis(600));
         board.post(RoleId::new("c", 1), 2, "x", 1, 8).unwrap();
         assert_eq!(board.len().unwrap(), 2);
         handle.shutdown();
+    }
+
+    #[test]
+    fn parked_idle_connection_still_accepts_posts() {
+        // Past ~1.2s of silence the handler parks in a blocking read
+        // (no more poll wakeups at all); arriving traffic must simply
+        // unblock it.
+        let (mut handle, board) = loopback::<u64>().unwrap();
+        board.post(RoleId::new("c", 0), 1, "x", 1, 8).unwrap();
+        std::thread::sleep(Duration::from_millis(2000));
+        board.post(RoleId::new("c", 1), 2, "x", 1, 8).unwrap();
+        assert_eq!(board.len().unwrap(), 2);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shutdown_wakes_parked_connection() {
+        // A handler parked in a blocking read must not wedge server
+        // shutdown: the accept loop shuts the registered socket down,
+        // the read returns, the handler exits.
+        let (mut handle, board) = loopback::<u64>().unwrap();
+        board.post(RoleId::new("c", 0), 1, "x", 1, 8).unwrap();
+        std::thread::sleep(Duration::from_millis(1500)); // past the park threshold
+        handle.shutdown(); // must return promptly rather than hang
     }
 
     #[test]
@@ -976,6 +1498,236 @@ mod tests {
         let board2: crate::BulletinBoard<u64> =
             crate::BulletinBoard::connect_tcp(handle.addr()).unwrap();
         assert_eq!(board2.len().unwrap(), 1);
+        handle.shutdown();
+    }
+
+    /// The encoded wire size of one `u64`-message record from
+    /// committee `"c"`: committee str (4+1) + index (8) + phase str
+    /// (4+1) + elements (8) + bytes (8) + payload (4+8).
+    fn u64_record_len(phase_len: usize) -> usize {
+        4 + 1 + 8 + 4 + phase_len + 8 + 8 + 4 + 8
+    }
+
+    fn u64_records(n: u64, phase: &Arc<str>) -> impl Iterator<Item = PostRecord<u64>> + '_ {
+        (0..n).map(move |m| PostRecord {
+            from: RoleId::new("c", m as usize),
+            phase: Arc::clone(phase),
+            message: m,
+            elements: 1,
+            bytes: 8,
+        })
+    }
+
+    #[test]
+    fn chunking_splits_exactly_at_the_frame_cap_boundary() {
+        // Boundary-value coverage for the chunking loop: with the cap
+        // set to hold exactly K records, N = 3K records must produce
+        // exactly 3 frames (no off-by-one slack), and one byte less
+        // must tip it to 4.
+        let (mut handle, _board) = loopback::<u64>().unwrap();
+        let phase: Arc<str> = Arc::from("x");
+        let k = 5usize;
+        let exact_cap = 5 + k * u64_record_len(1);
+        for (cap, want_frames) in [(exact_cap, 3u64), (exact_cap - 1, 4u64)] {
+            let opts = TcpOptions {
+                max_post_frame_bytes: cap,
+                pipeline_window: 1,
+                ..TcpOptions::default()
+            };
+            let t = TcpTransport::<u64>::connect(handle.addr(), opts).unwrap();
+            let n = t.post_stream(&mut u64_records(3 * k as u64, &phase)).unwrap();
+            assert_eq!(n, 3 * k as u64);
+            assert_eq!(t.wire_stats().post_frames, want_frames, "cap {cap}");
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn pipelined_chunking_matches_lockstep_frame_count() {
+        let (mut handle, _board) = loopback::<u64>().unwrap();
+        let phase: Arc<str> = Arc::from("x");
+        let k = 4usize;
+        let cap = 5 + k * u64_record_len(1);
+        let opts = TcpOptions {
+            max_post_frame_bytes: cap,
+            pipeline_window: 3,
+            ..TcpOptions::default()
+        };
+        let t = TcpTransport::<u64>::connect(handle.addr(), opts).unwrap();
+        let n = t.post_stream(&mut u64_records(8 * k as u64, &phase)).unwrap();
+        assert_eq!(n, 8 * k as u64);
+        let stats = t.wire_stats();
+        assert_eq!(stats.post_frames, 8);
+        // 8 frames / window 3 = 2 mid-flush syncs + the terminal one.
+        assert_eq!(stats.sync_round_trips, 3);
+        assert_eq!(t.len().unwrap(), 8 * k);
+        let server = t.server_stats().unwrap();
+        assert_eq!(server.post_frames, 8);
+        assert_eq!(server.acked_frames, 8);
+        assert_eq!(server.max_window, 3);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn pipelined_and_lockstep_transcripts_are_identical() {
+        let run = |opts: TcpOptions| {
+            let (mut handle, board) = loopback_with::<u64>(opts).unwrap();
+            let phase: Arc<str> = Arc::from("p");
+            for round in 0..3u64 {
+                board
+                    .post_record_stream(u64_records(40, &phase).map(|mut r| {
+                        r.message += 1000 * round;
+                        r
+                    }))
+                    .unwrap();
+                board.advance_round().unwrap();
+            }
+            let log: Vec<(u64, String, u64)> = board
+                .postings()
+                .unwrap()
+                .into_iter()
+                .map(|p| (p.round, p.from.to_string(), p.message))
+                .collect();
+            handle.shutdown();
+            log
+        };
+        let lockstep = run(TcpOptions {
+            pipeline_window: 1,
+            max_post_frame_bytes: 256,
+            ..TcpOptions::default()
+        });
+        let pipelined = run(TcpOptions {
+            pipeline_window: 8,
+            max_post_frame_bytes: 256,
+            ..TcpOptions::default()
+        });
+        assert_eq!(lockstep, pipelined);
+        assert_eq!(lockstep.len(), 120);
+    }
+
+    /// Builds one raw `PostPipe`/`PostBatch` frame body holding `count`
+    /// valid `u64` records (or a truncated, malformed one).
+    fn raw_post_body(opcode: u8, count: u32, malformed: bool) -> Vec<u8> {
+        let mut body = vec![opcode];
+        put_u32(&mut body, count);
+        for m in 0..count {
+            put_str(&mut body, "c").unwrap();
+            put_u64(&mut body, u64::from(m));
+            put_str(&mut body, "x").unwrap();
+            put_u64(&mut body, 1);
+            put_u64(&mut body, 8);
+            put_bytes(&mut body, &u64::from(m).to_le_bytes()).unwrap();
+        }
+        if malformed {
+            body.truncate(body.len() - 3); // rip the tail off the last record
+        }
+        body
+    }
+
+    fn send_raw_frame(s: &mut TcpStream, body: &[u8]) {
+        s.write_all(&u32::try_from(body.len()).unwrap().to_le_bytes()).unwrap();
+        s.write_all(body).unwrap();
+        s.flush().unwrap();
+    }
+
+    #[test]
+    fn pipelined_error_names_the_offending_frame_and_closes() {
+        // A malformed frame mid-window must be rejected by index, the
+        // valid frames before it must be appended, the buffered frames
+        // after it must NOT be, and the connection must close.
+        let server = BoardServer::bind(SocketAddr::from(([127, 0, 0, 1], 0))).unwrap();
+        let mut handle = server.spawn().unwrap();
+        let mut s = TcpStream::connect(handle.addr()).unwrap();
+        send_raw_frame(&mut s, &raw_post_body(op::POST_PIPE, 2, false)); // frame 0
+        send_raw_frame(&mut s, &raw_post_body(op::POST_PIPE, 2, false)); // frame 1
+        send_raw_frame(&mut s, &raw_post_body(op::POST_PIPE, 2, true)); // frame 2: malformed
+        send_raw_frame(&mut s, &raw_post_body(op::POST_PIPE, 2, false)); // buffered behind the error
+        send_raw_frame(&mut s, &[op::POST_SYNC]);
+        let resp = read_raw_frame(&mut s);
+        assert_eq!(resp.first(), Some(&op::RESP_ERR));
+        let mut cur = WireCursor::new(&resp[1..]);
+        let msg = cur.str().unwrap().to_string();
+        assert!(msg.contains("pipelined frame 2"), "error must name the frame: {msg}");
+        // The connection is closed: the next read sees EOF, not a
+        // response to the sync.
+        let mut probe = [0u8; 1];
+        assert_eq!(s.read(&mut probe).unwrap(), 0);
+        // Frames 0 and 1 landed; frame 2 and the buffered frame 3 did
+        // not — no silent divergence.
+        let t = TcpTransport::<u64>::connect(handle.addr(), TcpOptions::default()).unwrap();
+        assert_eq!(t.len().unwrap(), 4);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn pipelined_flush_to_dying_server_fails_that_flush() {
+        // Killing the server mid-stream must fail the in-progress
+        // flush (at its sync barrier), not silently succeed.
+        let (mut handle, board) = loopback::<u64>().unwrap();
+        board.post(RoleId::new("c", 0), 1, "x", 1, 8).unwrap();
+        handle.shutdown();
+        let phase: Arc<str> = Arc::from("x");
+        let err = board.post_record_stream(u64_records(10, &phase)).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("closed") || msg.contains("error") || msg.contains("pipe"),
+            "unexpected error shape: {msg}"
+        );
+    }
+
+    #[test]
+    fn frame_at_exactly_the_server_cap_is_accepted_and_one_over_rejected() {
+        // The 64MiB cap is inclusive: a frame of exactly MAX_FRAME
+        // bytes must be appended, one byte more must draw the named
+        // RESP_ERR. Build the exact-size frame around one huge record.
+        let server = BoardServer::bind(SocketAddr::from(([127, 0, 0, 1], 0))).unwrap();
+        let mut handle = server.spawn().unwrap();
+        // Fixed per-record overhead for committee "c", phase "x":
+        // opcode 1 + count 4 + header (4+1 + 8 + 4+1 + 8 + 8) + payload prefix 4.
+        let overhead = 1 + 4 + (4 + 1 + 8 + 4 + 1 + 8 + 8) + 4;
+        let payload_len = MAX_FRAME - overhead;
+        let mut body = vec![op::POST_BATCH];
+        put_u32(&mut body, 1);
+        put_str(&mut body, "c").unwrap();
+        put_u64(&mut body, 0);
+        put_str(&mut body, "x").unwrap();
+        put_u64(&mut body, 1);
+        put_u64(&mut body, payload_len as u64);
+        put_bytes(&mut body, &vec![0xA5u8; payload_len]).unwrap();
+        assert_eq!(body.len(), MAX_FRAME);
+        let mut s = TcpStream::connect(handle.addr()).unwrap();
+        send_raw_frame(&mut s, &body);
+        let resp = read_raw_frame(&mut s);
+        assert_eq!(resp.first(), Some(&op::RESP_OK));
+        // One byte over: only the length prefix needs to lie.
+        let mut s2 = TcpStream::connect(handle.addr()).unwrap();
+        s2.write_all(&u32::try_from(MAX_FRAME + 1).unwrap().to_le_bytes()).unwrap();
+        s2.flush().unwrap();
+        let resp2 = read_raw_frame(&mut s2);
+        assert_eq!(resp2.first(), Some(&op::RESP_ERR));
+        let mut cur = WireCursor::new(&resp2[1..]);
+        assert!(cur.str().unwrap().contains("exceeds cap"));
+        let t = TcpTransport::<u64>::connect(handle.addr(), TcpOptions::default()).unwrap();
+        assert_eq!(t.len().unwrap(), 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn reads_interleaved_with_unacked_pipelined_frames_are_rejected() {
+        // The pipelined-run discipline: a client must sync before
+        // issuing any other request, otherwise the server closes the
+        // connection with a named error.
+        let server = BoardServer::bind(SocketAddr::from(([127, 0, 0, 1], 0))).unwrap();
+        let mut handle = server.spawn().unwrap();
+        let mut s = TcpStream::connect(handle.addr()).unwrap();
+        send_raw_frame(&mut s, &raw_post_body(op::POST_PIPE, 1, false));
+        send_raw_frame(&mut s, &[op::GET_LEN]);
+        let resp = read_raw_frame(&mut s);
+        assert_eq!(resp.first(), Some(&op::RESP_ERR));
+        let mut cur = WireCursor::new(&resp[1..]);
+        assert!(cur.str().unwrap().contains("unacknowledged"));
+        let mut probe = [0u8; 1];
+        assert_eq!(s.read(&mut probe).unwrap(), 0);
         handle.shutdown();
     }
 }
