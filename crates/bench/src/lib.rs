@@ -19,6 +19,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod scale;
+
 use rand::SeedableRng;
 
 use yoso_circuit::{generators, Circuit};

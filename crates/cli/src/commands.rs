@@ -331,17 +331,25 @@ pub fn board_stats(opts: &Opts) -> Result<(), String> {
     )?;
     let board: BulletinBoard<Post> =
         BulletinBoard::connect_tcp(addr).map_err(|e| e.to_string())?;
-    let postings = board.postings().map_err(|e| e.to_string())?;
     let rounds = board.round().map_err(|e| e.to_string())?;
 
+    // One round at a time via the per-round index, so the auditor's
+    // memory stays bounded by the largest round instead of the whole
+    // posting history (a paper-scale log dwarfs this process).
     let mut by_phase = std::collections::BTreeMap::<String, (u64, u64, u64)>::new();
-    for p in &postings {
-        let e = by_phase.entry(p.phase.to_string()).or_default();
-        e.0 += p.elements;
-        e.1 += p.bytes;
-        e.2 += 1;
+    let mut posting_count = 0u64;
+    for r in 0..=rounds {
+        board
+            .for_each_in_round(r, |p| {
+                let e = by_phase.entry(p.phase.to_string()).or_default();
+                e.0 += p.elements;
+                e.1 += p.bytes;
+                e.2 += 1;
+                posting_count += 1;
+            })
+            .map_err(|e| e.to_string())?;
     }
-    println!("board {addr}: {} postings over {rounds} round(s)\n", postings.len());
+    println!("board {addr}: {posting_count} postings over {rounds} round(s)\n");
     println!("{:<28} {:>12} {:>12} {:>10}", "phase", "elements", "bytes", "messages");
     let mut total = (0u64, 0u64, 0u64);
     for (phase, (elements, bytes, messages)) in &by_phase {
@@ -372,18 +380,52 @@ pub fn board_stats(opts: &Opts) -> Result<(), String> {
     println!("  posting reads        {:>12}", w.reads);
 
     if let Some(path) = opts.get("dump") {
-        let mut out = String::new();
-        for p in &postings {
-            out.push_str(&format!("{}|{}|{}|{:?}\n", p.round, p.from, p.phase, p.message));
+        use std::io::Write as _;
+        // Streamed round by round through a buffered writer — the dump
+        // is never materialized in memory. The line format is load-
+        // bearing: the engine's streaming transcript hash
+        // (`yoso_runtime::PhaseAccumulator`) folds exactly these bytes.
+        let file = std::fs::File::create(path).map_err(|e| format!("--dump {path}: {e}"))?;
+        let mut out = std::io::BufWriter::new(file);
+        let mut lines = 0u64;
+        let mut write_err: Option<std::io::Error> = None;
+        for r in 0..=rounds {
+            board
+                .for_each_in_round(r, |p| {
+                    if write_err.is_some() {
+                        return;
+                    }
+                    match writeln!(out, "{}|{}|{}|{:?}", p.round, p.from, p.phase, p.message) {
+                        Ok(()) => lines += 1,
+                        Err(e) => write_err = Some(e),
+                    }
+                })
+                .map_err(|e| e.to_string())?;
         }
-        std::fs::write(path, out).map_err(|e| format!("--dump {path}: {e}"))?;
-        println!("\nposting log written to {path} ({} lines)", postings.len());
+        if let Some(e) = write_err {
+            return Err(format!("--dump {path}: {e}"));
+        }
+        out.flush().map_err(|e| format!("--dump {path}: {e}"))?;
+        println!("\nposting log written to {path} ({lines} lines)");
     }
 
     if opts.contains_key("shutdown") {
         stats_conn.shutdown_server().map_err(|e| e.to_string())?;
         println!("\nserver shut down");
     }
+    Ok(())
+}
+
+/// `yoso bench-scale` — the Table-1-scale allocation/RSS profile
+/// (tentpole of the paper-scale hot-path work, DESIGN §12). Runs the
+/// end-to-end protocol streaming-vs-materialized at each committee
+/// size and writes `BENCH_scale.json`; `--smoke` shrinks the sizes for
+/// CI and skips the allocation-ratio acceptance gate. Build the CLI
+/// with `--features bench-alloc` to include process-wide allocation
+/// counts (otherwise only the hot-path counters are reported).
+pub fn bench_scale(opts: &Opts) -> Result<(), String> {
+    let smoke = opts.contains_key("smoke");
+    yoso_bench::scale::run_scale(smoke);
     Ok(())
 }
 

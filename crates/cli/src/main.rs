@@ -18,6 +18,14 @@ use std::process::ExitCode;
 
 mod commands;
 
+// With `--features bench-alloc` every allocation in this process is
+// counted, so `yoso bench-scale` can report process-wide allocations
+// per gate alongside the hot-path counters. Ordinary builds keep the
+// system allocator unwrapped.
+#[cfg(feature = "bench-alloc")]
+#[global_allocator]
+static GLOBAL: &stats_alloc::StatsAlloc<std::alloc::System> = &stats_alloc::INSTRUMENTED_SYSTEM;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
@@ -37,6 +45,7 @@ fn main() -> ExitCode {
         "board-stats" => commands::board_stats(&opts),
         "plan" => commands::plan(&opts),
         "table1" => commands::table1(),
+        "bench-scale" => commands::bench_scale(&opts),
         "paillier" => commands::paillier(&opts),
         "experiments" => commands::experiments(),
         "help" | "--help" | "-h" => {
@@ -81,6 +90,11 @@ USAGE:
   yoso board-stats [OPTIONS] audit a remote board-server's posting log
   yoso plan [OPTIONS]        committee-size planning (paper §6)
   yoso table1                regenerate the paper's Table 1
+  yoso bench-scale [--smoke] allocation/RSS profile at Table-1 sizes
+                             (writes BENCH_scale.json; --smoke shrinks
+                             the sizes and skips the ratio gates; build
+                             with --features bench-alloc for process-
+                             wide allocation counts)
   yoso paillier [OPTIONS]    threshold-Paillier smoke run
   yoso experiments           quick versions of the headline experiments
   yoso help                  this message

@@ -5,7 +5,8 @@ use rand::Rng;
 
 use yoso_circuit::Circuit;
 use yoso_field::PrimeField;
-use yoso_runtime::{Adversary, BulletinBoard, LeakLog, PhaseStats};
+use yoso_pss_sharing::ScratchPool;
+use yoso_runtime::{Adversary, BulletinBoard, LeakLog, PhaseAccumulator, PhaseStats};
 
 use crate::messages::Post;
 use crate::offline::run_offline_in;
@@ -112,6 +113,18 @@ pub struct ExecutionConfig {
     /// members' posts to the shared board. The interleaved transcript
     /// across workers is byte-identical to a solo run.
     pub partition: RolePartition,
+    /// Stream the transcript instead of materializing it (default
+    /// off). When set, per-phase statistics and a 64-bit transcript
+    /// hash are folded incrementally from sealed board rounds at stage
+    /// boundaries ([`yoso_runtime::PhaseAccumulator`]), consumed
+    /// rounds are dropped under a retention watermark (solo runs
+    /// only — a shared board is never truncated under other workers),
+    /// and the packed-sharing scratch buffers are pooled and reused
+    /// across share/reconstruct calls. Requires `audit_board`: a
+    /// metering-only board stores nothing to stream. Never affects
+    /// the transcript — outputs and postings are byte-identical with
+    /// the flag on or off.
+    pub streaming: bool,
 }
 
 impl Default for ExecutionConfig {
@@ -124,6 +137,7 @@ impl Default for ExecutionConfig {
             board: BoardBackend::InProcess,
             board_window: 0,
             partition: RolePartition::solo(),
+            streaming: false,
         }
     }
 }
@@ -161,6 +175,15 @@ impl ExecutionConfig {
     /// default, `1` = strict lockstep).
     pub fn with_board_window(mut self, window: usize) -> Self {
         self.board_window = window;
+        self
+    }
+
+    /// Enables streaming transcript consumption: incremental phase
+    /// stats and transcript hashing, bounded board retention (solo
+    /// runs), and pooled share-buffer arenas. Implies `audit_board`.
+    pub fn with_streaming(mut self) -> Self {
+        self.streaming = true;
+        self.audit_board = true;
         self
     }
 
@@ -229,6 +252,11 @@ pub struct RunResult<F: PrimeField> {
     /// never feeds the transcript; workers use it to report where a
     /// run's time went (compute vs board round trips).
     pub stage_wall_secs: Vec<(&'static str, f64)>,
+    /// FNV-1a 64 hash of every transcript line, in posting order
+    /// (`Some` only for streaming runs). Two runs with equal hashes
+    /// produced byte-identical transcripts; the bench harness uses it
+    /// to pin the streaming path to the materialized one.
+    pub transcript_hash: Option<u64>,
 }
 
 impl<F: PrimeField> RunResult<F> {
@@ -315,6 +343,13 @@ impl Engine {
         board: &BulletinBoard<Post>,
     ) -> Result<RunResult<F>, ProtocolError> {
         let partition = self.config.partition;
+        if self.config.streaming && !self.config.audit_board {
+            return Err(ProtocolError::BadParameters(
+                "streaming execution needs audit_board: a metering-only board stores no \
+                 postings to stream"
+                    .into(),
+            ));
+        }
         if !partition.is_solo() {
             if !self.config.audit_board {
                 return Err(ProtocolError::BadParameters(
@@ -335,6 +370,22 @@ impl Engine {
         let sb = ShardedBoard::new(board, partition)?;
         let bc = circuit.batched(self.params.k);
         let leak = LeakLog::new();
+        // Streaming: a scratch-buffer pool for the pss hot path (a
+        // fresh buffer per call when off — the legacy allocation
+        // profile), plus an accumulator folding sealed rounds into
+        // phase stats and the transcript hash at stage boundaries.
+        // Solo runs additionally drop consumed rounds behind the
+        // retention watermark; a shared board is left intact (other
+        // workers drain at their own pace).
+        let pool = ScratchPool::new(self.config.streaming);
+        let mut acc = if self.config.streaming { Some(PhaseAccumulator::new()) } else { None };
+        let drain = |acc: &mut PhaseAccumulator| -> Result<(), ProtocolError> {
+            acc.drain_sealed(board)?;
+            if partition.is_solo() {
+                board.retain_rounds_from(acc.next_round())?;
+            }
+            Ok(())
+        };
         // Stage timing is diagnostics only (worker wall-clock reports);
         // nothing derived from these clocks reaches the board.
         let mut stage_wall_secs: Vec<(&'static str, f64)> = Vec::new();
@@ -351,6 +402,9 @@ impl Engine {
             circuit.clients(),
         )?;
         note_stage("setup", &mut stage_start);
+        if let Some(a) = acc.as_mut() {
+            drain(a)?;
+        }
         if self.config.dealerless_setup {
             // Replace the dealer's key with a DKG among the first
             // committee, then re-encrypt the KFF secrets under it.
@@ -368,11 +422,17 @@ impl Engine {
             )?;
             setup = rekey_setup_in(rng, &self.params, &sb, setup, chain)?;
             note_stage("dkg", &mut stage_start);
+            if let Some(a) = acc.as_mut() {
+                drain(a)?;
+            }
         }
         setup.tsk.set_leak_log(leak.clone());
         let offline =
-            run_offline_in(rng, &self.params, &sb, adversary, &self.config, &bc, &setup)?;
+            run_offline_in(rng, &self.params, &sb, adversary, &self.config, &bc, &setup, &pool)?;
         note_stage("offline", &mut stage_start);
+        if let Some(a) = acc.as_mut() {
+            drain(a)?;
+        }
         let online = run_online_in(
             rng,
             &self.params,
@@ -384,16 +444,27 @@ impl Engine {
             offline,
             inputs,
             &leak,
+            &pool,
         )?;
         note_stage("online", &mut stage_start);
         sb.finish()?;
         // A sharded worker's own meter saw only the posts it appended;
         // rebuild the per-phase statistics from the shared transcript
-        // so every worker reports the full run.
-        let phases = if partition.is_solo() {
-            board.meter().phases()
-        } else {
-            yoso_runtime::phases_from_postings(&board.postings()?)
+        // so every worker reports the full run. A streaming run has
+        // folded every sealed round already — absorb the final open
+        // round and report from the accumulator (identical stats,
+        // no materialization).
+        let transcript_hash = match acc.as_mut() {
+            Some(a) => {
+                a.finish(board)?;
+                Some(a.transcript_hash())
+            }
+            None => None,
+        };
+        let phases = match &acc {
+            Some(a) => a.phases(),
+            None if partition.is_solo() => board.meter().phases(),
+            None => yoso_runtime::phases_from_postings(&board.postings()?),
         };
         Ok(RunResult {
             outputs: online.outputs,
@@ -404,6 +475,7 @@ impl Engine {
             rounds: board.round()?,
             leaks: leak,
             stage_wall_secs,
+            transcript_hash,
         })
     }
 }
@@ -551,5 +623,51 @@ mod tests {
         assert_eq!(full.outputs, sweep.outputs);
         assert_eq!(full.elements("online"), sweep.elements("online"));
         assert_eq!(full.elements("offline"), sweep.elements("offline"));
+    }
+
+    #[test]
+    fn streaming_run_matches_materialized_transcript() {
+        // The streaming driver (incremental phase folding, retention
+        // watermark, pooled scratch) must be invisible in the
+        // transcript: byte-identical postings, identical phase stats,
+        // identical outputs.
+        let circuit = generators::inner_product::<F61>(6).unwrap();
+        let x: Vec<F61> = (1..=6u64).map(f).collect();
+        let y: Vec<F61> = (7..=12u64).map(f).collect();
+        let params = ProtocolParams::new(12, 1, 3).unwrap();
+
+        let mut r1 = rng(21);
+        let full_board: BulletinBoard<Post> = BulletinBoard::new();
+        let full = Engine::new(params, ExecutionConfig::default())
+            .run_with_board(&mut r1, &circuit, &[x.clone(), y.clone()], &Adversary::none(), &full_board)
+            .unwrap();
+        // Hash the materialized transcript post-hoc with the same
+        // accumulator the streaming engine folds incrementally.
+        let mut reference = PhaseAccumulator::new();
+        reference.finish(&full_board).unwrap();
+
+        let mut r2 = rng(21);
+        let streaming = Engine::new(params, ExecutionConfig::default().with_streaming())
+            .run(&mut r2, &circuit, &[x, y], &Adversary::none())
+            .unwrap();
+
+        assert_eq!(full.outputs, streaming.outputs);
+        assert_eq!(full.mu, streaming.mu);
+        assert_eq!(full.rounds, streaming.rounds);
+        assert_eq!(full.phases, streaming.phases);
+        assert_eq!(full.transcript_hash, None);
+        assert_eq!(streaming.transcript_hash, Some(reference.transcript_hash()));
+    }
+
+    #[test]
+    fn streaming_requires_audit_board() {
+        let circuit = generators::inner_product::<F61>(2).unwrap();
+        let params = ProtocolParams::new(8, 1, 2).unwrap();
+        let mut cfg = ExecutionConfig::sweep();
+        cfg.streaming = true; // bypass with_streaming's audit implication
+        let err = Engine::new(params, cfg)
+            .run(&mut rng(3), &circuit, &[vec![f(1), f(2)], vec![f(3), f(4)]], &Adversary::none())
+            .unwrap_err();
+        assert!(matches!(err, ProtocolError::BadParameters(_)));
     }
 }

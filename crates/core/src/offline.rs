@@ -34,8 +34,8 @@ use std::collections::BTreeMap;
 use rand::{Rng, SeedableRng};
 
 use yoso_circuit::{BatchedCircuit, Gate, MulBatch};
-use yoso_field::PrimeField;
-use yoso_pss_sharing::PackedSharing;
+use yoso_field::{allocstats, PrimeField};
+use yoso_pss_sharing::{PackedSharing, ScratchPool};
 use yoso_runtime::{Adversary, Behavior, BulletinBoard, Committee};
 use yoso_the::mock::{Ciphertext, MockTe, PkePublicKey};
 use yoso_the::nizk::{self, enc_proof, verify_enc_proof, EncProof};
@@ -74,10 +74,37 @@ pub struct OfflineArtifacts<F: PrimeField> {
     pub tsk: TskChain<F>,
 }
 
-/// A committee member's encrypted random contribution (Steps 1, 2, 4).
-struct Contribution<F: PrimeField> {
-    ct: Ciphertext<F>,
-    valid: bool,
+/// Reusable buffers for [`summed_contribution_into`]. The offline
+/// phase calls it once per maskable wire (Step 2) and `3t` times per
+/// batch (Step 4 helpers), each call collecting up to `n` ciphertexts
+/// — fresh per-call vectors are an allocation cliff at Table-1
+/// committee sizes. In arena mode (`reuse`) the buffers persist
+/// across calls; otherwise every call re-grows them from empty (the
+/// legacy profile the allocation bench compares against).
+struct ContribBufs<F: PrimeField> {
+    valid: Vec<Ciphertext<F>>,
+    ones: Vec<F>,
+    reuse: bool,
+}
+
+impl<F: PrimeField> ContribBufs<F> {
+    fn new(reuse: bool) -> Self {
+        ContribBufs { valid: Vec::new(), ones: Vec::new(), reuse }
+    }
+
+    /// Prepares the buffers for one call, dropping capacity first in
+    /// the fresh-buffer (non-arena) mode.
+    fn reset(&mut self, capacity: usize) {
+        if !self.reuse {
+            self.valid = Vec::new();
+            self.ones = Vec::new();
+        }
+        self.valid.clear();
+        if self.valid.capacity() < capacity {
+            allocstats::bump();
+            self.valid.reserve(capacity);
+        }
+    }
 }
 
 /// Collects one encrypted-randomness contribution per participating
@@ -98,6 +125,7 @@ struct Contribution<F: PrimeField> {
 /// precede the proof draws inside the child stream. Non-owned members'
 /// validity is behavior-predicted (honest ⇒ valid, malicious ⇒
 /// invalid), exactly the [`ExecutionConfig::sweep`] semantics.
+#[allow(clippy::too_many_arguments)]
 fn summed_contribution_into<F: PrimeField, R: Rng + ?Sized>(
     rng: &mut R,
     posts: &mut PostBuffer,
@@ -106,8 +134,9 @@ fn summed_contribution_into<F: PrimeField, R: Rng + ?Sized>(
     tpk: &yoso_the::mock::PublicKey<F>,
     phase: &'static str,
     step: ContributionStep,
+    bufs: &mut ContribBufs<F>,
 ) -> Result<Ciphertext<F>, ProtocolError> {
-    let mut contributions: Vec<Contribution<F>> = Vec::new();
+    bufs.reset(committee.n());
     for i in 0..committee.n() {
         let behavior = committee.behavior(i);
         if !behavior.participates_at(crate::engine::phase_index(phase)) {
@@ -147,22 +176,23 @@ fn summed_contribution_into<F: PrimeField, R: Rng + ?Sized>(
             phase,
             CT_ELEMENTS + ENC_PROOF_ELEMENTS,
         );
-        contributions.push(Contribution { ct, valid });
+        if valid {
+            bufs.valid.push(ct);
+        }
     }
-    let valid: Vec<Ciphertext<F>> =
-        contributions.into_iter().filter(|c| c.valid).map(|c| c.ct).collect();
-    if valid.is_empty() {
+    if bufs.valid.is_empty() {
         return Err(ProtocolError::NotEnoughContributions {
             step: "summed contribution",
             got: 0,
             need: 1,
         });
     }
-    let ones = vec![F::ONE; valid.len()];
-    Ok(MockTe::eval(&valid, &ones)?)
+    allocstats::ensure_filled(&mut bufs.ones, bufs.valid.len(), F::ONE);
+    Ok(MockTe::eval(&bufs.valid, &bufs.ones)?)
 }
 
 /// [`summed_contribution_into`] posting through the sharded board.
+#[allow(clippy::too_many_arguments)]
 fn summed_contribution<F: PrimeField, R: Rng + ?Sized>(
     rng: &mut R,
     sb: &ShardedBoard<'_>,
@@ -171,9 +201,11 @@ fn summed_contribution<F: PrimeField, R: Rng + ?Sized>(
     tpk: &yoso_the::mock::PublicKey<F>,
     phase: &'static str,
     step: ContributionStep,
+    bufs: &mut ContribBufs<F>,
 ) -> Result<Ciphertext<F>, ProtocolError> {
     let mut posts = PostBuffer::new();
-    let result = summed_contribution_into(rng, &mut posts, committee, cfg, tpk, phase, step);
+    let result =
+        summed_contribution_into(rng, &mut posts, committee, cfg, tpk, phase, step, bufs);
     sb.flush_buffer(posts)?;
     result
 }
@@ -199,14 +231,25 @@ fn one_triple<F: PrimeField, R: Rng + ?Sized>(
     tpk: &yoso_the::mock::PublicKey<F>,
     phase: &'static str,
 ) -> Result<EncryptedTriple<F>, ProtocolError> {
-    // a-side contributions from C1.
-    let c_a = summed_contribution_into(rng, posts, c1, cfg, tpk, phase, ContributionStep::Beaver)?;
+    // a-side contributions from C1. Triples are produced in parallel
+    // (one child RNG each), so the buffers stay per-call here.
+    let mut bufs = ContribBufs::new(false);
+    let c_a = summed_contribution_into(
+        rng,
+        posts,
+        c1,
+        cfg,
+        tpk,
+        phase,
+        ContributionStep::Beaver,
+        &mut bufs,
+    )?;
 
     // b-side: each C2 member posts (c_b_i, c_c_i = b_i·c^a) with a
     // proof of the joint relation. Per-member child RNGs keep the
     // value draws identical when a sharded worker skips proof work
     // for members it does not own.
-    let mut b_parts: Vec<Contribution<F>> = Vec::new();
+    let mut b_parts: Vec<Ciphertext<F>> = Vec::new();
     let mut c_parts: Vec<Ciphertext<F>> = Vec::new();
     for i in 0..c2.n() {
         let behavior = c2.behavior(i);
@@ -255,7 +298,7 @@ fn one_triple<F: PrimeField, R: Rng + ?Sized>(
             elements,
         );
         if valid {
-            b_parts.push(Contribution { ct: cb, valid: true });
+            b_parts.push(cb);
             c_parts.push(cc);
         }
     }
@@ -267,7 +310,7 @@ fn one_triple<F: PrimeField, R: Rng + ?Sized>(
         });
     }
     let ones = vec![F::ONE; b_parts.len()];
-    let c_b = MockTe::eval(&b_parts.iter().map(|c| c.ct).collect::<Vec<_>>(), &ones)?;
+    let c_b = MockTe::eval(&b_parts, &ones)?;
     let c_c = MockTe::eval(&c_parts, &ones)?;
     Ok(EncryptedTriple { a: c_a, b: c_b, c: c_c })
 }
@@ -415,13 +458,14 @@ pub fn run_offline<F: PrimeField, R: Rng + ?Sized>(
     setup: &SetupArtifacts<F>,
 ) -> Result<OfflineArtifacts<F>, ProtocolError> {
     let sb = ShardedBoard::new(board, cfg.partition)?;
-    run_offline_in(rng, params, &sb, adversary, cfg, bc, setup)
+    let pool = ScratchPool::new(cfg.streaming);
+    run_offline_in(rng, params, &sb, adversary, cfg, bc, setup, &pool)
 }
 
 /// [`run_offline`] posting through an existing sharded board (the
 /// engine keeps one accounting across setup/offline/online so worker
 /// processes agree on every canonical board position).
-#[allow(clippy::too_many_lines, clippy::needless_range_loop)]
+#[allow(clippy::too_many_lines, clippy::too_many_arguments, clippy::needless_range_loop)]
 pub(crate) fn run_offline_in<F: PrimeField, R: Rng + ?Sized>(
     rng: &mut R,
     params: &crate::ProtocolParams,
@@ -430,9 +474,13 @@ pub(crate) fn run_offline_in<F: PrimeField, R: Rng + ?Sized>(
     cfg: &ExecutionConfig,
     bc: &BatchedCircuit<F>,
     setup: &SetupArtifacts<F>,
+    pool: &ScratchPool<F>,
 ) -> Result<OfflineArtifacts<F>, ProtocolError> {
     let n = params.n;
     let t = params.t;
+    // One contribution arena for the whole phase: Step 2 runs once per
+    // maskable wire, Step 4 `3t` times per batch — all sequential.
+    let mut contrib = ContribBufs::new(pool.reuse());
     let mut tsk = setup.tsk.clone();
     let tpk = tsk.pk.clone();
     let circuit = &bc.circuit;
@@ -468,6 +516,7 @@ pub(crate) fn run_offline_in<F: PrimeField, R: Rng + ?Sized>(
                 &tpk,
                 phase2,
                 ContributionStep::WireRandom,
+                &mut contrib,
             )?;
         }
     }
@@ -578,6 +627,7 @@ pub(crate) fn run_offline_in<F: PrimeField, R: Rng + ?Sized>(
                     &tpk,
                     phase4,
                     ContributionStep::PackHelper,
+                    &mut contrib,
                 )?);
             }
             pack_ciphertexts(scheme, t, &wires_cts, &helpers)

@@ -32,7 +32,7 @@ use rand::{Rng, SeedableRng};
 
 use yoso_circuit::{BatchedCircuit, Gate};
 use yoso_field::PrimeField;
-use yoso_pss_sharing::{PackedSharing, Share};
+use yoso_pss_sharing::{PackedSharing, ScratchPool, Share};
 use yoso_runtime::{ActiveAttack, Adversary, Behavior, BulletinBoard, LeakLog, RoleId};
 use yoso_the::mock::{LinearPke, PkeKeyPair, PkePublicKey};
 use yoso_the::nizk::{share_proof, verify_share_proof, ShareProof};
@@ -73,7 +73,8 @@ pub fn run_online<F: PrimeField, R: Rng + ?Sized>(
     leak: &LeakLog,
 ) -> Result<OnlineResult<F>, ProtocolError> {
     let sb = crate::workitem::ShardedBoard::new(board, cfg.partition)?;
-    run_online_in(rng, params, &sb, adversary, cfg, bc, setup, offline, inputs, leak)
+    let pool = ScratchPool::new(cfg.streaming);
+    run_online_in(rng, params, &sb, adversary, cfg, bc, setup, offline, inputs, leak, &pool)
 }
 
 /// [`run_online`] posting through an existing sharded board (the
@@ -90,6 +91,7 @@ pub(crate) fn run_online_in<F: PrimeField, R: Rng + ?Sized>(
     offline: OfflineArtifacts<F>,
     inputs: &[Vec<F>],
     leak: &LeakLog,
+    pool: &ScratchPool<F>,
 ) -> Result<OnlineResult<F>, ProtocolError> {
     let n = params.n;
     let circuit = &bc.circuit;
@@ -202,8 +204,13 @@ pub(crate) fn run_online_in<F: PrimeField, R: Rng + ?Sized>(
 
     // One sharing scheme per batch width, shared across layers: the
     // evaluation-domain caches inside `PackedSharing` make repeated
-    // `share_public`/`reconstruct` calls O(n) dot products.
+    // `share_public`/`reconstruct` calls O(n) dot products. The share
+    // buffers below are the per-batch hot path — in arena mode they
+    // keep their capacity across every batch and layer.
     let mut schemes: BTreeMap<usize, PackedSharing<F>> = BTreeMap::new();
+    let mut mu_alpha_vals: Vec<F> = Vec::new();
+    let mut mu_beta_vals: Vec<F> = Vec::new();
+    let mut mu_gamma: Vec<F> = Vec::new();
     for (layer_idx, layer_batches) in batches_by_layer.iter().enumerate() {
         propagate_linear(&mut mu);
         let committee = adversary.sample_committee(rng, format!("on-mult-{layer_idx}"), n);
@@ -236,8 +243,15 @@ pub(crate) fn run_online_in<F: PrimeField, R: Rng + ?Sized>(
                     ))
                 })
                 .collect::<Result<_, _>>()?;
-            let mu_alpha_sh = scheme.share_public(&mu_alpha)?;
-            let mu_beta_sh = scheme.share_public(&mu_beta)?;
+            if !pool.reuse() {
+                // Fresh-buffer mode: re-grow per batch, the legacy
+                // allocation profile the scale bench compares against.
+                mu_alpha_vals = Vec::new();
+                mu_beta_vals = Vec::new();
+                mu_gamma = Vec::new();
+            }
+            scheme.share_public_into(&mu_alpha, &mut mu_alpha_vals)?;
+            scheme.share_public_into(&mu_beta, &mut mu_beta_vals)?;
 
             // Per-member share computation is independent: fan out on
             // child RNGs seeded sequentially (one per member, drawn
@@ -267,8 +281,8 @@ pub(crate) fn run_online_in<F: PrimeField, R: Rng + ?Sized>(
                     let owned = cfg.partition.owns(i);
                     let prove = cfg.produce_proofs && owned;
                     let kff_pk = setup.kff_pairs[layer_idx][i].public;
-                    let ma = mu_alpha_sh.share_of(i).value;
-                    let mb = mu_beta_sh.share_of(i).value;
+                    let ma = mu_alpha_vals[i];
+                    let mb = mu_beta_vals[i];
                     // Public opening coefficients of the three
                     // re-encrypted packed shares (value = a − sk·b).
                     let (a_al, b_al) = shares.alpha[i].opening_coefficients()?;
@@ -354,7 +368,9 @@ pub(crate) fn run_online_in<F: PrimeField, R: Rng + ?Sized>(
                     need: rec_degree + 1,
                 });
             }
-            let mu_gamma = scheme.reconstruct(&posted[..rec_degree + 1], rec_degree)?;
+            pool.with(|scratch| {
+                scheme.reconstruct_into(&posted[..rec_degree + 1], rec_degree, &mut mu_gamma, scratch)
+            })?;
             for (j, gw) in batch.gates.iter().enumerate() {
                 mu[gw.0] = Some(mu_gamma[j]);
             }

@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod allocstats;
 mod domain;
 mod element;
 pub mod lagrange;
@@ -47,7 +48,7 @@ mod smallfp;
 
 pub use domain::EvalDomain;
 pub use element::{F61, PrimeField};
-pub use ntt::NttDomain;
+pub use ntt::{NttDomain, NttScratch};
 pub use poly::Poly;
 pub use smallfp::Fp;
 

@@ -39,7 +39,31 @@
 //! factorisation) is a deterministic function of the field modulus and
 //! the requested size.
 
+use crate::allocstats::ensure_filled;
 use crate::{FieldError, Poly, PrimeField};
+
+/// Reusable working memory for the `*_into` transform entry points.
+///
+/// One scratch serves any domain size: buffers grow to the largest size
+/// seen and are reused (cleared, never shrunk) afterwards, so a loop
+/// dealing thousands of sharings performs no steady-state allocation.
+/// Growth events are recorded in [`crate::allocstats`].
+#[derive(Debug, Default)]
+pub struct NttScratch<F: PrimeField> {
+    /// Zero-padded / staged coefficient input.
+    pad: Vec<F>,
+    /// Coset-scaled input (forward) or raw transform output (inverse).
+    staged: Vec<F>,
+    /// Recursion working buffer of the in-place mixed-radix DFT.
+    work: Vec<F>,
+}
+
+impl<F: PrimeField> NttScratch<F> {
+    /// A fresh, empty scratch (buffers allocate lazily on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Largest prime radix the transform will decompose into. Subgroup
 /// sizes with a prime factor above this bound are rejected as
@@ -229,15 +253,44 @@ impl<F: PrimeField> NttDomain<F> {
     /// Returns [`FieldError::LengthMismatch`] unless
     /// `coeffs.len() == size`.
     pub fn forward(&self, coeffs: &[F]) -> Result<Vec<F>, FieldError> {
+        let mut out = Vec::new();
+        self.forward_into(coeffs, &mut out, &mut NttScratch::new())?;
+        Ok(out)
+    }
+
+    /// [`NttDomain::forward`] into a caller-supplied output buffer,
+    /// reusing `scratch` working memory. Bit-identical results; no
+    /// allocation once the buffers have reached the domain size.
+    ///
+    /// # Errors
+    ///
+    /// As [`NttDomain::forward`].
+    pub fn forward_into(
+        &self,
+        coeffs: &[F],
+        out: &mut Vec<F>,
+        scratch: &mut NttScratch<F>,
+    ) -> Result<(), FieldError> {
         if coeffs.len() != self.size {
             return Err(FieldError::LengthMismatch { xs: self.size, ys: coeffs.len() });
         }
+        let NttScratch { staged, work, .. } = scratch;
+        self.forward_impl(coeffs, out, staged, work);
+        Ok(())
+    }
+
+    /// Length-checked transform core shared by the forward entry
+    /// points: `staged` holds the coset-scaled input when needed,
+    /// `work` is the recursion buffer.
+    fn forward_impl(&self, coeffs: &[F], out: &mut Vec<F>, staged: &mut Vec<F>, work: &mut Vec<F>) {
+        ensure_filled(out, self.size, F::ZERO);
+        ensure_filled(work, self.size, F::ZERO);
         // Coset evaluation: f(shift·ω^j) = Σ (a_i·shift^i)·ω^{ij}.
         if self.shift == F::ONE {
-            Ok(dft(coeffs, 0, 1, &self.radices, 1, &self.powers))
+            dft_into(coeffs, 0, 1, &self.radices, 1, &self.powers, out, work);
         } else {
-            let scaled = scale_by_powers(coeffs, self.shift, F::ONE);
-            Ok(dft(&scaled, 0, 1, &self.radices, 1, &self.powers))
+            scale_by_powers_into(coeffs, self.shift, F::ONE, staged);
+            dft_into(staged, 0, 1, &self.radices, 1, &self.powers, out, work);
         }
     }
 
@@ -249,12 +302,32 @@ impl<F: PrimeField> NttDomain<F> {
     /// Returns [`FieldError::LengthMismatch`] if more than `size`
     /// coefficients are supplied.
     pub fn evaluate(&self, coeffs: &[F]) -> Result<Vec<F>, FieldError> {
+        let mut out = Vec::new();
+        self.evaluate_into(coeffs, &mut out, &mut NttScratch::new())?;
+        Ok(out)
+    }
+
+    /// [`NttDomain::evaluate`] into a caller-supplied output buffer,
+    /// reusing `scratch` working memory (the zero padding is staged in
+    /// the scratch, not a fresh `Vec`).
+    ///
+    /// # Errors
+    ///
+    /// As [`NttDomain::evaluate`].
+    pub fn evaluate_into(
+        &self,
+        coeffs: &[F],
+        out: &mut Vec<F>,
+        scratch: &mut NttScratch<F>,
+    ) -> Result<(), FieldError> {
         if coeffs.len() > self.size {
             return Err(FieldError::LengthMismatch { xs: self.size, ys: coeffs.len() });
         }
-        let mut padded = coeffs.to_vec();
-        padded.resize(self.size, F::ZERO);
-        self.forward(&padded)
+        let NttScratch { pad, staged, work } = scratch;
+        ensure_filled(pad, self.size, F::ZERO);
+        pad[..coeffs.len()].copy_from_slice(coeffs);
+        self.forward_impl(pad, out, staged, work);
+        Ok(())
     }
 
     /// Inverse transform: recovers the full coefficient vector (length
@@ -266,13 +339,34 @@ impl<F: PrimeField> NttDomain<F> {
     /// Returns [`FieldError::LengthMismatch`] unless
     /// `evals.len() == size`.
     pub fn inverse(&self, evals: &[F]) -> Result<Vec<F>, FieldError> {
+        let mut out = Vec::new();
+        self.inverse_into(evals, &mut out, &mut NttScratch::new())?;
+        Ok(out)
+    }
+
+    /// [`NttDomain::inverse`] into a caller-supplied output buffer,
+    /// reusing `scratch` working memory.
+    ///
+    /// # Errors
+    ///
+    /// As [`NttDomain::inverse`].
+    pub fn inverse_into(
+        &self,
+        evals: &[F],
+        out: &mut Vec<F>,
+        scratch: &mut NttScratch<F>,
+    ) -> Result<(), FieldError> {
         if evals.len() != self.size {
             return Err(FieldError::LengthMismatch { xs: self.size, ys: evals.len() });
         }
-        let raw = dft(evals, 0, 1, &self.radices, 1, &self.inv_powers);
+        let NttScratch { staged, work, .. } = scratch;
+        ensure_filled(staged, self.size, F::ZERO);
+        ensure_filled(work, self.size, F::ZERO);
+        dft_into(evals, 0, 1, &self.radices, 1, &self.inv_powers, staged, work);
         // Undo the transform scale (1/N) and the coset scale
         // (shift^{−i} on coefficient i) in one pass.
-        Ok(scale_by_powers(&raw, self.shift_inv, self.size_inv))
+        scale_by_powers_into(staged, self.shift_inv, self.size_inv, out);
+        Ok(())
     }
 
     /// Interpolates the unique polynomial of degree `< size` through
@@ -397,46 +491,62 @@ fn field_generator<F: PrimeField>() -> Result<F, FieldError> {
     Err(FieldError::UnsupportedDomainSize { size: 0 })
 }
 
-/// `values[i] · first · base^i`, in one pass.
-fn scale_by_powers<F: PrimeField>(values: &[F], base: F, first: F) -> Vec<F> {
+/// `out[i] = values[i] · first · base^i`, in one pass, reusing `out`'s
+/// backing allocation.
+fn scale_by_powers_into<F: PrimeField>(values: &[F], base: F, first: F, out: &mut Vec<F>) {
+    ensure_filled(out, values.len(), F::ZERO);
     let mut s = first;
-    values
-        .iter()
-        .map(|&v| {
-            let out = v * s;
-            s *= base;
-            out
-        })
-        .collect()
+    for (o, &v) in out.iter_mut().zip(values) {
+        *o = v * s;
+        s *= base;
+    }
 }
 
-/// Recursive mixed-radix decimation-in-time DFT.
+/// Recursive mixed-radix decimation-in-time DFT into caller buffers.
 ///
 /// Transforms the `n_cur = Π radices` coefficients
 /// `input[offset + i·stride]` with the root `ω_cur = table[tstep]`
 /// (where `table[i]` is the `i`-th power of the full domain's root and
-/// `n_cur · tstep = table.len()`), returning the `n_cur` evaluations in
-/// exponent order. For `n_cur = r·m` it splits into `r` stride-`r`
-/// subsequences: `A(ω^j) = Σ_t ω^{jt} · B_t[j mod m]` with `B_t` the
-/// order-`m` sub-DFT of subsequence `t`.
-fn dft<F: PrimeField>(
+/// `n_cur · tstep = table.len()`), writing the `n_cur` evaluations in
+/// exponent order to `out[..n_cur]`. For `n_cur = r·m` it splits into
+/// `r` stride-`r` subsequences: `A(ω^j) = Σ_t ω^{jt} · B_t[j mod m]`
+/// with `B_t` the order-`m` sub-DFT of subsequence `t`.
+///
+/// `work[..n_cur]` is the recursion buffer: sub-DFT `t` lands in
+/// `work[t·m .. (t+1)·m]`, and each child borrows the matching chunk of
+/// `out` as its own working space (the chunks are disjoint, so the
+/// whole recursion performs no allocation — the old shape allocated a
+/// `Vec` per sub-transform per level, `O(N log N)` transient bytes).
+#[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+fn dft_into<F: PrimeField>(
     input: &[F],
     offset: usize,
     stride: usize,
     radices: &[usize],
     tstep: usize,
     table: &[F],
-) -> Vec<F> {
+    out: &mut [F],
+    work: &mut [F],
+) {
     let Some((&r, rest)) = radices.split_first() else {
-        return vec![input[offset]];
+        out[0] = input[offset];
+        return;
     };
     let m: usize = rest.iter().product();
     let n_cur = r * m;
     let size = table.len();
-    let subs: Vec<Vec<F>> = (0..r)
-        .map(|t| dft(input, offset + t * stride, stride * r, rest, tstep * r, table))
-        .collect();
-    let mut out = Vec::with_capacity(n_cur);
+    for t in 0..r {
+        dft_into(
+            input,
+            offset + t * stride,
+            stride * r,
+            rest,
+            tstep * r,
+            table,
+            &mut work[t * m..(t + 1) * m],
+            &mut out[t * m..(t + 1) * m],
+        );
+    }
     for j in 0..n_cur {
         let jm = j % m;
         // Twiddle index step (tstep·j) mod size, widened to avoid
@@ -444,16 +554,15 @@ fn dft<F: PrimeField>(
         let step = ((tstep as u128 * j as u128) % size as u128) as usize;
         let mut idx = 0usize;
         let mut acc = F::ZERO;
-        for sub in &subs {
-            acc += table[idx] * sub[jm];
+        for t in 0..r {
+            acc += table[idx] * work[t * m + jm];
             idx += step;
             if idx >= size {
                 idx -= size;
             }
         }
-        out.push(acc);
+        out[j] = acc;
     }
-    out
 }
 
 #[cfg(test)]

@@ -43,12 +43,13 @@
 pub mod shamir;
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use yoso_field::ntt::{self, NttDomain};
+use yoso_field::allocstats::ensure_filled;
+use yoso_field::ntt::{self, NttDomain, NttScratch};
 use yoso_field::{EvalDomain, FieldError, Poly, PrimeField};
 
 /// Errors produced by sharing operations.
@@ -292,7 +293,77 @@ pub struct PackedSharing<F: PrimeField> {
 }
 
 /// Reconstruction-domain cache: ordered party subset → shared domain.
-type ReconDomainCache<F> = Arc<RwLock<HashMap<Vec<usize>, ReconDomain<F>>>>;
+type ReconDomainCache<F> = Arc<RwLock<ReconCache<F>>>;
+
+/// Maximum number of reconstruction domains retained per scheme.
+///
+/// Each entry pins an [`EvalDomain`] (or transform domain) whose
+/// memoised recombination rows are `O(m)` field elements each, so an
+/// unbounded map grows without limit across long epoch chains whose
+/// crash patterns keep producing fresh party subsets. The protocol
+/// cycles through only a handful of subsets per epoch, so a small
+/// bound keeps the working set hot while capping memory.
+const RECON_CACHE_CAP: usize = 64;
+
+/// Bounded reconstruction-domain cache.
+///
+/// `BTreeMap`-backed so iteration order is deterministic (keyed by the
+/// ordered party subset), with FIFO eviction by insertion stamp once
+/// [`RECON_CACHE_CAP`] entries are held: the cache can never grow
+/// without bound, and which entry is evicted never depends on hash
+/// seeds or timing.
+#[derive(Debug, Default)]
+struct ReconCache<F: PrimeField> {
+    entries: BTreeMap<Vec<usize>, (u64, ReconDomain<F>)>,
+    next_stamp: u64,
+}
+
+impl<F: PrimeField> ReconCache<F> {
+    fn get(&self, parties: &[usize]) -> Option<&ReconDomain<F>> {
+        self.entries.get(parties).map(|(_, domain)| domain)
+    }
+
+    /// Inserts `domain` under `parties`, evicting the oldest entries
+    /// when full. Returns the cached domain — an entry raced in by
+    /// another writer wins, matching `entry().or_insert()` semantics.
+    fn insert(&mut self, parties: Vec<usize>, domain: ReconDomain<F>) -> ReconDomain<F> {
+        if let Some((_, hit)) = self.entries.get(&parties) {
+            return hit.clone();
+        }
+        self.evict_to_cap();
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        self.entries.insert(parties, (stamp, domain.clone()));
+        domain
+    }
+
+    /// Inserts or replaces the entry under `parties` (used when a
+    /// Lagrange domain must supersede a cached transform domain).
+    fn replace(&mut self, parties: Vec<usize>, domain: ReconDomain<F>) {
+        if self.entries.remove(&parties).is_none() {
+            self.evict_to_cap();
+        }
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        self.entries.insert(parties, (stamp, domain));
+    }
+
+    fn evict_to_cap(&mut self) {
+        while self.entries.len() >= RECON_CACHE_CAP {
+            let oldest = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(key, _)| key.clone());
+            match oldest {
+                Some(key) => {
+                    self.entries.remove(&key);
+                }
+                None => return,
+            }
+        }
+    }
+}
 
 /// A cached reconstruction domain: the general Lagrange machinery, or
 /// a transform domain when the subset's points form a subgroup coset.
@@ -333,8 +404,114 @@ impl<F: PrimeField> NttPlan<F> {
     }
 }
 
+/// Dealing-node count below which the transform dispatch falls back to
+/// the Lagrange path even when the count lies on the radix chain.
+///
+/// Measured crossover (BENCH_hotpath.json): at 33 nodes the transform
+/// *loses* to the memoised Lagrange recombination rows
+/// (`interp_speedup: 0.57`) because the full-domain forward pass
+/// dominates when the prefix is tiny, while at 143 nodes it wins 6.5×.
+/// Both paths evaluate the same unique polynomial exactly, so the
+/// routing is a pure performance choice with bit-identical outputs.
+pub const NTT_DEAL_CROSSOVER: usize = 64;
+
+/// Reusable working buffers for the `*_into` dealing and
+/// reconstruction entry points ([`PackedSharing::share_into`],
+/// [`PackedSharing::reconstruct_into`], …).
+///
+/// Every buffer grows to its high-water mark on first use and is then
+/// reused verbatim — `yoso_field::allocstats` counts only the growths,
+/// which is what `yoso bench-scale` reports as hot-path allocations. A
+/// scratch may be moved freely between schemes, degrees and
+/// operations; buffers are resized per call.
+#[derive(Debug, Default)]
+pub struct PssScratch<F: PrimeField> {
+    /// Dealing-node values (secrets, then randomness), or the leading
+    /// `degree + 1` share values during reconstruction.
+    ys: Vec<F>,
+    /// Natural-order staging for the transform deal.
+    natural: Vec<F>,
+    /// Interpolated coefficient vector (transform paths).
+    coeffs: Vec<F>,
+    /// Full-domain evaluations (transform deal).
+    evals: Vec<F>,
+    /// Party indices of the reconstructing subset.
+    parties: Vec<usize>,
+    /// Per-party duplicate-detection bitmap.
+    seen: Vec<bool>,
+    /// Transform working memory.
+    ntt: NttScratch<F>,
+}
+
+impl<F: PrimeField> PssScratch<F> {
+    /// An empty scratch; buffers allocate lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// A pool of [`PssScratch`] buffers shared across worker threads.
+///
+/// With `reuse = true` (arena mode) scratches are checked out, used
+/// and returned, so steady-state calls allocate nothing; with
+/// `reuse = false` (legacy mode) every call gets a fresh scratch whose
+/// growths are counted by `yoso_field::allocstats` — the two modes are
+/// the measured comparison in `BENCH_scale.json`. Results are
+/// bit-identical either way: scratch contents never influence outputs,
+/// only where the working memory lives.
+#[derive(Debug)]
+pub struct ScratchPool<F: PrimeField> {
+    pool: Mutex<Vec<PssScratch<F>>>,
+    reuse: bool,
+}
+
+impl<F: PrimeField> ScratchPool<F> {
+    /// Creates a pool; `reuse` selects arena mode (see type docs).
+    pub fn new(reuse: bool) -> Self {
+        ScratchPool { pool: Mutex::new(Vec::new()), reuse }
+    }
+
+    /// Whether the pool recycles scratches (arena mode).
+    pub fn reuse(&self) -> bool {
+        self.reuse
+    }
+
+    /// Runs `f` with a scratch: pooled in arena mode, fresh otherwise.
+    pub fn with<R>(&self, f: impl FnOnce(&mut PssScratch<F>) -> R) -> R {
+        let mut scratch = if self.reuse {
+            self.pool
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .pop()
+                .unwrap_or_default()
+        } else {
+            PssScratch::default()
+        };
+        let out = f(&mut scratch);
+        if self.reuse {
+            self.pool
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(scratch);
+        }
+        out
+    }
+}
+
 fn dot<F: PrimeField>(row: &[F], ys: &[F]) -> F {
     row.iter().zip(ys).map(|(&r, &y)| r * y).sum()
+}
+
+/// Evaluates the polynomial with coefficient vector `coeffs` (constant
+/// term first, trailing zeros allowed) at `x` by Horner's rule — the
+/// same association as [`Poly::eval`], so results are bit-identical
+/// (high-order zero coefficients contribute exactly zero).
+fn horner<F: PrimeField>(coeffs: &[F], x: F) -> F {
+    let mut acc = F::ZERO;
+    for &c in coeffs.iter().rev() {
+        acc = acc * x + c;
+    }
+    acc
 }
 
 fn read_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
@@ -398,7 +575,7 @@ impl<F: PrimeField> PackedSharing<F> {
             secret_points,
             secret_domain,
             share_domains: Arc::new(RwLock::new(HashMap::new())),
-            recon_domains: Arc::new(RwLock::new(HashMap::new())),
+            recon_domains: Arc::new(RwLock::new(ReconCache::default())),
             ntt,
         })
     }
@@ -445,10 +622,7 @@ impl<F: PrimeField> PackedSharing<F> {
         } else {
             ReconDomain::Lagrange(Arc::new(EvalDomain::new(points)?))
         };
-        Ok(write_lock(&self.recon_domains)
-            .entry(parties.to_vec())
-            .or_insert(domain)
-            .clone())
+        Ok(write_lock(&self.recon_domains).insert(parties.to_vec(), domain))
     }
 
     /// A Lagrange reconstruction domain over the subset, for callers
@@ -462,7 +636,7 @@ impl<F: PrimeField> PackedSharing<F> {
         let points: Vec<F> = parties.iter().map(|&i| self.party_points[i]).collect();
         let domain = Arc::new(EvalDomain::new(points)?);
         write_lock(&self.recon_domains)
-            .insert(parties.to_vec(), ReconDomain::Lagrange(Arc::clone(&domain)));
+            .replace(parties.to_vec(), ReconDomain::Lagrange(Arc::clone(&domain)));
         Ok(domain)
     }
 
@@ -533,16 +707,41 @@ impl<F: PrimeField> PackedSharing<F> {
         secrets: &[F],
         degree: usize,
     ) -> Result<PackedShares<F>, PssError> {
+        let mut values = Vec::new();
+        self.share_into(rng, secrets, degree, &mut values, &mut PssScratch::default())?;
+        Ok(PackedShares { degree, values })
+    }
+
+    /// Deals a sharing into caller-provided buffers — the arena variant
+    /// of [`Self::share`]. Share values land in `out` (resized to `n`);
+    /// every intermediate lives in `scratch`, so a caller reusing both
+    /// across gates allocates only on first touch.
+    ///
+    /// Randomness is drawn exactly as in [`Self::share`], so the dealt
+    /// values are bit-identical to the owning variant under the same
+    /// RNG state.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::share`].
+    pub fn share_into<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        secrets: &[F],
+        degree: usize,
+        out: &mut Vec<F>,
+        scratch: &mut PssScratch<F>,
+    ) -> Result<(), PssError> {
         if secrets.len() != self.k {
             return Err(PssError::SecretCountMismatch { got: secrets.len(), expected: self.k });
         }
         self.check_degree(degree)?;
-        let extra = degree + 1 - self.k;
-        let mut ys = secrets.to_vec();
-        for _ in 0..extra {
-            ys.push(F::random(rng));
+        ensure_filled(&mut scratch.ys, degree + 1, F::ZERO);
+        scratch.ys[..self.k].copy_from_slice(secrets);
+        for slot in &mut scratch.ys[self.k..] {
+            *slot = F::random(rng);
         }
-        Ok(PackedShares { degree, values: self.deal_values(degree, &ys)? })
+        self.deal_values(degree, out, scratch)
     }
 
     /// Deals one sharing per row of `secrets_batch` — a whole layer of
@@ -560,76 +759,73 @@ impl<F: PrimeField> PackedSharing<F> {
         degree: usize,
     ) -> Result<Vec<PackedShares<F>>, PssError> {
         self.check_degree(degree)?;
-        let extra = degree + 1 - self.k;
+        let mut scratch = PssScratch::default();
         secrets_batch
             .iter()
             .map(|secrets| {
-                if secrets.len() != self.k {
-                    return Err(PssError::SecretCountMismatch {
-                        got: secrets.len(),
-                        expected: self.k,
-                    });
-                }
-                let mut ys = secrets.clone();
-                for _ in 0..extra {
-                    ys.push(F::random(rng));
-                }
-                Ok(PackedShares { degree, values: self.deal_values(degree, &ys)? })
+                let mut values = Vec::new();
+                self.share_into(rng, secrets, degree, &mut values, &mut scratch)?;
+                Ok(PackedShares { degree, values })
             })
             .collect()
     }
 
     /// Computes every party's share of the polynomial pinned by the
-    /// `degree + 1` dealing-node values `ys` (secrets first, then the
-    /// leading party points).
+    /// `degree + 1` dealing-node values staged in `scratch.ys` (secrets
+    /// first, then the leading party points), writing them into `out`.
     ///
     /// Both paths evaluate the *same unique polynomial* exactly, so
     /// their outputs are bit-identical; the transform path merely gets
     /// there in `O(N log N)` instead of `O(n·degree)` per deal.
-    fn deal_values(&self, degree: usize, ys: &[F]) -> Result<Vec<F>, PssError> {
+    fn deal_values(
+        &self,
+        degree: usize,
+        out: &mut Vec<F>,
+        scratch: &mut PssScratch<F>,
+    ) -> Result<(), PssError> {
+        let PssScratch { ys, natural, coeffs, evals, ntt, .. } = scratch;
         if let Some(plan) = &self.ntt {
             let m = degree + 1;
             // Transform-friendly iff the dealing nodes (the first m
-            // scheme nodes) are exactly an order-m subgroup.
-            if plan.chain.contains(&m) {
-                return self.deal_values_ntt(plan, m, ys);
+            // scheme nodes) are exactly an order-m subgroup — and the
+            // prefix is large enough that the transform actually wins
+            // (see [`NTT_DEAL_CROSSOVER`]).
+            if m >= NTT_DEAL_CROSSOVER && plan.chain.contains(&m) {
+                // Transform dealing: inverse-NTT the dealing values
+                // over the order-m prefix subgroup to coefficients,
+                // then forward-NTT over the full domain and read off
+                // each party's evaluation.
+                let full_size = plan.full.len();
+                let step = full_size / m;
+                let prefix = plan.prefix_domain(m)?;
+                // Scatter the dealing values into the prefix domain's
+                // natural (exponent) order: scheme node i sits at full
+                // exponent positions[i] = step · (its prefix index).
+                ensure_filled(natural, m, F::ZERO);
+                for (i, &y) in ys.iter().enumerate() {
+                    natural[plan.positions[i] / step] = y;
+                }
+                prefix.inverse_into(natural, coeffs, ntt)?;
+                plan.full.evaluate_into(coeffs, evals, ntt)?;
+                ensure_filled(out, self.n, F::ZERO);
+                for (i, slot) in out.iter_mut().enumerate() {
+                    *slot = evals[plan.positions[self.k + i]];
+                }
+                return Ok(());
             }
         }
         let domain = self.share_domain(degree)?;
-        Ok(self.values_from_domain(&domain, ys))
-    }
-
-    /// Transform dealing: inverse-NTT the dealing values over the
-    /// order-`m` prefix subgroup to coefficients, then forward-NTT over
-    /// the full domain and read off each party's evaluation.
-    fn deal_values_ntt(
-        &self,
-        plan: &NttPlan<F>,
-        m: usize,
-        ys: &[F],
-    ) -> Result<Vec<F>, PssError> {
-        let full_size = plan.full.len();
-        let step = full_size / m;
-        let prefix = plan.prefix_domain(m)?;
-        // Scatter the dealing values into the prefix domain's natural
-        // (exponent) order: scheme node i sits at full exponent
-        // positions[i] = step · (its prefix index).
-        let mut natural = vec![F::ZERO; m];
-        for (i, &y) in ys.iter().enumerate() {
-            natural[plan.positions[i] / step] = y;
-        }
-        let coeffs = prefix.inverse(&natural)?;
-        let evals = plan.full.evaluate(&coeffs)?;
-        Ok((0..self.n).map(|i| evals[plan.positions[self.k + i]]).collect())
+        self.values_from_domain_into(&domain, ys, out);
+        Ok(())
     }
 
     /// Evaluates the polynomial pinned by `ys` on `domain` at every
-    /// party point via cached recombination vectors.
-    fn values_from_domain(&self, domain: &EvalDomain<F>, ys: &[F]) -> Vec<F> {
-        self.party_points
-            .iter()
-            .map(|&p| dot(&domain.basis_at(p), ys))
-            .collect()
+    /// party point via cached recombination vectors, into `out`.
+    fn values_from_domain_into(&self, domain: &EvalDomain<F>, ys: &[F], out: &mut Vec<F>) {
+        ensure_filled(out, self.n, F::ZERO);
+        for (slot, &p) in out.iter_mut().zip(&self.party_points) {
+            *slot = dot(&domain.basis_at(p), ys);
+        }
     }
 
     /// The dealing-domain recombination rows for `degree`: row `i`
@@ -664,13 +860,24 @@ impl<F: PrimeField> PackedSharing<F> {
     /// Returns [`PssError::SecretCountMismatch`] if `c` has the wrong
     /// length.
     pub fn share_public(&self, c: &[F]) -> Result<PackedShares<F>, PssError> {
+        let mut values = Vec::new();
+        self.share_public_into(c, &mut values)?;
+        Ok(PackedShares { degree: self.k - 1, values })
+    }
+
+    /// Arena variant of [`Self::share_public`]: writes the
+    /// deterministic degree-`(k−1)` share values into `out` (resized
+    /// to `n`), allocating nothing once `out` has reached capacity.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::share_public`].
+    pub fn share_public_into(&self, c: &[F], out: &mut Vec<F>) -> Result<(), PssError> {
         if c.len() != self.k {
             return Err(PssError::SecretCountMismatch { got: c.len(), expected: self.k });
         }
-        Ok(PackedShares {
-            degree: self.k - 1,
-            values: self.values_from_domain(&self.secret_domain, c),
-        })
+        self.values_from_domain_into(&self.secret_domain, c, out);
+        Ok(())
     }
 
     /// Multiplies a public vector into a sharing:
@@ -701,50 +908,80 @@ impl<F: PrimeField> PackedSharing<F> {
     /// - [`PssError::Inconsistent`] if surplus shares do not lie on the
     ///   interpolated polynomial (some share is corrupted).
     pub fn reconstruct(&self, shares: &[Share<F>], degree: usize) -> Result<Vec<F>, PssError> {
+        let mut out = Vec::new();
+        self.reconstruct_into(shares, degree, &mut out, &mut PssScratch::default())?;
+        Ok(out)
+    }
+
+    /// Arena variant of [`Self::reconstruct`]: the packed secrets land
+    /// in `out` (resized to `k`); duplicate tracking, the share split
+    /// and transform work live in `scratch`. Bit-identical to the
+    /// owning variant on every path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::reconstruct`].
+    pub fn reconstruct_into(
+        &self,
+        shares: &[Share<F>],
+        degree: usize,
+        out: &mut Vec<F>,
+        scratch: &mut PssScratch<F>,
+    ) -> Result<(), PssError> {
         self.check_degree(degree)?;
         if shares.len() < degree + 1 {
             return Err(PssError::NotEnoughShares { got: shares.len(), need: degree + 1 });
         }
-        let mut seen = vec![false; self.n];
+        let PssScratch { ys, coeffs, parties, seen, ntt, .. } = scratch;
+        ensure_filled(seen, self.n, false);
         for s in shares {
             if s.party >= self.n || seen[s.party] {
                 return Err(PssError::DuplicateParty(s.party));
             }
             seen[s.party] = true;
         }
-        let parties: Vec<usize> = shares[..degree + 1].iter().map(|s| s.party).collect();
-        let ys: Vec<F> = shares[..degree + 1].iter().map(|s| s.value).collect();
-        match self.recon_domain(&parties)? {
+        ensure_filled(parties, degree + 1, 0);
+        ensure_filled(ys, degree + 1, F::ZERO);
+        for (i, s) in shares[..degree + 1].iter().enumerate() {
+            parties[i] = s.party;
+            ys[i] = s.value;
+        }
+        match self.recon_domain(parties)? {
             ReconDomain::Lagrange(domain) => {
                 // Error detection: every surplus share must agree with
                 // the polynomial pinned by the first degree + 1 shares.
                 // The cached recombination vector evaluates it without
                 // interpolating.
                 for s in &shares[degree + 1..] {
-                    if dot(&domain.basis_at(self.party_points[s.party]), &ys) != s.value {
+                    if dot(&domain.basis_at(self.party_points[s.party]), ys) != s.value {
                         return Err(PssError::Inconsistent);
                     }
                 }
-                Ok(self
-                    .secret_points
-                    .iter()
-                    .map(|&e| dot(&domain.basis_at(e), &ys))
-                    .collect())
+                ensure_filled(out, self.k, F::ZERO);
+                for (slot, &e) in out.iter_mut().zip(&self.secret_points) {
+                    *slot = dot(&domain.basis_at(e), ys);
+                }
             }
             ReconDomain::Ntt(domain) => {
                 // Transform path: interpolate once in O(m log m), then
                 // evaluate the explicit polynomial (Horner, O(m) per
-                // target) — exact, hence bit-identical to the basis-row
-                // dot products above.
-                let poly = domain.interpolate(&ys)?;
+                // target). The coefficient vector is used untrimmed —
+                // high-order zero coefficients contribute exactly zero,
+                // so the result is bit-identical to the basis-row dot
+                // products above and to a trimmed [`Poly`].
+                domain.inverse_into(ys, coeffs, ntt)?;
                 for s in &shares[degree + 1..] {
-                    if poly.eval(self.party_points[s.party]) != s.value {
+                    if horner(coeffs, self.party_points[s.party]) != s.value {
                         return Err(PssError::Inconsistent);
                     }
                 }
-                Ok(self.secret_points.iter().map(|&e| poly.eval(e)).collect())
+                ensure_filled(out, self.k, F::ZERO);
+                for (slot, &e) in out.iter_mut().zip(&self.secret_points) {
+                    *slot = horner(coeffs, e);
+                }
             }
         }
+        Ok(())
     }
 
     /// Reconstructs a whole layer of sharings in one call. All rows
@@ -759,7 +996,15 @@ impl<F: PrimeField> PackedSharing<F> {
         batch: &[Vec<Share<F>>],
         degree: usize,
     ) -> Result<Vec<Vec<F>>, PssError> {
-        batch.iter().map(|shares| self.reconstruct(shares, degree)).collect()
+        let mut scratch = PssScratch::default();
+        batch
+            .iter()
+            .map(|shares| {
+                let mut out = Vec::new();
+                self.reconstruct_into(shares, degree, &mut out, &mut scratch)?;
+                Ok(out)
+            })
+            .collect()
     }
 
     /// Reconstructs the full polynomial (used by tests and the runtime
@@ -1062,6 +1307,133 @@ mod tests {
                 "degree {degree}"
             );
         }
+    }
+
+    #[test]
+    fn transform_deal_above_crossover_matches_lagrange_bit_for_bit() {
+        // n + k = 445 → order-450 subgroup (450 = 2 · 3² · 5² divides
+        // p − 1), radix chain {1, 2, 6, 18, 90, 450}. Degree 89 gives
+        // m = 90 ≥ NTT_DEAL_CROSSOVER on the chain, so this deal takes
+        // the transform path (the 14/4 scheme above stays below the
+        // crossover and pins the Lagrange fallback).
+        let scheme = PackedSharing::<F61>::with_layout(400, 45, PointLayout::Subgroup).unwrap();
+        assert!(scheme.ntt_dealing_sizes().contains(&90));
+        let mut plain = scheme.clone();
+        plain.disable_ntt();
+        let secrets: Vec<F61> = (0..45).map(|i| f(1000 + i)).collect();
+        let degree = 89;
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(5);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(5);
+        let a = scheme.share(&mut r1, &secrets, degree).unwrap();
+        let b = plain.share(&mut r2, &secrets, degree).unwrap();
+        assert_eq!(a.values(), b.values(), "transform vs Lagrange deal above crossover");
+        let subset: Vec<usize> = (0..=degree).collect();
+        assert_eq!(scheme.reconstruct(&a.select(&subset), degree).unwrap(), secrets);
+    }
+
+    #[test]
+    fn recon_domain_cache_is_bounded_and_deterministic() {
+        let mut rng = rng();
+        let scheme = PackedSharing::<F61>::new(9, 2).unwrap();
+        let secrets = [f(10), f(20)];
+        let shares = scheme.share(&mut rng, &secrets, 4).unwrap();
+        // Drive more distinct 5-party subsets through reconstruction
+        // than the cache may hold.
+        let mut subsets = 0;
+        'outer: for a in 0..5 {
+            for b in (a + 1)..6 {
+                for c in (b + 1)..7 {
+                    for d in (c + 1)..8 {
+                        for e in (d + 1)..9 {
+                            let got =
+                                scheme.reconstruct(&shares.select(&[a, b, c, d, e]), 4).unwrap();
+                            assert_eq!(got, secrets.to_vec());
+                            subsets += 1;
+                            if subsets > RECON_CACHE_CAP + 16 {
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert!(subsets > RECON_CACHE_CAP, "test premise: cache overflow");
+        let cache = read_lock(&scheme.recon_domains);
+        assert!(cache.entries.len() <= RECON_CACHE_CAP, "cache must stay bounded");
+        // BTreeMap keys iterate in subset order, independent of
+        // insertion history or hash seeds.
+        let keys: Vec<&Vec<usize>> = cache.entries.keys().collect();
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]), "deterministic iteration order");
+    }
+
+    #[test]
+    fn arena_apis_match_owning_apis_bit_for_bit() {
+        for layout in [PointLayout::Sequential, PointLayout::Subgroup] {
+            let scheme = PackedSharing::<F61>::with_layout(14, 4, layout).unwrap();
+            let secrets = [f(7), f(8), f(9), f(10)];
+            let pool = ScratchPool::new(true);
+            for degree in 3..14 {
+                let mut r1 = rand::rngs::StdRng::seed_from_u64(degree as u64);
+                let mut r2 = rand::rngs::StdRng::seed_from_u64(degree as u64);
+                let owned = scheme.share(&mut r1, &secrets, degree).unwrap();
+                let mut values = Vec::new();
+                pool.with(|scratch| {
+                    scheme.share_into(&mut r2, &secrets, degree, &mut values, scratch)
+                })
+                .unwrap();
+                assert_eq!(owned.values(), &values[..], "deal parity, degree {degree}");
+                let subset: Vec<usize> = (0..=degree).collect();
+                let reference = scheme.reconstruct(&owned.select(&subset), degree).unwrap();
+                let mut out = Vec::new();
+                pool.with(|scratch| {
+                    scheme.reconstruct_into(&owned.select(&subset), degree, &mut out, scratch)
+                })
+                .unwrap();
+                assert_eq!(reference, out, "reconstruction parity, degree {degree}");
+                assert_eq!(out, secrets.to_vec());
+            }
+            let c = [f(2), f(4), f(6), f(8)];
+            let mut pub_values = Vec::new();
+            scheme.share_public_into(&c, &mut pub_values).unwrap();
+            assert_eq!(scheme.share_public(&c).unwrap().values(), &pub_values[..]);
+        }
+    }
+
+    #[test]
+    fn failstop_bound_reconstruction_at_table1_scale() {
+        // §5.4 fail-stop at Table-1 scale: n = 1024, ε = 1/4 gives
+        // t = 255, k = 257, so a product sharing has degree
+        // t + 2(k − 1) = 767 and exactly t + 2(k − 1) + 1 = 768
+        // surviving shares must reconstruct. The arena path (pooled
+        // scratch, streaming driver) must be byte-identical to the
+        // materialized owning path.
+        let (t, k) = (255usize, 257usize);
+        let n = 1024usize;
+        let rec_degree = t + 2 * (k - 1);
+        assert_eq!(rec_degree, 767);
+        let scheme = PackedSharing::<F61>::with_layout(n, k, PointLayout::Subgroup).unwrap();
+        let secrets: Vec<F61> = (0..k as u64).map(|i| f(i * i + 3)).collect();
+        let mut rng = rng();
+        let shares = scheme.share(&mut rng, &secrets, rec_degree).unwrap();
+        // The first t + 1 = 256 parties crash after posting nothing;
+        // the remaining 768 shares are exactly the fail-stop bound.
+        let survivors: Vec<usize> = (n - (rec_degree + 1)..n).collect();
+        assert_eq!(survivors.len(), t + 2 * (k - 1) + 1);
+        let surviving = shares.select(&survivors);
+        let materialized = scheme.reconstruct(&surviving, rec_degree).unwrap();
+        let pool = ScratchPool::new(true);
+        let mut streamed = Vec::new();
+        pool.with(|scratch| {
+            scheme.reconstruct_into(&surviving, rec_degree, &mut streamed, scratch)
+        })
+        .unwrap();
+        assert_eq!(materialized, streamed, "arena path must be byte-identical");
+        assert_eq!(streamed, secrets);
+        // One share fewer must fail.
+        assert!(matches!(
+            scheme.reconstruct(&surviving[1..], rec_degree),
+            Err(PssError::NotEnoughShares { .. })
+        ));
     }
 
     #[test]

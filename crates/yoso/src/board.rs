@@ -326,6 +326,21 @@ impl<M> BulletinBoard<M> {
         self.transport.for_each_in_round(round, &mut f)
     }
 
+    /// Drops all postings of sealed rounds before `round` — the
+    /// streaming driver's **retention watermark**. Sequence numbers and
+    /// the round clock are unaffected ([`Self::len`] keeps counting
+    /// dropped postings, so cursor-synchronised readers are
+    /// undisturbed), but reads that dip below the watermark fail with
+    /// [`BoardError::Protocol`]. Backends without local storage ignore
+    /// the request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures (remote backends only).
+    pub fn retain_rounds_from(&self, round: u64) -> Result<(), BoardError> {
+        self.transport.retain_rounds_from(round)
+    }
+
     /// Opens a cursor-based subscription: each [`BoardCursor::poll`]
     /// returns only the postings appended since the previous poll, so
     /// a long-lived reader never re-clones history.
@@ -519,6 +534,122 @@ pub fn phases_from_postings<M>(
     by_phase.into_iter().collect()
 }
 
+/// The seed of the 64-bit FNV-1a hash over transcript lines.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// The 64-bit FNV-1a multiplier.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental, clone-free replacement for
+/// [`phases_from_postings`]: consumes board rounds as they seal,
+/// folding each posting into per-phase communication stats and a
+/// 64-bit FNV-1a hash of the canonical transcript line
+/// (`round|from|phase|message`, the `board-stats --dump` format), so
+/// a streaming driver never materializes the posting history. After a
+/// [`drain_sealed`](Self::drain_sealed) the caller may hand the
+/// consumed prefix to [`BulletinBoard::retain_rounds_from`] — the
+/// accumulator never re-reads a round it has absorbed.
+#[derive(Debug, Clone)]
+pub struct PhaseAccumulator {
+    by_phase: std::collections::BTreeMap<String, crate::metrics::PhaseStats>,
+    next_round: u64,
+    postings: u64,
+    hash: u64,
+    line: String,
+}
+
+impl Default for PhaseAccumulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PhaseAccumulator {
+    /// An empty accumulator positioned before round 0.
+    pub fn new() -> Self {
+        PhaseAccumulator {
+            by_phase: std::collections::BTreeMap::new(),
+            next_round: 0,
+            postings: 0,
+            hash: FNV_OFFSET,
+            line: String::new(),
+        }
+    }
+
+    /// Folds one posting into the stats and the transcript hash.
+    fn absorb<M: std::fmt::Debug>(&mut self, p: &Posting<M>) {
+        use std::fmt::Write as _;
+        let s = self.by_phase.entry(p.phase.to_string()).or_default();
+        s.elements += p.elements;
+        s.bytes += p.bytes;
+        s.messages += 1;
+        self.line.clear();
+        let _ = writeln!(self.line, "{}|{}|{}|{:?}", p.round, p.from, p.phase, p.message);
+        for &b in self.line.as_bytes() {
+            self.hash = (self.hash ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        self.postings += 1;
+    }
+
+    /// Consumes every sealed round not yet absorbed (clone-free) and
+    /// returns the board's current (still open) round. The caller must
+    /// guarantee those rounds are complete — in the engine this holds
+    /// at stage boundaries, after the round-advance barrier.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures (remote backends only).
+    pub fn drain_sealed<M: Clone + Send + Sync + std::fmt::Debug + 'static>(
+        &mut self,
+        board: &BulletinBoard<M>,
+    ) -> Result<u64, BoardError> {
+        let open = board.round()?;
+        while self.next_round < open {
+            let round = self.next_round;
+            board.for_each_in_round(round, |p| self.absorb(p))?;
+            self.next_round += 1;
+        }
+        Ok(open)
+    }
+
+    /// Consumes the sealed rounds *and* the currently open round — the
+    /// end-of-run drain, after the final post.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures (remote backends only).
+    pub fn finish<M: Clone + Send + Sync + std::fmt::Debug + 'static>(
+        &mut self,
+        board: &BulletinBoard<M>,
+    ) -> Result<(), BoardError> {
+        let open = self.drain_sealed(board)?;
+        board.for_each_in_round(open, |p| self.absorb(p))?;
+        self.next_round = open + 1;
+        Ok(())
+    }
+
+    /// The first round not yet absorbed — the retention watermark to
+    /// pass to [`BulletinBoard::retain_rounds_from`].
+    pub fn next_round(&self) -> u64 {
+        self.next_round
+    }
+
+    /// Number of postings absorbed so far.
+    pub fn postings(&self) -> u64 {
+        self.postings
+    }
+
+    /// The FNV-1a 64 hash of every absorbed transcript line.
+    pub fn transcript_hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// Per-phase stats in label order — the same shape
+    /// [`phases_from_postings`] returns from a materialized log.
+    pub fn phases(&self) -> Vec<(String, crate::metrics::PhaseStats)> {
+        self.by_phase.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+}
+
 /// A stateful reader over a board transport: remembers how far it has
 /// read and fetches only the suffix on each poll.
 pub struct BoardCursor<M> {
@@ -669,6 +800,55 @@ mod tests {
         for (x, y) in pa.iter().zip(pb.iter()) {
             assert_eq!((x.round, &x.from, &*x.phase, x.message), (y.round, &y.from, &*y.phase, y.message));
         }
+    }
+
+    #[test]
+    fn phase_accumulator_matches_materialized_log_and_survives_retention() {
+        let board: BulletinBoard<u64> = BulletinBoard::new();
+        let mut acc = PhaseAccumulator::new();
+        for round in 0..3u64 {
+            for i in 0..4usize {
+                board
+                    .post(RoleId::new("c", i), round * 10 + i as u64, "offline/x", 2, 16)
+                    .unwrap();
+            }
+            board.advance_round().unwrap();
+            // Drain the sealed rounds and drop them behind the
+            // watermark: the accumulator never re-reads them.
+            acc.drain_sealed(&board).unwrap();
+            board.retain_rounds_from(acc.next_round()).unwrap();
+        }
+        board.post(RoleId::new("c", 9), 99, "online/y", 1, 8).unwrap();
+        acc.finish(&board).unwrap();
+
+        // Reference: the same postings on a fully materialized board.
+        let full: BulletinBoard<u64> = BulletinBoard::new();
+        let mut full_acc = PhaseAccumulator::new();
+        for round in 0..3u64 {
+            for i in 0..4usize {
+                full.post(RoleId::new("c", i), round * 10 + i as u64, "offline/x", 2, 16)
+                    .unwrap();
+            }
+            full.advance_round().unwrap();
+        }
+        full.post(RoleId::new("c", 9), 99, "online/y", 1, 8).unwrap();
+        full_acc.finish(&full).unwrap();
+
+        assert_eq!(acc.phases(), phases_from_postings(&full.postings().unwrap()));
+        assert_eq!(acc.postings(), 13);
+        assert_eq!(acc.transcript_hash(), full_acc.transcript_hash());
+
+        // The hash covers payloads: one changed message diverges.
+        let other: BulletinBoard<u64> = BulletinBoard::new();
+        let mut other_acc = PhaseAccumulator::new();
+        other.post(RoleId::new("c", 9), 98, "online/y", 1, 8).unwrap();
+        other_acc.finish(&other).unwrap();
+        let mut same_acc = PhaseAccumulator::new();
+        let same: BulletinBoard<u64> = BulletinBoard::new();
+        same.post(RoleId::new("c", 9), 98, "online/y", 1, 8).unwrap();
+        same_acc.finish(&same).unwrap();
+        assert_eq!(other_acc.transcript_hash(), same_acc.transcript_hash());
+        assert_ne!(other_acc.transcript_hash(), acc.transcript_hash());
     }
 
     #[test]

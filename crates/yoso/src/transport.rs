@@ -191,6 +191,22 @@ pub trait BoardTransport<M>: Send + Sync {
         Ok(())
     }
 
+    /// Drops all postings of sealed rounds before `round` — the
+    /// **retention watermark** of the streaming driver, which consumes
+    /// each round incrementally and then releases it. Sequence numbers
+    /// and the round clock are unaffected (`len()` keeps counting
+    /// dropped postings, so cursor-synchronised readers are
+    /// undisturbed), but reads that dip below the watermark fail with
+    /// [`BoardError::Protocol`]. Backends without local storage ignore
+    /// the request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures (remote backends only).
+    fn retain_rounds_from(&self, _round: u64) -> Result<(), BoardError> {
+        Ok(())
+    }
+
     /// A short human-readable backend label (diagnostics, bench tables).
     fn backend_name(&self) -> &'static str;
 }
@@ -206,29 +222,68 @@ pub(crate) struct RoundLog<P> {
     pub(crate) postings: Vec<P>,
     pub(crate) round_starts: Vec<usize>,
     pub(crate) round: u64,
+    /// Retention watermark: number of postings dropped from the front
+    /// of the log. Sequence numbers, `round_starts` and cursors stay
+    /// *absolute* — `postings[0]` is absolute index `base` — so
+    /// readers above the watermark are unaffected by drops below it.
+    pub(crate) base: usize,
 }
 
 impl<P> Default for RoundLog<P> {
     fn default() -> Self {
-        RoundLog { postings: Vec::new(), round_starts: vec![0], round: 0 }
+        RoundLog { postings: Vec::new(), round_starts: vec![0], round: 0, base: 0 }
     }
 }
 
 impl<P> RoundLog<P> {
-    /// The `[lo, hi)` log range holding round `round`'s postings.
+    /// Total postings ever appended (dropped ones included) — the
+    /// sequence number the next posting will get.
+    pub(crate) fn abs_len(&self) -> usize {
+        self.base + self.postings.len()
+    }
+
+    /// The `[lo, hi)` **absolute** log range holding round `round`'s
+    /// postings.
     pub(crate) fn round_range(&self, round: u64) -> std::ops::Range<usize> {
         let r = round as usize;
-        let lo = self.round_starts.get(r).copied().unwrap_or(self.postings.len());
-        let hi =
-            self.round_starts.get(r + 1).copied().unwrap_or(self.postings.len());
+        let lo = self.round_starts.get(r).copied().unwrap_or(self.abs_len());
+        let hi = self.round_starts.get(r + 1).copied().unwrap_or(self.abs_len());
         lo..hi
+    }
+
+    /// The retained slice for an absolute range, or `Err` if any part
+    /// of it has been dropped under the retention watermark (reading
+    /// history that no longer exists would silently corrupt
+    /// transcripts, so it is a hard protocol error).
+    pub(crate) fn slice_abs(&self, range: std::ops::Range<usize>) -> Result<&[P], BoardError> {
+        if range.start < self.base && range.start < range.end {
+            return Err(BoardError::Protocol(format!(
+                "read below retention watermark: postings [{}, {}) requested, first retained is {}",
+                range.start, range.end, self.base
+            )));
+        }
+        let lo = range.start.max(self.base) - self.base;
+        let hi = range.end.max(self.base) - self.base;
+        Ok(&self.postings[lo..hi])
     }
 
     /// Ticks the round clock, sealing the current round's range.
     pub(crate) fn advance(&mut self) -> u64 {
         self.round += 1;
-        self.round_starts.push(self.postings.len());
+        self.round_starts.push(self.abs_len());
         self.round
+    }
+
+    /// Drops every posting of sealed rounds before `round` (clamped to
+    /// the current round — the open round is never dropped). The round
+    /// clock, `round_starts` and sequence numbers are untouched.
+    pub(crate) fn retain_rounds_from(&mut self, round: u64) {
+        let cut_round = round.min(self.round) as usize;
+        let cut = self.round_starts.get(cut_round).copied().unwrap_or(self.abs_len());
+        if cut > self.base {
+            self.postings.drain(..cut - self.base);
+            self.base = cut;
+        }
     }
 }
 
@@ -478,22 +533,23 @@ impl<M: Clone + Send + Sync> BoardTransport<M> for InProcessTransport<M> {
     }
 
     fn len(&self) -> Result<usize, BoardError> {
-        Ok(self.log.read().postings.len())
+        Ok(self.log.read().abs_len())
     }
 
     fn read_round(&self, round: u64) -> Result<Vec<Posting<M>>, BoardError> {
         let g = self.log.read();
-        Ok(g.postings[g.round_range(round)].to_vec())
+        Ok(g.slice_abs(g.round_range(round))?.to_vec())
     }
 
     fn read_from(&self, cursor: usize) -> Result<Vec<Posting<M>>, BoardError> {
         let g = self.log.read();
-        let lo = cursor.min(g.postings.len());
-        Ok(g.postings[lo..].to_vec())
+        let lo = cursor.min(g.abs_len());
+        Ok(g.slice_abs(lo..g.abs_len())?.to_vec())
     }
 
     fn for_each(&self, f: &mut dyn FnMut(&Posting<M>)) -> Result<(), BoardError> {
-        for p in self.log.read().postings.iter() {
+        let g = self.log.read();
+        for p in g.slice_abs(g.base..g.abs_len())? {
             f(p);
         }
         Ok(())
@@ -505,9 +561,14 @@ impl<M: Clone + Send + Sync> BoardTransport<M> for InProcessTransport<M> {
         f: &mut dyn FnMut(&Posting<M>),
     ) -> Result<(), BoardError> {
         let g = self.log.read();
-        for p in &g.postings[g.round_range(round)] {
+        for p in g.slice_abs(g.round_range(round))? {
             f(p);
         }
+        Ok(())
+    }
+
+    fn retain_rounds_from(&self, round: u64) -> Result<(), BoardError> {
+        self.log.write().retain_rounds_from(round);
         Ok(())
     }
 
@@ -725,6 +786,40 @@ mod tests {
         let mut seen = Vec::new();
         t.for_each_in_round(1, &mut |p| seen.push(p.message)).unwrap();
         assert_eq!(seen, vec![1, 2]);
+    }
+
+    #[test]
+    fn retention_watermark_drops_sealed_rounds() {
+        let t = InProcessTransport::<u64>::new();
+        for round in 0..3usize {
+            t.post_batch(vec![rec(round * 10, "a"), rec(round * 10 + 1, "a")]).unwrap();
+            t.advance_round().unwrap();
+        }
+        assert_eq!(t.len().unwrap(), 6);
+        t.retain_rounds_from(2).unwrap();
+        // Sequence numbers keep counting dropped postings, so
+        // len-synchronised readers are undisturbed.
+        assert_eq!(t.len().unwrap(), 6);
+        let r2 = t.read_round(2).unwrap();
+        assert_eq!(r2.len(), 2);
+        assert_eq!(r2[0].message, 20);
+        // Reads below the watermark are a hard protocol error, never a
+        // silently truncated transcript.
+        assert!(matches!(t.read_round(0), Err(BoardError::Protocol(_))));
+        assert!(matches!(t.read_from(0), Err(BoardError::Protocol(_))));
+        // A cursor at the watermark reads cleanly.
+        assert_eq!(t.read_from(4).unwrap().len(), 2);
+        assert!(t.read_from(6).unwrap().is_empty());
+        // Retention is monotone: asking for an older watermark is a
+        // no-op, and re-asking for the same one is idempotent.
+        t.retain_rounds_from(1).unwrap();
+        t.retain_rounds_from(2).unwrap();
+        assert_eq!(t.read_round(2).unwrap().len(), 2);
+        // The open round is never dropped.
+        t.post_batch(vec![rec(30, "b")]).unwrap();
+        t.retain_rounds_from(99).unwrap();
+        assert_eq!(t.read_round(3).unwrap().len(), 1);
+        assert_eq!(t.len().unwrap(), 7);
     }
 
     #[test]

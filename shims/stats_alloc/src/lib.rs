@@ -1,0 +1,159 @@
+//! Offline subset of the `stats_alloc` crate: a wrapping
+//! [`GlobalAlloc`] that counts every allocation, reallocation and
+//! deallocation the program performs.
+//!
+//! Usage (in the binary crate, behind a feature so ordinary builds
+//! keep the system allocator unwrapped):
+//!
+//! ```rust,ignore
+//! use stats_alloc::{StatsAlloc, INSTRUMENTED_SYSTEM};
+//! use std::alloc::System;
+//!
+//! #[global_allocator]
+//! static GLOBAL: &StatsAlloc<System> = &INSTRUMENTED_SYSTEM;
+//!
+//! let before = INSTRUMENTED_SYSTEM.stats();
+//! // ... workload ...
+//! let after = INSTRUMENTED_SYSTEM.stats();
+//! println!("allocations: {}", after.allocations - before.allocations);
+//! ```
+//!
+//! Counters use relaxed atomics: the readout is a monotone snapshot,
+//! not a synchronization point, which keeps the per-allocation
+//! overhead to one `fetch_add`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A `GlobalAlloc` wrapper that counts operations before delegating.
+#[derive(Debug)]
+pub struct StatsAlloc<T: GlobalAlloc> {
+    inner: T,
+    allocations: AtomicU64,
+    deallocations: AtomicU64,
+    reallocations: AtomicU64,
+    bytes_allocated: AtomicU64,
+}
+
+/// The instrumented system allocator: register a reference to this
+/// static with `#[global_allocator]` and read it back anywhere.
+pub static INSTRUMENTED_SYSTEM: StatsAlloc<System> = StatsAlloc::system();
+
+/// A monotone snapshot of the counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Calls to `alloc`/`alloc_zeroed`.
+    pub allocations: u64,
+    /// Calls to `dealloc`.
+    pub deallocations: u64,
+    /// Calls to `realloc`.
+    pub reallocations: u64,
+    /// Total bytes requested across `alloc`/`alloc_zeroed`/`realloc`.
+    pub bytes_allocated: u64,
+}
+
+impl StatsAlloc<System> {
+    /// A zeroed wrapper around [`System`], usable in statics.
+    pub const fn system() -> Self {
+        StatsAlloc {
+            inner: System,
+            allocations: AtomicU64::new(0),
+            deallocations: AtomicU64::new(0),
+            reallocations: AtomicU64::new(0),
+            bytes_allocated: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<T: GlobalAlloc> StatsAlloc<T> {
+    /// Wraps an arbitrary allocator.
+    pub const fn new(inner: T) -> Self {
+        StatsAlloc {
+            inner,
+            allocations: AtomicU64::new(0),
+            deallocations: AtomicU64::new(0),
+            reallocations: AtomicU64::new(0),
+            bytes_allocated: AtomicU64::new(0),
+        }
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> Stats {
+        Stats {
+            allocations: self.allocations.load(Ordering::Relaxed),
+            deallocations: self.deallocations.load(Ordering::Relaxed),
+            reallocations: self.reallocations.load(Ordering::Relaxed),
+            bytes_allocated: self.bytes_allocated.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// SAFETY: delegates every operation to the wrapped allocator
+// unchanged; the wrapper only bumps atomic counters, which allocate
+// nothing and cannot fail.
+unsafe impl<T: GlobalAlloc> GlobalAlloc for StatsAlloc<T> {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        self.bytes_allocated.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        self.inner.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        self.bytes_allocated.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        self.inner.alloc_zeroed(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        self.deallocations.fetch_add(1, Ordering::Relaxed);
+        self.inner.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.reallocations.fetch_add(1, Ordering::Relaxed);
+        self.bytes_allocated.fetch_add(new_size as u64, Ordering::Relaxed);
+        self.inner.realloc(ptr, layout, new_size)
+    }
+}
+
+// SAFETY: pure delegation to the referenced wrapper, which upholds the
+// contract itself. This impl is what lets `#[global_allocator]` take a
+// `&'static StatsAlloc<System>` pointing at [`INSTRUMENTED_SYSTEM`].
+unsafe impl<T: GlobalAlloc> GlobalAlloc for &StatsAlloc<T> {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        (**self).alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        (**self).alloc_zeroed(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        (**self).dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        (**self).realloc(ptr, layout, new_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_move_with_allocations() {
+        let a = StatsAlloc::new(System);
+        let layout = Layout::from_size_align(64, 8).unwrap();
+        // SAFETY: plain alloc/dealloc pair with a valid layout.
+        unsafe {
+            let p = a.alloc(layout);
+            assert!(!p.is_null());
+            a.dealloc(p, layout);
+        }
+        let s = a.stats();
+        assert_eq!(s.allocations, 1);
+        assert_eq!(s.deallocations, 1);
+        assert_eq!(s.bytes_allocated, 64);
+    }
+}
