@@ -313,7 +313,7 @@ fn bench_board(batch: usize) -> BoardRow {
     let board: BulletinBoard<Post> = BulletinBoard::new();
     let per_post_total = time_ns(iters, || {
         for m in &msgs {
-            board.post(role.clone(), *m, "bench/board", BOARD_POST_ELEMENTS, bytes).unwrap();
+            board.post(role.clone(), m.clone(), "bench/board", BOARD_POST_ELEMENTS, bytes).unwrap();
         }
     });
     drop(board);

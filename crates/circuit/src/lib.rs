@@ -179,6 +179,14 @@ impl<F: PrimeField> Circuit<F> {
         self.mul_layers.len()
     }
 
+    /// Multiplicative depth of every wire: `depths()[w]` mul layers
+    /// must complete before wire `w`'s value is available (0 for
+    /// inputs, constants, and wires linear in the inputs). A mul gate
+    /// at depth `d` sits in `mul_layers()[d - 1]`.
+    pub fn depths(&self) -> &[usize] {
+        &self.depth
+    }
+
     /// Evaluates the circuit on cleartext inputs: `inputs[c]` are
     /// client `c`'s values in input-gate order. Returns each client's
     /// outputs.
@@ -303,24 +311,47 @@ impl<F: PrimeField> Circuit<F> {
     /// Batches the circuit for packing factor `k`: multiplication gates
     /// are grouped per layer into chunks of at most `k`, and each
     /// client's input wires into chunks of at most `k`.
+    ///
+    /// Every emitted batch is non-empty and at most `k` wide: a `k`
+    /// larger than a layer (or input list) yields one batch of the
+    /// full width, never a padded or empty one, and a client with no
+    /// input wires (output-only clients exist in the layout after
+    /// [`CircuitBuilder::build`] pads `inputs_per_client`) contributes
+    /// no input batch at all. The engine sizes a `PackedSharing` per
+    /// distinct batch width, so an empty batch would be degenerate —
+    /// both properties are pinned by regression tests.
     pub fn batched(&self, k: usize) -> BatchedCircuit<F> {
         assert!(k >= 1, "packing factor must be at least 1");
-        let input_batches = self
+        let input_batches: Vec<InputBatch> = self
             .inputs_per_client
             .iter()
             .enumerate()
             .flat_map(|(client, wires)| {
-                wires.chunks(k).map(move |chunk| InputBatch { client, wires: chunk.to_vec() })
+                wires
+                    .chunks(k)
+                    .filter(|chunk| !chunk.is_empty())
+                    .map(move |chunk| InputBatch { client, wires: chunk.to_vec() })
             })
             .collect();
-        let mul_batches = self
+        let mul_batches: Vec<MulBatch> = self
             .mul_layers
             .iter()
             .enumerate()
             .flat_map(|(layer, gates)| {
-                gates.chunks(k).map(move |chunk| MulBatch { layer, gates: chunk.to_vec() })
+                gates
+                    .chunks(k)
+                    .filter(|chunk| !chunk.is_empty())
+                    .map(move |chunk| MulBatch { layer, gates: chunk.to_vec() })
             })
             .collect();
+        debug_assert!(
+            input_batches.iter().all(|b| !b.wires.is_empty() && b.wires.len() <= k),
+            "input batches must be non-empty and at most k wide"
+        );
+        debug_assert!(
+            mul_batches.iter().all(|b| !b.gates.is_empty() && b.gates.len() <= k),
+            "mul batches must be non-empty and at most k wide"
+        );
         BatchedCircuit { circuit: self.clone(), k, input_batches, mul_batches }
     }
 }
@@ -614,6 +645,81 @@ mod tests {
         assert_eq!(first.layer, 0);
         assert_eq!(first.left_wires(&circ), vec![xs[0], xs[1]]);
         assert_eq!(first.right_wires(&circ), vec![ys[0], ys[0]]);
+    }
+
+    #[test]
+    fn batching_with_k_beyond_layer_width_stays_non_degenerate() {
+        // Layer widths 3 and 1, input lists 3 and 1 — batched with
+        // k = 8, far wider than anything in the circuit.
+        let mut b = CircuitBuilder::<F61>::new();
+        let xs: Vec<WireId> = (0..3).map(|_| b.input(0)).collect();
+        let y = b.input(1);
+        let ms: Vec<WireId> = xs.iter().map(|&x| b.mul(x, y)).collect();
+        let top = b.mul(ms[0], ms[1]);
+        b.output(top, 0);
+        let circ = b.build().unwrap();
+        let batched = circ.batched(8);
+        // One batch per client and per layer, at the full (sub-k) width.
+        assert_eq!(batched.input_batches.len(), 2);
+        assert_eq!(batched.input_batches[0].wires.len(), 3);
+        assert_eq!(batched.input_batches[1].wires.len(), 1);
+        assert_eq!(batched.mul_batches.len(), 2);
+        assert_eq!(batched.mul_batches[0].gates.len(), 3);
+        assert_eq!(batched.mul_batches[1].gates.len(), 1);
+        for batch in &batched.input_batches {
+            assert!(!batch.wires.is_empty() && batch.wires.len() <= 8);
+        }
+        for batch in &batched.mul_batches {
+            assert!(!batch.gates.is_empty() && batch.gates.len() <= 8);
+        }
+    }
+
+    #[test]
+    fn output_only_client_produces_no_input_batch() {
+        // Client 2 only receives an output; clients 0..=2 exist in the
+        // layout but client 2's input list is empty. No batch may be
+        // emitted for it, at any k.
+        let mut b = CircuitBuilder::<F61>::new();
+        let x = b.input(0);
+        let y = b.input(1);
+        let m = b.mul(x, y);
+        b.output(m, 2);
+        let circ = b.build().unwrap();
+        assert_eq!(circ.clients(), 3);
+        assert!(circ.inputs_per_client()[2].is_empty());
+        for k in [1usize, 2, 7] {
+            let batched = circ.batched(k);
+            assert!(
+                batched.input_batches.iter().all(|b| b.client != 2),
+                "k={k}: zero-input client must not appear in input batches"
+            );
+            assert!(batched.input_batches.iter().all(|b| !b.wires.is_empty()));
+            // The present clients are still fully covered, in order.
+            let covered: Vec<WireId> =
+                batched.input_batches.iter().flat_map(|b| b.wires.iter().copied()).collect();
+            assert_eq!(covered, vec![x, y], "k={k}");
+        }
+    }
+
+    #[test]
+    fn batching_covers_every_mul_exactly_once_at_any_k() {
+        let mut b = CircuitBuilder::<F61>::new();
+        let xs: Vec<WireId> = (0..7).map(|_| b.input(0)).collect();
+        let ms: Vec<WireId> = xs.windows(2).map(|w| b.mul(w[0], w[1])).collect();
+        let top = b.mul(ms[0], ms[5]);
+        b.output(top, 0);
+        let circ = b.build().unwrap();
+        let mut expected: Vec<WireId> =
+            circ.mul_layers().iter().flat_map(|l| l.iter().copied()).collect();
+        expected.sort_unstable();
+        for k in [1usize, 2, 3, 5, 100] {
+            let batched = circ.batched(k);
+            let mut covered: Vec<WireId> =
+                batched.mul_batches.iter().flat_map(|b| b.gates.iter().copied()).collect();
+            covered.sort_unstable();
+            assert_eq!(covered, expected, "k={k}: every mul exactly once");
+            assert!(batched.mul_batches.iter().all(|b| !b.gates.is_empty() && b.gates.len() <= k));
+        }
     }
 
     #[test]

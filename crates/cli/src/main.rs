@@ -123,6 +123,11 @@ RUN OPTIONS:
   --threads N       worker threads for triple/gate fan-out
                     (any value yields a byte-identical transcript)       [1]
   --no-proofs       skip NIZK computation (metering unchanged)
+  --dist-transform  distribute the offline Step-4 packing transforms
+                    across the worker fleet (DESIGN §13): each worker
+                    evaluates only its owned share rows and the batch
+                    results are exchanged as TransformSlice postings;
+                    transcripts stay byte-identical at any worker count
   --board ADDR      post to a shared board-server (tcp://HOST:PORT)
                     instead of the in-process board
   --board-window N  post frames kept in flight per flush on a TCP

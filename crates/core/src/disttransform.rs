@@ -1,0 +1,319 @@
+//! Distributed share transforms (DESIGN §13): fanning the offline
+//! packing transforms out across the worker fleet.
+//!
+//! In the baseline pipeline every worker computes the full Step-4
+//! packing for every batch — all `n` dealing rows and all `n`
+//! homomorphic evaluations — so the dealer-side transform cost is
+//! *replicated* per worker and adding workers never reduces per-worker
+//! compute. This module is the split: each worker materialises only
+//! the dealing rows of the committee members its [`RolePartition`]
+//! owns ([`PackedSharing::dealing_basis_rows_slice`]), evaluates only
+//! those members' packed-share ciphertexts, and publishes them as
+//! [`Post::TransformSlice`] records through the [`ShardedBoard`]'s
+//! position accounting. After a mid-round [`ShardedBoard::exchange`]
+//! every worker reads the batch's `n` member rows back off the board
+//! and recombines them in member order.
+//!
+//! # Transcript discipline
+//!
+//! The posting unit is one record **per committee member**, not per
+//! worker: member `i`'s α/β/Γ packed-share ciphertexts are fused into
+//! a single [`Post::TransformSlice`] authored by `("pack-transform",
+//! i)`, and the [`ShardedBoard`] appends them in member order at the
+//! exchange. The posting sequence is therefore `n` member-ordered
+//! records at *any* worker count, and the payload values are
+//! bit-identical across workers (exact arithmetic on the same rows),
+//! so the transcript of a fleet run is byte-identical to a solo run
+//! with the same flag. The payload is public under the mock TE —
+//! packed-share *ciphertexts*, the same values Step 6 re-encrypts —
+//! so publishing it leaks nothing.
+
+use yoso_field::{transformstats, PrimeField};
+use yoso_pss_sharing::PackedSharing;
+use yoso_runtime::RoleId;
+use yoso_the::mock::{Ciphertext, MockTe};
+
+use crate::messages::{Post, CT_ELEMENTS};
+use crate::workitem::ShardedBoard;
+use crate::ProtocolError;
+
+/// Ciphertexts fused into one [`Post::TransformSlice`] record: the α,
+/// β and Γ packed shares of one member.
+pub const PACKS_PER_SLICE: usize = 3;
+
+/// The phase label the transform-slice records are metered under —
+/// distinct from `offline/4-pack` so the bench can report the
+/// distributed-transform traffic as its own line.
+pub const DIST_PACK_PHASE: &str = "offline/4-pack-dist";
+
+/// One pack's inputs: the batch's per-wire mask ciphertexts and the
+/// `t` summed helper-randomness ciphertexts.
+#[derive(Debug, Clone, Copy)]
+pub struct PackInputs<'a, F: PrimeField> {
+    /// The `k_b` wire ciphertexts, batch order.
+    pub wires: &'a [Ciphertext<F>],
+    /// The `t` helper ciphertexts.
+    pub helpers: &'a [Ciphertext<F>],
+}
+
+/// Distributed Step-4 packing of one batch: computes the `n` α/β/Γ
+/// packed-share ciphertext vectors with each worker evaluating only
+/// its owned members' rows, exchanging them through `sb`.
+///
+/// Equivalent to three [`crate::offline::pack_ciphertexts`] calls on
+/// the same scheme (bit-identical values), but the per-worker hot work
+/// is `O((hi − lo) · m)` row evaluations instead of `O(n · m)`, and
+/// each batch costs one [`ShardedBoard::exchange`] (no round tick).
+///
+/// # Errors
+///
+/// [`ProtocolError::Invariant`] on malformed pack inputs,
+/// [`ProtocolError::Transport`] on board failures, exchange timeouts,
+/// or a read-back that does not match the expected member rows.
+pub(crate) fn dist_pack_batch<F: PrimeField>(
+    sb: &ShardedBoard<'_>,
+    scheme: &PackedSharing<F>,
+    t: usize,
+    packs: [PackInputs<'_, F>; PACKS_PER_SLICE],
+    phase: &'static str,
+) -> Result<[Vec<Ciphertext<F>>; PACKS_PER_SLICE], ProtocolError> {
+    let n = scheme.n();
+    let k_b = scheme.k();
+    for pack in &packs {
+        if pack.helpers.len() != t {
+            return Err(ProtocolError::Invariant("need exactly t helper ciphertexts for packing"));
+        }
+        if pack.wires.len() != k_b {
+            return Err(ProtocolError::Invariant(
+                "packing scheme width does not match the wire count",
+            ));
+        }
+    }
+    let degree = t + k_b - 1;
+    let partition = sb.partition();
+    let (lo, hi) =
+        if partition.is_solo() { (0, n) } else { (partition.lo().min(n), partition.hi().min(n)) };
+
+    // Owned rows only: the slice of the dealing map this worker pays
+    // for. Each row evaluation is a ciphertext dot product — 2·m field
+    // multiplications per pack — reported to the transform-work ledger
+    // so the bench can compare per-worker cost across fleet sizes.
+    let rows = scheme.dealing_basis_rows_slice(degree, lo, hi)?;
+    let m = k_b + t;
+    transformstats::bump_slice_muls((rows.len() * PACKS_PER_SLICE * 2 * m) as u64);
+    let all: Vec<Vec<Ciphertext<F>>> = packs
+        .iter()
+        .map(|pack| {
+            let mut cts = pack.wires.to_vec();
+            cts.extend_from_slice(pack.helpers);
+            cts
+        })
+        .collect();
+    let mut local: Vec<[Ciphertext<F>; PACKS_PER_SLICE]> = Vec::with_capacity(hi - lo);
+    for row in &rows {
+        local.push([
+            MockTe::eval(&all[0], row)?,
+            MockTe::eval(&all[1], row)?,
+            MockTe::eval(&all[2], row)?,
+        ]);
+    }
+
+    // Publish: one fused record per member, in member order. Non-owned
+    // members only advance the position accounting (their owning
+    // worker appends the real record at the exchange).
+    let start = sb.position()?;
+    for i in 0..n {
+        let owned = partition.owns(i);
+        let values: Vec<u64> = if owned {
+            local[i - lo].iter().flat_map(|ct| [ct.u.as_u64(), ct.v.as_u64()]).collect()
+        } else {
+            Vec::new()
+        };
+        sb.post(
+            owned,
+            RoleId::new("pack-transform", i),
+            Post::TransformSlice { row: i as u32, values },
+            phase,
+            (PACKS_PER_SLICE as u64) * CT_ELEMENTS,
+        )?;
+    }
+    sb.exchange()?;
+
+    // Recombine. A solo worker computed every row locally, so the
+    // read-back is skipped (the posts already passed through). Sharded
+    // workers read the batch's n records back off the board; faster
+    // peers may have appended beyond the batch already, so only the
+    // first n records from the cursor are consumed.
+    let mut out: [Vec<Ciphertext<F>>; PACKS_PER_SLICE] =
+        [Vec::with_capacity(n), Vec::with_capacity(n), Vec::with_capacity(n)];
+    if partition.is_solo() {
+        for cts in &local {
+            for (slot, &ct) in out.iter_mut().zip(cts.iter()) {
+                slot.push(ct);
+            }
+        }
+        return Ok(out);
+    }
+    let postings = sb.board().postings_from(start as usize)?;
+    if postings.len() < n {
+        return Err(ProtocolError::Transport(format!(
+            "distributed transform read-back returned {} records, expected at least {n}",
+            postings.len()
+        )));
+    }
+    for (i, posting) in postings.iter().take(n).enumerate() {
+        match &posting.message {
+            Post::TransformSlice { row, values }
+                if *row as usize == i && values.len() == PACKS_PER_SLICE * 2 =>
+            {
+                for (slot, pair) in out.iter_mut().zip(values.chunks_exact(2)) {
+                    slot.push(Ciphertext { u: F::from_u64(pair[0]), v: F::from_u64(pair[1]) });
+                }
+            }
+            other => {
+                return Err(ProtocolError::Transport(format!(
+                    "distributed transform read-back desync at member {i}: {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offline::pack_ciphertexts;
+    use crate::workitem::RolePartition;
+    use rand::SeedableRng;
+    use yoso_field::F61;
+    use yoso_runtime::BulletinBoard;
+
+    fn cts(r: &mut rand::rngs::StdRng, count: usize) -> Vec<Ciphertext<F61>> {
+        (0..count)
+            .map(|_| Ciphertext { u: F61::random(r), v: F61::random(r) })
+            .collect()
+    }
+
+    type PackVecs = (Vec<Ciphertext<F61>>, Vec<Ciphertext<F61>>);
+
+    fn inputs(r: &mut rand::rngs::StdRng, k_b: usize, t: usize) -> [PackVecs; PACKS_PER_SLICE] {
+        [(cts(r, k_b), cts(r, t)), (cts(r, k_b), cts(r, t)), (cts(r, k_b), cts(r, t))]
+    }
+
+    #[test]
+    fn solo_dist_pack_matches_pack_ciphertexts() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(99);
+        let (n, t, k_b) = (9, 2, 3);
+        let scheme = PackedSharing::<F61>::new(n, k_b).unwrap();
+        let packs = inputs(&mut r, k_b, t);
+        let board: BulletinBoard<Post> = BulletinBoard::new();
+        let sb = ShardedBoard::solo(&board);
+        let got = dist_pack_batch(
+            &sb,
+            &scheme,
+            t,
+            [
+                PackInputs { wires: &packs[0].0, helpers: &packs[0].1 },
+                PackInputs { wires: &packs[1].0, helpers: &packs[1].1 },
+                PackInputs { wires: &packs[2].0, helpers: &packs[2].1 },
+            ],
+            DIST_PACK_PHASE,
+        )
+        .unwrap();
+        for (pack, out) in packs.iter().zip(&got) {
+            let want = pack_ciphertexts(&scheme, t, &pack.0, &pack.1).unwrap();
+            assert_eq!(out, &want);
+        }
+        // One record per member, in member order, fused payload.
+        let postings = board.postings().unwrap();
+        assert_eq!(postings.len(), n);
+        for (i, p) in postings.iter().enumerate() {
+            assert_eq!(p.from, RoleId::new("pack-transform", i));
+            match &p.message {
+                Post::TransformSlice { row, values } => {
+                    assert_eq!(*row as usize, i);
+                    assert_eq!(values.len(), PACKS_PER_SLICE * 2);
+                }
+                other => panic!("unexpected post {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn two_worker_dist_pack_matches_solo_transcript_and_values() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(7);
+        let (n, t, k_b) = (10, 2, 3);
+        let scheme = PackedSharing::<F61>::new(n, k_b).unwrap();
+        let packs = inputs(&mut r, k_b, t);
+        let run = |board: &BulletinBoard<Post>, partition: RolePartition| {
+            let sb = ShardedBoard::new(board, partition).unwrap();
+            dist_pack_batch(
+                &sb,
+                &scheme,
+                t,
+                [
+                    PackInputs { wires: &packs[0].0, helpers: &packs[0].1 },
+                    PackInputs { wires: &packs[1].0, helpers: &packs[1].1 },
+                    PackInputs { wires: &packs[2].0, helpers: &packs[2].1 },
+                ],
+                DIST_PACK_PHASE,
+            )
+        };
+        let solo_board: BulletinBoard<Post> = BulletinBoard::new();
+        let solo = {
+            let sb = ShardedBoard::solo(&solo_board);
+            dist_pack_batch(
+                &sb,
+                &scheme,
+                t,
+                [
+                    PackInputs { wires: &packs[0].0, helpers: &packs[0].1 },
+                    PackInputs { wires: &packs[1].0, helpers: &packs[1].1 },
+                    PackInputs { wires: &packs[2].0, helpers: &packs[2].1 },
+                ],
+                DIST_PACK_PHASE,
+            )
+            .unwrap()
+        };
+        let fleet_board: BulletinBoard<Post> = BulletinBoard::new();
+        let (ra, rb) = std::thread::scope(|s| {
+            let ha = s.spawn(|| run(&fleet_board, RolePartition::range(0, 4)));
+            let hb = s.spawn(|| run(&fleet_board, RolePartition::range(4, 10)));
+            (ha.join().unwrap().unwrap(), hb.join().unwrap().unwrap())
+        });
+        assert_eq!(ra, solo);
+        assert_eq!(rb, solo);
+        // Byte-identical posting sequence: same authors, same messages.
+        let sp = solo_board.postings().unwrap();
+        let fp = fleet_board.postings().unwrap();
+        assert_eq!(sp.len(), fp.len());
+        for (a, b) in sp.iter().zip(&fp) {
+            assert_eq!(a.from, b.from);
+            assert_eq!(a.message, b.message);
+        }
+    }
+
+    #[test]
+    fn dist_pack_rejects_malformed_inputs() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(3);
+        let scheme = PackedSharing::<F61>::new(6, 2).unwrap();
+        let board: BulletinBoard<Post> = BulletinBoard::new();
+        let sb = ShardedBoard::solo(&board);
+        let wires = cts(&mut r, 2);
+        let helpers = cts(&mut r, 1); // wrong: t = 2
+        let err = dist_pack_batch(
+            &sb,
+            &scheme,
+            2,
+            [
+                PackInputs { wires: &wires, helpers: &helpers },
+                PackInputs { wires: &wires, helpers: &helpers },
+                PackInputs { wires: &wires, helpers: &helpers },
+            ],
+            DIST_PACK_PHASE,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ProtocolError::Invariant(_)));
+    }
+}

@@ -176,30 +176,45 @@ pub(crate) fn run_online_in<F: PrimeField, R: Rng + ?Sized>(
         batches_by_layer[batch.layer].push(b_idx);
     }
 
-    // Propagate linear gates up to (but not including) each mul layer,
-    // then process the layer's batches. Easiest: repeatedly sweep the
-    // gate list, filling what is computable; mul wires get filled by
-    // their batch.
-    let propagate_linear = |mu: &mut Vec<Option<F>>| {
-        for (w, gate) in circuit.gates().iter().enumerate() {
-            if mu[w].is_some() {
-                continue;
-            }
-            mu[w] = match *gate {
-                Gate::Const(c) => Some(c),
-                Gate::Add(a, b) => match (mu[a.0], mu[b.0]) {
-                    (Some(x), Some(y)) => Some(x + y),
-                    _ => None,
-                },
-                Gate::Sub(a, b) => match (mu[a.0], mu[b.0]) {
-                    (Some(x), Some(y)) => Some(x - y),
-                    _ => None,
-                },
-                Gate::MulConst(a, c) => mu[a.0].map(|x| x * c),
-                Gate::Output(a, _) => mu[a.0],
-                Gate::Input { .. } | Gate::Mul(_, _) => None,
-            };
+    // Propagate linear gates in a single topological pass over the
+    // SSA gate list: each linear gate is computable exactly when the
+    // deepest mul layer below it has been reconstructed, so bucketing
+    // gates by multiplicative depth visits every gate once — stage 0
+    // before the first layer, stage l + 1 right after layer l's
+    // batches fill their wires. O(gates) total, where resweeping the
+    // whole list per layer was O(layers · gates).
+    let depths = circuit.depths();
+    let mut linear_by_stage: Vec<Vec<usize>> = vec![Vec::new(); layers + 1];
+    for (w, gate) in circuit.gates().iter().enumerate() {
+        // Input wires are filled by the input phase, mul wires by
+        // their batch; neither is propagated.
+        if !matches!(gate, Gate::Mul(_, _) | Gate::Input { .. }) {
+            linear_by_stage[depths[w]].push(w);
         }
+    }
+    const MU_MISSING: &str = "linear-gate operand μ missing at its depth stage";
+    let propagate_stage = |mu: &mut Vec<Option<F>>, stage: usize| -> Result<(), ProtocolError> {
+        for &w in &linear_by_stage[stage] {
+            mu[w] = Some(match circuit.gates()[w] {
+                Gate::Const(c) => c,
+                Gate::Add(a, b) => {
+                    mu[a.0].ok_or(ProtocolError::Invariant(MU_MISSING))?
+                        + mu[b.0].ok_or(ProtocolError::Invariant(MU_MISSING))?
+                }
+                Gate::Sub(a, b) => {
+                    mu[a.0].ok_or(ProtocolError::Invariant(MU_MISSING))?
+                        - mu[b.0].ok_or(ProtocolError::Invariant(MU_MISSING))?
+                }
+                Gate::MulConst(a, c) => mu[a.0].ok_or(ProtocolError::Invariant(MU_MISSING))? * c,
+                Gate::Output(a, _) => mu[a.0].ok_or(ProtocolError::Invariant(MU_MISSING))?,
+                Gate::Input { .. } | Gate::Mul(_, _) => {
+                    return Err(ProtocolError::Invariant(
+                        "non-linear gate bucketed into a propagation stage",
+                    ))
+                }
+            });
+        }
+        Ok(())
     };
 
     // One sharing scheme per batch width, shared across layers: the
@@ -212,7 +227,7 @@ pub(crate) fn run_online_in<F: PrimeField, R: Rng + ?Sized>(
     let mut mu_beta_vals: Vec<F> = Vec::new();
     let mut mu_gamma: Vec<F> = Vec::new();
     for (layer_idx, layer_batches) in batches_by_layer.iter().enumerate() {
-        propagate_linear(&mut mu);
+        propagate_stage(&mut mu, layer_idx)?;
         let committee = adversary.sample_committee(rng, format!("on-mult-{layer_idx}"), n);
         for &b_idx in layer_batches {
             let batch = &bc.mul_batches[b_idx];
@@ -377,7 +392,7 @@ pub(crate) fn run_online_in<F: PrimeField, R: Rng + ?Sized>(
         }
         sb.advance_round()?;
     }
-    propagate_linear(&mut mu);
+    propagate_stage(&mut mu, layers)?;
 
     // ---- Output: Re-encrypt* each output-wire mask to its client.
     let phase_out = "online/4-output";

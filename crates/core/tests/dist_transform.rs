@@ -1,0 +1,228 @@
+//! Distributed-transform parity (DESIGN §13): with `dist_transform`
+//! enabled, the fleet transcript — including the per-batch
+//! `TransformSlice` records — must be byte-identical to the solo run
+//! at worker counts 1/2/4/8, through uneven role splits and workers
+//! that own zero roles. The slice-dealing half is pinned by a
+//! proptest: the union of `share_slice_into` slices over any
+//! `RolePartition::of_workers` split reproduces the full deal
+//! bit-for-bit on both the Lagrange and the Subgroup/NTT paths.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use yoso_circuit::generators;
+use yoso_core::messages::Post;
+use yoso_core::{Engine, ExecutionConfig, ProtocolParams, RolePartition, RunResult};
+use yoso_field::{F61, PrimeField};
+use yoso_pss_sharing::{PackedSharing, PointLayout, PssScratch};
+use yoso_runtime::{Adversary, BulletinBoard};
+
+fn f(v: u64) -> F61 {
+    F61::from(v)
+}
+
+const SEED: u64 = 90125;
+
+fn workload(params: ProtocolParams) -> (yoso_circuit::Circuit<F61>, Vec<Vec<F61>>) {
+    let width = 2 * params.k;
+    let circuit = generators::inner_product::<F61>(width).unwrap();
+    let inputs: Vec<Vec<F61>> = vec![
+        (1..=width as u64).map(f).collect(),
+        (10..10 + width as u64).map(f).collect(),
+    ];
+    (circuit, inputs)
+}
+
+fn render(board: &BulletinBoard<Post>) -> String {
+    let mut transcript = String::new();
+    for p in board.postings().unwrap() {
+        transcript.push_str(&format!("{}|{}|{}|{:?}\n", p.round, p.from, p.phase, p.message));
+    }
+    transcript
+}
+
+/// Single-process reference run with distributed transforms on.
+fn solo_run(params: ProtocolParams) -> (String, RunResult<F61>) {
+    let (circuit, inputs) = workload(params);
+    let board: BulletinBoard<Post> = BulletinBoard::new();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(SEED);
+    let run = Engine::new(params, ExecutionConfig::default().with_dist_transform())
+        .run_with_board(&mut rng, &circuit, &inputs, &Adversary::none(), &board)
+        .unwrap();
+    (render(&board), run)
+}
+
+/// `workers` in-process workers sharing one board, each owning its
+/// canonical role range, all with distributed transforms on.
+fn sharded_run(params: ProtocolParams, workers: usize) -> (String, Vec<RunResult<F61>>) {
+    let (circuit, inputs) = workload(params);
+    let board: BulletinBoard<Post> = BulletinBoard::new();
+    let runs: Vec<RunResult<F61>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let board = board.clone();
+                let circuit = &circuit;
+                let inputs = &inputs;
+                s.spawn(move || {
+                    let cfg = ExecutionConfig::default()
+                        .with_dist_transform()
+                        .with_partition(params.worker_role_range(w, workers));
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(SEED);
+                    Engine::new(params, cfg)
+                        .run_with_board(&mut rng, circuit, inputs, &Adversary::none(), &board)
+                        .unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    (render(&board), runs)
+}
+
+#[test]
+fn dist_transform_posts_slices_and_preserves_outputs() {
+    // The dist-transform run must compute the exact same result as the
+    // replicated reference (same RNG stream by construction), with the
+    // transcript differing only by the added TransformSlice records.
+    let params = ProtocolParams::new(10, 2, 3).unwrap();
+    let (circuit, inputs) = workload(params);
+    let board: BulletinBoard<Post> = BulletinBoard::new();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(SEED);
+    let reference = Engine::new(params, ExecutionConfig::default())
+        .run_with_board(&mut rng, &circuit, &inputs, &Adversary::none(), &board)
+        .unwrap();
+    let reference_log = render(&board);
+    assert!(!reference_log.contains("TransformSlice"));
+
+    let (dist_log, dist) = solo_run(params);
+    assert_eq!(reference.outputs, dist.outputs);
+    assert_eq!(reference.mu, dist.mu);
+    assert!(dist_log.contains("TransformSlice"), "dist run must post slice records");
+    // Stripping the TransformSlice lines recovers the replicated
+    // transcript exactly: every other posting is untouched.
+    let stripped: String =
+        dist_log.lines().filter(|l| !l.contains("TransformSlice")).fold(String::new(), |mut s, l| {
+            s.push_str(l);
+            s.push('\n');
+            s
+        });
+    assert_eq!(reference_log, stripped);
+}
+
+#[test]
+fn dist_transform_sharded_transcript_byte_identical_to_solo() {
+    let params = ProtocolParams::new(10, 2, 3).unwrap();
+    let (solo_log, solo) = solo_run(params);
+    assert!(solo_log.contains("TransformSlice"));
+    // 2 splits n = 10 evenly; 4 and 8 give uneven role ranges.
+    for workers in [2usize, 4, 8] {
+        let (log, runs) = sharded_run(params, workers);
+        assert_eq!(
+            solo_log, log,
+            "{workers}-worker dist-transform transcript must match single-process"
+        );
+        for (w, run) in runs.iter().enumerate() {
+            assert_eq!(solo.outputs, run.outputs, "worker {w}/{workers} outputs");
+            assert_eq!(solo.mu, run.mu, "worker {w}/{workers} mu");
+            assert_eq!(solo.phases, run.phases, "worker {w}/{workers} phases");
+        }
+    }
+}
+
+#[test]
+fn dist_transform_zero_role_worker_agrees() {
+    // 12 workers over n = 10: worker 0 owns [0, 0) and posts no slice
+    // contributions, yet must still converge on the same transcript.
+    let params = ProtocolParams::new(10, 2, 3).unwrap();
+    let empty = params.worker_role_range(0, 12);
+    assert_eq!((empty.lo(), empty.hi()), (0, 0));
+    let (solo_log, solo) = solo_run(params);
+    let (log, runs) = sharded_run(params, 12);
+    assert_eq!(solo_log, log);
+    assert_eq!(solo.outputs, runs[0].outputs);
+    assert_eq!(solo.mu, runs[0].mu);
+}
+
+/// Unions the `share_slice_into` slices of a `workers`-way partition,
+/// re-seeding the dealer RNG from `seed` for each slice — the same
+/// discipline `ItEngine::deal_distributed` uses, since every slice
+/// call draws the full random tail.
+fn union_deal(
+    scheme: &PackedSharing<F61>,
+    seed: u64,
+    secrets: &[F61],
+    degree: usize,
+    workers: usize,
+) -> Vec<F61> {
+    let n = scheme.n();
+    let mut union: Vec<F61> = Vec::with_capacity(n);
+    let mut slice = Vec::new();
+    let mut scratch = PssScratch::default();
+    for w in 0..workers {
+        let part = RolePartition::of_workers(w, workers, n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        scheme
+            .share_slice_into(&mut rng, secrets, degree, part.lo(), part.hi(), &mut slice, &mut scratch)
+            .unwrap();
+        union.extend_from_slice(&slice);
+    }
+    union
+}
+
+/// (n, k, degree) with 1 <= k <= degree+1 <= n — small enough for the
+/// Lagrange path, uneven under most worker splits.
+fn small_params() -> impl Strategy<Value = (usize, usize, usize)> {
+    (3usize..20).prop_flat_map(|n| {
+        (1usize..=n.min(5)).prop_flat_map(move |k| ((k - 1)..n).prop_map(move |d| (n, k, d)))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn slice_union_matches_full_lagrange_deal(
+        (n, k, d) in small_params(), seed in any::<u64>(), secrets_seed in any::<u64>()
+    ) {
+        let scheme = PackedSharing::<F61>::new(n, k).unwrap();
+        let mut srng = rand::rngs::StdRng::seed_from_u64(secrets_seed);
+        let secrets: Vec<F61> = (0..k).map(|_| F61::random(&mut srng)).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let full = scheme.share(&mut rng, &secrets, d).unwrap();
+        // Worker counts past n force zero-role slices; counts that do
+        // not divide n force uneven ones.
+        for workers in [1usize, 2, 4, 8] {
+            let union = union_deal(&scheme, seed, &secrets, d, workers);
+            prop_assert_eq!(
+                full.values(), &union[..],
+                "n={} k={} d={} workers={}", n, k, d, workers
+            );
+        }
+    }
+
+    #[test]
+    fn slice_union_matches_full_ntt_deal(
+        seed in any::<u64>(), secrets_seed in any::<u64>(), workers in 1usize..10
+    ) {
+        // Sized so degree + 1 = 64 clears the NTT dealing crossover on
+        // the Subgroup layout: the full deal runs the prefix-inverse +
+        // forward transform, slices run prefix-inverse + range Horner.
+        let (n, k) = (90usize, 6usize);
+        let d = 63;
+        let fast = PackedSharing::<F61>::with_layout(n, k, PointLayout::Subgroup).unwrap();
+        let mut slow = PackedSharing::<F61>::with_layout(n, k, PointLayout::Subgroup).unwrap();
+        slow.disable_ntt();
+        let mut srng = rand::rngs::StdRng::seed_from_u64(secrets_seed);
+        let secrets: Vec<F61> = (0..k).map(|_| F61::random(&mut srng)).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let full = fast.share(&mut rng, &secrets, d).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let lagrange = slow.share(&mut rng, &secrets, d).unwrap();
+        // NTT and Lagrange full deals agree, and the slice unions hit
+        // the same bits through both machineries.
+        prop_assert_eq!(full.values(), lagrange.values());
+        let union = union_deal(&fast, seed, &secrets, d, workers);
+        prop_assert_eq!(full.values(), &union[..], "ntt union, workers={}", workers);
+        let slow_union = union_deal(&slow, seed, &secrets, d, workers);
+        prop_assert_eq!(full.values(), &slow_union[..], "lagrange union, workers={}", workers);
+    }
+}

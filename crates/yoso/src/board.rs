@@ -292,6 +292,19 @@ impl<M> BulletinBoard<M> {
         self.transport.read_from(0)
     }
 
+    /// Snapshot of the postings at sequence positions `>= cursor` —
+    /// the distributed-transform read-back primitive: a worker records
+    /// the board position before a batch's posting run, waits for the
+    /// run to land, and reads exactly the new records without
+    /// re-cloning history.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures (remote backends only).
+    pub fn postings_from(&self, cursor: usize) -> Result<Vec<Posting<M>>, BoardError> {
+        self.transport.read_from(cursor)
+    }
+
     /// Snapshot of the postings made in `round` — `O(round size)`, via
     /// the transport's per-round index.
     ///
